@@ -1,0 +1,53 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! K-means band count and the global phase's repair budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_qos::QosModel;
+use qasom_selection::workload::{Tightness, WorkloadSpec};
+use qasom_selection::{LocalRank, Qassa, QassaConfig};
+
+fn kmeans_band_count(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let w = WorkloadSpec::evaluation_default().build(&model, 42);
+    let problem = w.problem();
+    let mut group = c.benchmark_group("ablate_kmeans_k");
+    group.sample_size(20);
+    for k in [2usize, 4, 8] {
+        let config = QassaConfig {
+            local: LocalRank {
+                bands: k,
+                kmeans_iters: 50,
+            },
+            ..QassaConfig::default()
+        };
+        let qassa = Qassa::with_config(&model, config);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| qassa.select(&problem).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+fn repair_budget(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let w = WorkloadSpec::evaluation_default()
+        .tightness(Tightness::AtMean)
+        .build(&model, 42);
+    let problem = w.problem();
+    let mut group = c.benchmark_group("ablate_repair_budget");
+    group.sample_size(20);
+    for budget in [0usize, 16, 64] {
+        let config = QassaConfig {
+            max_repairs_per_level: budget,
+            ..QassaConfig::default()
+        };
+        let qassa = Qassa::with_config(&model, config);
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| qassa.select(&problem).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kmeans_band_count, repair_budget);
+criterion_main!(benches);

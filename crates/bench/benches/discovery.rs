@@ -1,0 +1,47 @@
+//! Discovery latency at registry scale: semantic matching over thousands
+//! of advertisements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::QosModel;
+use qasom_registry::{Discovery, ServiceDescription, ServiceRegistry};
+use qasom_task::Activity;
+
+fn discovery_at_scale(c: &mut Criterion) {
+    let mut b = OntologyBuilder::new("d");
+    let root = b.concept("Capability");
+    for i in 0..32 {
+        let mid = b.subconcept(&format!("Cat{i}"), root);
+        for j in 0..4 {
+            b.subconcept(&format!("Cat{i}Leaf{j}"), mid);
+        }
+    }
+    let onto = b.build().expect("valid");
+    let model = QosModel::standard();
+
+    let mut group = c.benchmark_group("discovery_scale");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 20_000] {
+        let mut registry = ServiceRegistry::new();
+        for s in 0..n {
+            registry.register(ServiceDescription::new(
+                format!("svc{s}"),
+                &format!("d#Cat{}Leaf{}", s % 32, s % 4),
+            ));
+        }
+        let discovery = Discovery::new(&onto, &model);
+        // A category-level request plugs in 4 leaves × n/128 services.
+        let activity = Activity::new("a", "d#Cat7");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let found = discovery.candidates(&registry, &activity);
+                assert!(!found.is_empty());
+                found
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, discovery_at_scale);
+criterion_main!(benches);

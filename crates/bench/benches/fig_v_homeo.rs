@@ -1,0 +1,35 @@
+//! Criterion counterpart of the Ch. V evaluation: behavioural-adaptation
+//! (extended subgraph homeomorphism) cost vs. task size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_adaptation::BehaviouralAdapter;
+use qasom_bench::adaptation_pair;
+use qasom_ontology::OntologyBuilder;
+
+fn resume_mapping(c: &mut Criterion) {
+    let mut onto = OntologyBuilder::new("ad");
+    for i in 0..64 {
+        onto.concept(&format!("F{i}"));
+    }
+    let onto = onto.build().expect("valid ontology");
+    let adapter = BehaviouralAdapter::new(&onto);
+
+    let mut group = c.benchmark_group("fig_v_homeomorphism");
+    group.sample_size(20);
+    for n in [4usize, 12, 24] {
+        let (current, alternative) = adaptation_pair(n);
+        let executed: Vec<String> = (0..n / 2).map(|i| format!("c{i}")).collect();
+        let refs: Vec<&str> = executed.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                adapter
+                    .resume_mapping(&current, &alternative, &refs)
+                    .expect("mapping exists")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, resume_mapping);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion counterpart of Fig. VI.5: QASSA selection time vs. services
+//! per activity and vs. number of constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_qos::QosModel;
+use qasom_selection::workload::WorkloadSpec;
+use qasom_selection::Qassa;
+
+fn selection_vs_services(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let mut group = c.benchmark_group("fig_vi5a_services");
+    group.sample_size(20);
+    for n in [10usize, 100, 300] {
+        let w = WorkloadSpec::evaluation_default()
+            .services_per_activity(n)
+            .build(&model, 42);
+        let problem = w.problem();
+        let qassa = Qassa::new(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| qassa.select(&problem).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+fn selection_vs_constraints(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let mut group = c.benchmark_group("fig_vi5b_constraints");
+    group.sample_size(20);
+    for k in [1usize, 4, 8] {
+        let w = WorkloadSpec::evaluation_default()
+            .property_count(k)
+            .build(&model, 42);
+        let problem = w.problem();
+        let qassa = Qassa::new(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| qassa.select(&problem).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_vs_services, selection_vs_constraints);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion counterpart of Fig. VI.7: selection time under the three
+//! aggregation approaches on choice- and loop-bearing tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_qos::QosModel;
+use qasom_selection::workload::{TaskShape, WorkloadSpec};
+use qasom_selection::{AggregationApproach, Qassa};
+
+fn selection_per_approach(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let mut group = c.benchmark_group("fig_vi7_aggregation");
+    group.sample_size(20);
+    for (approach, label) in [
+        (AggregationApproach::Pessimistic, "pessimistic"),
+        (AggregationApproach::Optimistic, "optimistic"),
+        (AggregationApproach::MeanValue, "mean_value"),
+    ] {
+        let w = WorkloadSpec::evaluation_default()
+            .shape(TaskShape::Full)
+            .approach(approach)
+            .services_per_activity(100)
+            .build(&model, 42);
+        let problem = w.problem();
+        let qassa = Qassa::new(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| qassa.select(&problem).expect("well-formed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_per_approach);
+criterion_main!(benches);

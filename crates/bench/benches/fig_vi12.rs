@@ -1,0 +1,34 @@
+//! Criterion counterpart of Fig. VI.12: wall-clock cost of running the
+//! distributed-QASSA protocol simulation at several fleet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_qos::QosModel;
+use qasom_selection::distributed::{DistributedQassa, DistributedSetup};
+use qasom_selection::workload::WorkloadSpec;
+
+fn distributed_protocol(c: &mut Criterion) {
+    let model = QosModel::standard();
+    let w = WorkloadSpec::evaluation_default()
+        .services_per_activity(50)
+        .build(&model, 42);
+    let driver = DistributedQassa::new(&model);
+    let mut group = c.benchmark_group("fig_vi12_distributed");
+    group.sample_size(10);
+    for providers in [2usize, 10, 50] {
+        let setup = DistributedSetup {
+            providers,
+            ..DistributedSetup::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(providers),
+            &providers,
+            |b, _| {
+                b.iter(|| driver.run(&w, &setup, 42).expect("protocol completes"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, distributed_protocol);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion counterpart of Fig. VI.13: abstract-BPEL parsing +
+//! behavioural-graph construction time vs. task size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qasom_bench::synthetic_bpel;
+use qasom_task::{bpel, BehaviouralGraph};
+
+fn bpel_to_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_vi13_bpel_to_graph");
+    for n in [5usize, 20, 100] {
+        let doc = synthetic_bpel(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let task = bpel::parse(&doc).expect("valid BPEL");
+                BehaviouralGraph::from_task(&task)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bpel_to_graph);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerates every figure of the QASOM evaluation as printed tables.
+//!
+//! ```text
+//! cargo run --release -p qasom-bench --bin repro            # everything
+//! cargo run --release -p qasom-bench --bin repro -- vi5 vi12  # a subset
+//! ```
+
+use qasom_bench as bench;
+use qasom_qos::QosModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |key: &str| args.is_empty() || args.iter().any(|a| a == key || a == "all");
+    let model = QosModel::standard();
+
+    println!("QASOM evaluation reproduction — simulated substrate");
+    println!("(shapes are comparable to the original figures; absolute values are machine-local)");
+
+    if want("vi5") {
+        bench::print_figure(
+            "Fig. VI.5a — selection time vs services/activity (5 activities, 4 constraints)",
+            "services",
+            &bench::fig_vi5a(&model),
+        );
+        bench::print_figure(
+            "Fig. VI.5b — selection time vs #QoS constraints (100 services/activity)",
+            "constraints",
+            &bench::fig_vi5b(&model),
+        );
+    }
+    if want("vi6") {
+        bench::print_figure(
+            "Fig. VI.6a — optimality vs services/activity (vs exhaustive optimum)",
+            "services",
+            &bench::fig_vi6a(&model),
+        );
+        bench::print_figure(
+            "Fig. VI.6b — optimality vs #QoS constraints",
+            "constraints",
+            &bench::fig_vi6b(&model),
+        );
+    }
+    if want("vi7") {
+        bench::print_figure(
+            "Fig. VI.7 — selection time per aggregation approach (choice+loop tasks)",
+            "services",
+            &bench::fig_vi7(&model),
+        );
+    }
+    if want("vi8") {
+        bench::print_figure(
+            "Fig. VI.8 — optimality per aggregation approach",
+            "services",
+            &bench::fig_vi8(&model),
+        );
+    }
+    if want("vi9") {
+        println!("\n== Fig. VI.9 — generated QoS follows N(m, σ) ==");
+        let _ = bench::fig_vi9(&model);
+    }
+    if want("vi10") {
+        bench::print_figure(
+            "Fig. VI.10 — selection time with constraints at m vs m+σ",
+            "services",
+            &bench::fig_vi10(&model),
+        );
+    }
+    if want("vi11") {
+        bench::print_figure(
+            "Fig. VI.11 — optimality with constraints at m vs m+σ",
+            "services",
+            &bench::fig_vi11(&model),
+        );
+    }
+    if want("vi12") {
+        bench::print_figure(
+            "Fig. VI.12 — distributed QASSA: simulated phase times vs provider nodes",
+            "providers",
+            &bench::fig_vi12(&model),
+        );
+    }
+    if want("vi13") {
+        bench::print_figure(
+            "Fig. VI.13 — abstract BPEL → behavioural graph transformation time",
+            "activities",
+            &bench::fig_vi13(),
+        );
+    }
+    if want("v_adapt") {
+        bench::print_figure(
+            "Ch. V — behavioural adaptation (subgraph homeomorphism) time",
+            "activities",
+            &bench::fig_v_adapt(),
+        );
+    }
+    if want("loss") {
+        bench::print_figure(
+            "Extra — distributed QASSA under message loss (8 providers, 500 ms timeout)",
+            "loss prob",
+            &bench::fig_loss(&model),
+        );
+    }
+    if want("activities") {
+        bench::print_figure(
+            "Extra — selection time vs number of activities (100 services each)",
+            "activities",
+            &bench::fig_activities(&model),
+        );
+    }
+    if want("scale") {
+        bench::print_figure(
+            "Scalability — QASSA at large pools (serial vs parallel local phase)",
+            "services",
+            &bench::scalability(&model),
+        );
+    }
+    if want("compare") {
+        println!("\n== Selector comparison (5 activities × 100 services, 10 seeds) ==");
+        bench::compare_selectors(&model);
+    }
+    if want("ablate") {
+        bench::print_figure(
+            "Ablation — K-means band count k",
+            "k",
+            &bench::ablate_kmeans_k(&model),
+        );
+        bench::print_figure(
+            "Ablation — global phase repair budget (feasible-rate, tight constraints)",
+            "services",
+            &bench::ablate_global_strategy(&model),
+        );
+        bench::print_figure(
+            "Ablation — proactive vs reactive monitoring (lead on a drifting service)",
+            "drift slope",
+            &bench::ablate_monitoring(&model),
+        );
+        bench::print_figure(
+            "Ablation — semantic vs syntactic discovery recall",
+            "providers",
+            &bench::ablate_semantics(&model),
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! `qasom-cli` — run the middleware against XML-provisioned environments.
+//!
+//! ```text
+//! qasom-cli --services services.xml --classes classes.xml --task shop-v1 \
+//!           [--taxonomy taxonomy.xml] [--constraint Delay=1.5s]... \
+//!           [--weight Delay=2]... [--seed 42] [--verbose]
+//! ```
+//!
+//! * `--services`  QSD document (see `qasom_registry::qsd`).
+//! * `--classes`   task-class document (`<taskclasses>`).
+//! * `--task`      name of the behaviour to request.
+//! * `--taxonomy`  optional concept taxonomy:
+//!   `<ontology ns="shop"><concept name="Pay"><concept name="PayByCard"/></concept></ontology>`
+//!   (functions not listed match syntactically).
+//! * `--constraint NAME=VALUE[UNIT]` e.g. `Delay=1.5s`, `TotalPrice=30EUR`.
+//! * `--weight NAME=W` preference weights.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use qasom::{Environment, UserRequest};
+use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
+use qasom_qos::{QosModel, Unit};
+use qasom_task::xml::{self, XmlElement};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    services: String,
+    classes: String,
+    task: String,
+    taxonomy: Option<String>,
+    constraints: Vec<(String, f64, Unit)>,
+    weights: Vec<(String, f64)>,
+    seed: u64,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        services: String::new(),
+        classes: String::new(),
+        task: String::new(),
+        taxonomy: None,
+        constraints: Vec::new(),
+        weights: Vec::new(),
+        seed: 42,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--services" => args.services = value("--services")?,
+            "--classes" => args.classes = value("--classes")?,
+            "--task" => args.task = value("--task")?,
+            "--taxonomy" => args.taxonomy = Some(value("--taxonomy")?),
+            "--constraint" => {
+                let raw = value("--constraint")?;
+                args.constraints.push(parse_constraint(&raw)?);
+            }
+            "--weight" => {
+                let raw = value("--weight")?;
+                let (name, w) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad weight {raw:?} (expected NAME=W)"))?;
+                let w: f64 = w.parse().map_err(|_| format!("bad weight value {w:?}"))?;
+                args.weights.push((name.to_owned(), w));
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                args.seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
+            }
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: qasom-cli --services FILE --classes FILE --task NAME\n\
+                     \x20      [--taxonomy FILE] [--constraint NAME=VALUE[UNIT]]...\n\
+                     \x20      [--weight NAME=W]... [--seed N] [--verbose]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    for (flag, v) in [
+        ("--services", &args.services),
+        ("--classes", &args.classes),
+        ("--task", &args.task),
+    ] {
+        if v.is_empty() {
+            return Err(format!("{flag} is required (try --help)"));
+        }
+    }
+    Ok(args)
+}
+
+/// Parses `NAME=VALUE[UNIT]`, e.g. `Delay=1.5s` or `Availability=0.9`.
+fn parse_constraint(raw: &str) -> Result<(String, f64, Unit), String> {
+    let (name, rest) = raw
+        .split_once('=')
+        .ok_or_else(|| format!("bad constraint {raw:?} (expected NAME=VALUE[UNIT])"))?;
+    let split = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .map_or(rest.len(), |(i, _)| i);
+    let (value, unit) = rest.split_at(split);
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad constraint value in {raw:?}"))?;
+    let unit: Unit = unit
+        .parse()
+        .map_err(|_| format!("unknown unit {unit:?} in {raw:?}"))?;
+    Ok((name.to_owned(), value, unit))
+}
+
+/// Parses the taxonomy dialect into an [`Ontology`].
+fn parse_taxonomy(input: &str) -> Result<Ontology, String> {
+    let root = xml::parse(input).map_err(|e| e.to_string())?;
+    if root.name != "ontology" {
+        return Err(format!("expected <ontology>, found <{}>", root.name));
+    }
+    let ns = root.attr("ns").unwrap_or("domain").to_owned();
+    let mut builder = OntologyBuilder::new(ns);
+    fn walk(
+        builder: &mut OntologyBuilder,
+        el: &XmlElement,
+        parent: Option<ConceptId>,
+    ) -> Result<(), String> {
+        for child in &el.children {
+            if child.name != "concept" {
+                return Err(format!("expected <concept>, found <{}>", child.name));
+            }
+            let name = child
+                .attr("name")
+                .ok_or("concept requires a name attribute")?;
+            let id = match parent {
+                Some(p) => builder.subconcept(name, p),
+                None => builder.concept(name),
+            };
+            walk(builder, child, Some(id))?;
+        }
+        Ok(())
+    }
+    walk(&mut builder, &root, None)?;
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let services_doc =
+        std::fs::read_to_string(&args.services).map_err(|e| format!("{}: {e}", args.services))?;
+    let classes_doc =
+        std::fs::read_to_string(&args.classes).map_err(|e| format!("{}: {e}", args.classes))?;
+    let ontology = match &args.taxonomy {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_taxonomy(&doc)?
+        }
+        None => OntologyBuilder::new("domain")
+            .build()
+            .map_err(|e| e.to_string())?,
+    };
+
+    let mut env = Environment::new(QosModel::standard(), ontology, args.seed);
+    let ids = env
+        .load_services(&services_doc)
+        .map_err(|e| e.to_string())?;
+    let classes = env
+        .load_task_classes(&classes_doc)
+        .map_err(|e| e.to_string())?;
+    println!("loaded {} service(s), {} task class(es)", ids.len(), classes);
+
+    let task = env
+        .task_repository()
+        .task(&args.task)
+        .ok_or_else(|| format!("task {:?} not found in the repository", args.task))?
+        .clone();
+    let mut request = UserRequest::new(task);
+    for (name, value, unit) in &args.constraints {
+        request = request
+            .constraint(name.clone(), *value, *unit)
+            .map_err(|e| e.to_string())?;
+    }
+    for (name, w) in &args.weights {
+        request = request.weight(name.clone(), *w);
+    }
+
+    let composition = env.compose(&request).map_err(|e| e.to_string())?;
+    println!(
+        "composed {:?}: feasible={}, promised QoS {}",
+        args.task,
+        composition.outcome().feasible,
+        env.model().format_vector(composition.promised_qos())
+    );
+    let names: HashMap<_, _> = env
+        .registry()
+        .iter()
+        .map(|(id, d)| (id, d.name().to_owned()))
+        .collect();
+    for (i, activity) in composition.task().activities().enumerate() {
+        let chosen = &composition.outcome().assignment[i];
+        println!(
+            "  {:<20} -> {}",
+            activity.activity().name(),
+            names.get(&chosen.id()).cloned().unwrap_or_default()
+        );
+    }
+
+    let report = env.execute(composition).map_err(|e| e.to_string())?;
+    println!(
+        "executed via {:?}: {} invocation(s), {} substitution(s), {} behavioural adaptation(s)",
+        report.final_task,
+        report.invocations.len(),
+        report.substitutions,
+        report.behavioural_adaptations
+    );
+    println!("delivered QoS: {}", env.model().format_vector(&report.delivered));
+    if args.verbose {
+        println!("\nevent trace:");
+        for event in env.events() {
+            println!("  {event:?}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,707 @@
+//! The middleware instance: environment state + composition pipeline.
+
+use std::collections::HashMap;
+
+use qasom_adaptation::{MonitorConfig, QosMonitor};
+use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
+use qasom_ontology::Ontology;
+use qasom_qos::{EndToEnd, QosModel, QosVector};
+use qasom_registry::{Discovery, ServiceDescription, ServiceId, ServiceRegistry};
+use qasom_selection::{Qassa, QassaConfig, SelectionProblem, ServiceCandidate};
+use qasom_task::{Activity, TaskClass, TaskClassRepository};
+
+use crate::{ComposeError, ExecutableComposition, MiddlewareEvent, UserRequest};
+
+/// Tunables of a middleware instance.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvironmentConfig {
+    /// QASSA parameters.
+    pub qassa: QassaConfig,
+    /// Monitoring parameters.
+    pub monitor: MonitorConfig,
+    /// Invocation attempts per activity (across substitutions) before
+    /// escalating to behavioural adaptation.
+    pub max_attempts_per_activity: usize,
+    /// Behavioural-adaptation budget per execution.
+    pub max_behavioural_adaptations: usize,
+    /// SLA tolerance: how much worse than advertised a delivery may be
+    /// before it counts as a contract breach (fraction, `0.2` = 20 %).
+    pub sla_tolerance: f64,
+}
+
+impl Default for EnvironmentConfig {
+    fn default() -> Self {
+        EnvironmentConfig {
+            qassa: QassaConfig::default(),
+            monitor: MonitorConfig::default(),
+            max_attempts_per_activity: 5,
+            max_behavioural_adaptations: 2,
+            sla_tolerance: 0.2,
+        }
+    }
+}
+
+/// A QASOM middleware instance bound to one pervasive environment: the
+/// service registry and synthetic runtime (the environment side), the
+/// task-class repository, the QoS monitor and the event trace (the
+/// middleware side).
+pub struct Environment {
+    model: QosModel,
+    ontology: Ontology,
+    registry: ServiceRegistry,
+    runtime: ServiceRuntime<ServiceId>,
+    tasks: TaskClassRepository,
+    infra: HashMap<u64, QosVector>,
+    end_to_end: EndToEnd,
+    slas: HashMap<ServiceId, qasom_qos::Sla>,
+    pub(crate) monitor: QosMonitor,
+    pub(crate) events: Vec<MiddlewareEvent>,
+    pub(crate) config: EnvironmentConfig,
+}
+
+impl Environment {
+    /// Creates an environment over a QoS model and a domain ontology;
+    /// `seed` drives the synthetic service runtime.
+    pub fn new(model: QosModel, ontology: Ontology, seed: u64) -> Self {
+        Environment::with_config(model, ontology, seed, EnvironmentConfig::default())
+    }
+
+    /// Creates an environment with explicit tunables.
+    pub fn with_config(
+        model: QosModel,
+        ontology: Ontology,
+        seed: u64,
+        config: EnvironmentConfig,
+    ) -> Self {
+        let end_to_end = EndToEnd::standard(&model);
+        Environment {
+            model,
+            ontology,
+            registry: ServiceRegistry::new(),
+            runtime: ServiceRuntime::new(seed),
+            tasks: TaskClassRepository::new(),
+            infra: HashMap::new(),
+            end_to_end,
+            slas: HashMap::new(),
+            monitor: QosMonitor::with_config(config.monitor),
+            events: Vec::new(),
+            config,
+        }
+    }
+
+    /// The QoS model in force.
+    pub fn model(&self) -> &QosModel {
+        &self.model
+    }
+
+    /// The domain ontology in force.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The service directory.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// The task-class repository.
+    pub fn task_repository(&self) -> &TaskClassRepository {
+        &self.tasks
+    }
+
+    /// The QoS monitor.
+    pub fn monitor(&self) -> &QosMonitor {
+        &self.monitor
+    }
+
+    /// The event trace so far.
+    pub fn events(&self) -> &[MiddlewareEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the event trace.
+    pub fn take_events(&mut self) -> Vec<MiddlewareEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Publishes a service: registers the description and deploys its
+    /// synthetic behaviour.
+    pub fn deploy(&mut self, description: ServiceDescription, behaviour: SyntheticService) -> ServiceId {
+        let id = self.registry.register(description);
+        self.runtime.deploy(id, behaviour);
+        id
+    }
+
+    /// Removes a service (provider departure / churn).
+    pub fn undeploy(&mut self, id: ServiceId) {
+        self.registry.deregister(id);
+        self.runtime.undeploy(&id);
+    }
+
+    /// Direct access to a deployed synthetic service (fault injection in
+    /// tests and examples).
+    pub fn runtime_mut(&mut self, id: ServiceId) -> Option<&mut SyntheticService> {
+        self.runtime.get_mut(&id)
+    }
+
+    pub(crate) fn invoke(&mut self, id: ServiceId) -> Option<qasom_netsim::runtime::InvocationOutcome> {
+        self.runtime.invoke(&id)
+    }
+
+    /// Registers a task class.
+    pub fn register_task_class(&mut self, class: TaskClass) {
+        self.tasks.insert(class);
+    }
+
+    /// Loads a QSD document (see [`qasom_registry::qsd`]) and deploys
+    /// every described service with a faithful synthetic behaviour
+    /// (delivers its advertised QoS exactly; tune via
+    /// [`Environment::runtime_mut`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed QSD.
+    pub fn load_services(
+        &mut self,
+        qsd_document: &str,
+    ) -> Result<Vec<ServiceId>, qasom_registry::qsd::QsdError> {
+        let descriptions = qasom_registry::qsd::parse(qsd_document, &self.model)?;
+        Ok(descriptions
+            .into_iter()
+            .map(|desc| {
+                let nominal = desc.qos().clone();
+                self.deploy(desc, SyntheticService::new(nominal))
+            })
+            .collect())
+    }
+
+    /// Loads a `<taskclasses>` document (see
+    /// [`TaskClassRepository::from_xml`]) into the repository, returning
+    /// the number of classes added.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed XML or invalid embedded processes.
+    pub fn load_task_classes(
+        &mut self,
+        xml_document: &str,
+    ) -> Result<usize, qasom_task::bpel::BpelError> {
+        let repo = TaskClassRepository::from_xml(xml_document)?;
+        let mut count = 0;
+        for class in repo.iter() {
+            self.tasks.insert(class.clone());
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Publishes the infrastructure-layer QoS of the path towards a
+    /// hosting node (network latency, packet loss, …). Subsequent
+    /// discovery perceives services on that host through the end-to-end
+    /// rules, so degraded paths degrade candidates before selection even
+    /// runs.
+    pub fn set_infrastructure(&mut self, host: u64, qos: QosVector) {
+        self.infra.insert(host, qos);
+    }
+
+    /// The currently published infrastructure QoS towards a host.
+    pub fn infrastructure(&self, host: u64) -> Option<&QosVector> {
+        self.infra.get(&host)
+    }
+
+    /// Removes the infrastructure information of a host.
+    pub fn clear_infrastructure(&mut self, host: u64) {
+        self.infra.remove(&host);
+    }
+
+    /// The end-to-end rule system used to perceive service QoS through
+    /// infrastructure QoS.
+    pub fn end_to_end_mut(&mut self) -> &mut EndToEnd {
+        &mut self.end_to_end
+    }
+
+    /// The SLA record of a service (created lazily at first delivery).
+    pub fn sla(&self, id: ServiceId) -> Option<&qasom_qos::Sla> {
+        self.slas.get(&id)
+    }
+
+    /// Records a delivery (or failure) against the service's SLA, which
+    /// is derived from its advertised QoS with the configured tolerance
+    /// on first use.
+    pub(crate) fn record_delivery(&mut self, id: ServiceId, delivered: Option<&QosVector>) {
+        let Some(desc) = self.registry.get(id) else {
+            return;
+        };
+        let sla = self.slas.entry(id).or_insert_with(|| {
+            // Feedback-derived properties (Reputation) are written into
+            // advertisements by the middleware itself and never appear in
+            // deliveries — they must not become contract terms.
+            let agreed: QosVector = desc
+                .qos()
+                .iter()
+                .filter(|&(p, _)| {
+                    self.model.def(p).category() != qasom_qos::Category::Reputation
+                })
+                .collect();
+            qasom_qos::Sla::from_agreed(&self.model, &agreed, self.config.sla_tolerance)
+        });
+        match delivered {
+            Some(qos) => {
+                sla.record(qos);
+            }
+            None => sla.record_failure(),
+        }
+    }
+
+    /// Reputation feedback: re-advertises every SLA-tracked service's
+    /// `Reputation` as `5 × compliance` (the standard model's 0–5 scale),
+    /// so chronically breaching providers sink in future selections.
+    /// Returns the number of services updated.
+    pub fn apply_reputation_feedback(&mut self) -> usize {
+        let Some(reputation) = self.model.property("Reputation") else {
+            return 0;
+        };
+        let mut updated = 0;
+        for (&id, sla) in &self.slas {
+            if sla.checks() == 0 {
+                continue;
+            }
+            if let Some(desc) = self.registry.get_mut(id) {
+                desc.qos_mut().set(reputation, 5.0 * sla.compliance());
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// QoS-aware discovery for one activity: the candidate set `S_i`.
+    ///
+    /// Discovery is white-box aware (a service may qualify through one of
+    /// its conversation operations) and *end-to-end*: when the hosting
+    /// node's infrastructure QoS is known, the candidate's QoS is the
+    /// user-perceived one (service QoS degraded by the path).
+    pub fn discover(&self, activity: &Activity) -> Vec<ServiceCandidate> {
+        let discovery = Discovery::new(&self.ontology, &self.model);
+        discovery
+            .deep_candidates(&self.registry, activity)
+            .into_iter()
+            .filter_map(|(c, qos)| {
+                let desc = self.registry.get(c.service)?;
+                let qos = match desc.host().and_then(|h| self.infra.get(&h)) {
+                    Some(infra) => self.end_to_end.perceive(&qos, infra),
+                    None => qos,
+                };
+                Some(ServiceCandidate::new(c.service, qos))
+            })
+            .collect()
+    }
+
+    /// Whether at least one discoverable, deployed service can serve the
+    /// activity — the realisability check of behavioural adaptation.
+    pub(crate) fn realisable(&self, activity: &Activity) -> bool {
+        !self.discover(activity).is_empty()
+    }
+
+    /// Runs the composition pipeline: discovery per activity, then QASSA.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an activity has no candidate or the request's QoS names
+    /// are unknown.
+    pub fn compose(&mut self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
+        let constraints = request.constraints(&self.model)?;
+        let preferences = request.preferences(&self.model)?;
+        self.compose_task(
+            request.task().clone(),
+            constraints,
+            preferences,
+            request.aggregation_approach(),
+        )
+    }
+
+    /// Composition from already-resolved QoS parts (also used when
+    /// behavioural adaptation re-composes an alternative behaviour).
+    pub(crate) fn compose_task(
+        &mut self,
+        task: qasom_task::UserTask,
+        constraints: qasom_qos::ConstraintSet,
+        preferences: qasom_qos::Preferences,
+        approach: qasom_selection::AggregationApproach,
+    ) -> Result<ExecutableComposition, ComposeError> {
+        self.compose_task_with(task, constraints, preferences, approach, false)
+    }
+
+    /// Re-runs discovery and selection for an existing composition's task
+    /// and QoS context, but reasons on *monitored* QoS where delivery
+    /// history exists instead of trusting advertisements — the
+    /// re-selection step of QoS-driven adaptation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Environment::compose`].
+    pub fn recompose(
+        &mut self,
+        composition: &ExecutableComposition,
+    ) -> Result<ExecutableComposition, ComposeError> {
+        self.compose_task_with(
+            composition.task().clone(),
+            composition.constraints().clone(),
+            composition.preferences().clone(),
+            composition.approach(),
+            true,
+        )
+    }
+
+    fn compose_task_with(
+        &mut self,
+        task: qasom_task::UserTask,
+        constraints: qasom_qos::ConstraintSet,
+        preferences: qasom_qos::Preferences,
+        approach: qasom_selection::AggregationApproach,
+        use_monitor: bool,
+    ) -> Result<ExecutableComposition, ComposeError> {
+        let mut candidates = Vec::with_capacity(task.activity_count());
+        for activity in task.activities() {
+            let mut found = self.discover(activity.activity());
+            if use_monitor {
+                found = found
+                    .into_iter()
+                    .map(|c| match self.monitor.estimate(c.id()) {
+                        Some(mut observed) => {
+                            // Properties never observed keep their
+                            // (perceived) advertisement.
+                            for (p, v) in c.qos().iter() {
+                                if !observed.contains(p) {
+                                    observed.set(p, v);
+                                }
+                            }
+                            ServiceCandidate::new(c.id(), observed)
+                        }
+                        None => c,
+                    })
+                    .collect();
+            }
+            if found.is_empty() {
+                return Err(ComposeError::NoServiceFor {
+                    activity: activity.activity().name().to_owned(),
+                });
+            }
+            candidates.push(found);
+        }
+
+        let problem = SelectionProblem::new(&task)
+            .with_candidates(candidates)
+            .with_constraints(constraints.clone())
+            .with_preferences(preferences.clone())
+            .with_approach(approach);
+        let outcome = Qassa::with_config(&self.model, self.config.qassa).select(&problem)?;
+
+        self.events.push(MiddlewareEvent::Composed {
+            task: task.name().to_owned(),
+            feasible: outcome.feasible,
+            levels_explored: outcome.levels_explored,
+        });
+
+        Ok(ExecutableComposition {
+            task,
+            outcome,
+            constraints,
+            preferences,
+            approach,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_netsim::runtime::SyntheticService;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_qos::Unit;
+    use qasom_task::{TaskNode, UserTask};
+
+    fn env() -> Environment {
+        let mut b = OntologyBuilder::new("d");
+        b.concept("A");
+        b.concept("B");
+        Environment::new(QosModel::standard(), b.build().unwrap(), 7)
+    }
+
+    fn deploy(env: &mut Environment, name: &str, function: &str, rt_ms: f64) -> ServiceId {
+        let rt = env.model().property("ResponseTime").unwrap();
+        let av = env.model().property("Availability").unwrap();
+        let desc = ServiceDescription::new(name, function)
+            .with_qos(rt, rt_ms)
+            .with_qos(av, 0.99);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, SyntheticService::new(nominal))
+    }
+
+    fn two_step_task() -> UserTask {
+        UserTask::new(
+            "t",
+            TaskNode::sequence([
+                TaskNode::activity(Activity::new("first", "d#A")),
+                TaskNode::activity(Activity::new("second", "d#B")),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compose_selects_discovered_services() {
+        let mut e = env();
+        deploy(&mut e, "a1", "d#A", 50.0);
+        deploy(&mut e, "a2", "d#A", 500.0);
+        deploy(&mut e, "b1", "d#B", 60.0);
+        let request = UserRequest::new(two_step_task())
+            .constraint("ResponseTime", 1.0, Unit::Seconds)
+            .unwrap();
+        let comp = e.compose(&request).unwrap();
+        assert!(comp.outcome().feasible);
+        assert_eq!(comp.outcome().assignment.len(), 2);
+        assert!(matches!(
+            e.events()[0],
+            MiddlewareEvent::Composed { feasible: true, .. }
+        ));
+    }
+
+    #[test]
+    fn compose_fails_without_a_candidate() {
+        let mut e = env();
+        deploy(&mut e, "a1", "d#A", 50.0);
+        let request = UserRequest::new(two_step_task());
+        assert_eq!(
+            e.compose(&request).err(),
+            Some(ComposeError::NoServiceFor {
+                activity: "second".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn undeployed_services_are_not_discovered() {
+        let mut e = env();
+        let id = deploy(&mut e, "a1", "d#A", 50.0);
+        e.undeploy(id);
+        assert!(e.discover(&Activity::new("x", "d#A")).is_empty());
+    }
+
+    #[test]
+    fn sla_tracks_deliveries_and_feeds_reputation() {
+        let mut e = env();
+        let rt = e.model().property("ResponseTime").unwrap();
+        let rep = e.model().property("Reputation").unwrap();
+        // Advertises 50 ms but delivers 200 ms (beyond the 20 % default
+        // tolerance).
+        let liar = {
+            let desc = describe(&e, "liar", "d#A", 50.0);
+            let mut delivered = desc.qos().clone();
+            delivered.set(rt, 200.0);
+            e.deploy(
+                desc,
+                SyntheticService::new(delivered),
+            )
+        };
+        let honest = deploy(&mut e, "honest", "d#B", 50.0);
+
+        let req = UserRequest::new(two_step_task());
+        let comp = e.compose(&req).unwrap();
+        let report = e.execute(comp).unwrap();
+        assert!(report.success);
+
+        let liar_sla = e.sla(liar).expect("delivery recorded");
+        assert_eq!(liar_sla.checks(), 1);
+        assert_eq!(liar_sla.breaches(), 1);
+        let honest_sla = e.sla(honest).expect("delivery recorded");
+        assert_eq!(honest_sla.compliance(), 1.0);
+
+        let updated = e.apply_reputation_feedback();
+        assert_eq!(updated, 2);
+        assert_eq!(e.registry().get(liar).unwrap().qos().get(rep), Some(0.0));
+        assert_eq!(e.registry().get(honest).unwrap().qos().get(rep), Some(5.0));
+    }
+
+    fn describe(e: &Environment, name: &str, function: &str, rt_ms: f64) -> ServiceDescription {
+        let rt = e.model().property("ResponseTime").unwrap();
+        let av = e.model().property("Availability").unwrap();
+        ServiceDescription::new(name, function)
+            .with_qos(rt, rt_ms)
+            .with_qos(av, 0.99)
+    }
+
+    #[test]
+    fn reputation_feedback_does_not_poison_future_slas() {
+        let mut e = env();
+        let rep = e.model().property("Reputation").unwrap();
+        // An honest service; reputation feedback writes Reputation into
+        // its advertisement between two execution rounds.
+        let id = deploy(&mut e, "honest", "d#A", 50.0);
+        let task = UserTask::new(
+            "t",
+            TaskNode::activity(Activity::new("a", "d#A")),
+        )
+        .unwrap();
+        let comp = e.compose(&UserRequest::new(task.clone())).unwrap();
+        assert!(e.execute(comp).unwrap().success);
+        assert_eq!(e.apply_reputation_feedback(), 1);
+        assert_eq!(e.registry().get(id).unwrap().qos().get(rep), Some(5.0));
+
+        // A new SLA created after feedback (fresh environment state for
+        // the SLA map): re-deploy the same advertisement.
+        let desc = e.registry().get(id).unwrap().clone();
+        let nominal_without_rep: qasom_qos::QosVector = desc
+            .qos()
+            .iter()
+            .filter(|&(p, _)| p != rep)
+            .collect();
+        let id2 = e.deploy(
+            desc.clone().with_qos_vector(desc.qos().clone()),
+            SyntheticService::new(nominal_without_rep),
+        );
+        let comp = e.compose(&UserRequest::new(task)).unwrap();
+        let report = e.execute(comp).unwrap();
+        assert!(report.success);
+        // Whichever service served, no SLA may count the feedback-derived
+        // Reputation as a breached contract term.
+        for sid in [id, id2] {
+            if let Some(sla) = e.sla(sid) {
+                assert_eq!(
+                    sla.breaches(),
+                    0,
+                    "feedback-derived Reputation must not breach SLAs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompose_uses_monitored_history() {
+        let mut e = env();
+        let rt = e.model().property("ResponseTime").unwrap();
+        // Advertised-fast-but-actually-slow vs advertised-slow-but-fine.
+        let liar = deploy(&mut e, "liar", "d#A", 10.0);
+        let honest = deploy(&mut e, "honest", "d#A", 80.0);
+        deploy(&mut e, "b1", "d#B", 50.0);
+        let request = UserRequest::new(two_step_task())
+            .constraint("ResponseTime", 0.2, Unit::Seconds)
+            .unwrap();
+        let comp = e.compose(&request).unwrap();
+        assert_eq!(comp.outcome().assignment[0].id(), liar);
+
+        // The monitor learns the truth.
+        for _ in 0..5 {
+            let mut q = qasom_qos::QosVector::new();
+            q.set(rt, 500.0);
+            e.monitor.observe(liar, &q);
+        }
+        let recomposed = e.recompose(&comp).unwrap();
+        assert_eq!(recomposed.outcome().assignment[0].id(), honest);
+    }
+
+    #[test]
+    fn load_services_from_qsd() {
+        let mut e = env();
+        let ids = e
+            .load_services(
+                r#"<services>
+                     <service name="a1" function="d#A">
+                       <qos property="ResponseTime" value="0.05" unit="s"/>
+                     </service>
+                     <service name="b1" function="d#B">
+                       <qos property="ResponseTime" value="60" unit="ms"/>
+                     </service>
+                   </services>"#,
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        let rt = e.model().property("ResponseTime").unwrap();
+        assert_eq!(e.registry().get(ids[0]).unwrap().qos().get(rt), Some(50.0));
+        // The loaded services are immediately usable end to end.
+        let request = UserRequest::new(two_step_task());
+        let comp = e.compose(&request).unwrap();
+        let report = e.execute(comp).unwrap();
+        assert!(report.success);
+    }
+
+    #[test]
+    fn load_task_classes_from_xml() {
+        let mut e = env();
+        let n = e
+            .load_task_classes(
+                r#"<taskclasses>
+                     <taskclass name="demo">
+                       <process name="v1"><invoke name="a" function="d#A"/></process>
+                       <process name="v2"><invoke name="b" function="d#B"/></process>
+                     </taskclass>
+                   </taskclasses>"#,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(e.task_repository().alternatives("v1").count(), 1);
+    }
+
+    #[test]
+    fn infrastructure_degrades_perceived_candidates() {
+        let mut e = env();
+        let rt = e.model().property("ResponseTime").unwrap();
+        let lat = e.model().property("NetworkLatency").unwrap();
+        // Two identical services on different hosts; host 2's path is slow.
+        let mk = |host: u64| {
+            ServiceDescription::new(format!("svc-{host}"), "d#A")
+                .with_qos(rt, 100.0)
+                .with_host(host)
+        };
+        for host in [1, 2] {
+            let d = mk(host);
+            let nominal = d.qos().clone();
+            e.deploy(d, SyntheticService::new(nominal));
+        }
+        let mut infra = qasom_qos::QosVector::new();
+        infra.set(lat, 200.0);
+        e.set_infrastructure(2, infra);
+
+        let found = e.discover(&Activity::new("x", "d#A"));
+        assert_eq!(found.len(), 2);
+        let by_host: std::collections::HashMap<_, _> = found
+            .iter()
+            .map(|c| (e.registry().get(c.id()).unwrap().host().unwrap(), c.qos().get(rt).unwrap()))
+            .collect();
+        assert_eq!(by_host[&1], 100.0);
+        assert_eq!(by_host[&2], 500.0); // 100 + 2 × 200 round trip
+        // Selection will therefore prefer host 1.
+        e.clear_infrastructure(2);
+        let found = e.discover(&Activity::new("x", "d#A"));
+        assert!(found.iter().all(|c| c.qos().get(rt) == Some(100.0)));
+    }
+
+    #[test]
+    fn white_box_services_are_discovered_through_operations() {
+        let mut e = env();
+        let rt = e.model().property("ResponseTime").unwrap();
+        let desc = ServiceDescription::new("kiosk", "misc#Multi")
+            .with_qos(rt, 900.0)
+            .with_operation(
+                qasom_registry::Operation::new("fast-a", "d#A").with_qos(rt, 45.0),
+            );
+        let nominal = desc.qos().clone();
+        e.deploy(desc, SyntheticService::new(nominal));
+        let found = e.discover(&Activity::new("x", "d#A"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].qos().get(rt), Some(45.0));
+    }
+
+    #[test]
+    fn unknown_constraint_name_is_a_compose_error() {
+        let mut e = env();
+        deploy(&mut e, "a1", "d#A", 50.0);
+        deploy(&mut e, "b1", "d#B", 50.0);
+        let request = UserRequest::new(two_step_task())
+            .constraint("Bogus", 1.0, Unit::Dimensionless)
+            .unwrap();
+        assert!(matches!(
+            e.compose(&request),
+            Err(ComposeError::Qos(_))
+        ));
+    }
+}

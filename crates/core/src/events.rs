@@ -1,0 +1,64 @@
+//! Observability events emitted by the middleware.
+
+use qasom_registry::ServiceId;
+
+/// Events the middleware emits while composing and executing, in order.
+/// They are the trace the examples and integration tests assert on, and
+/// what a management console would subscribe to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiddlewareEvent {
+    /// A composition was selected for a request.
+    Composed {
+        /// Task name.
+        task: String,
+        /// Whether the selection met every global constraint.
+        feasible: bool,
+        /// Number of QoS levels QASSA explored.
+        levels_explored: usize,
+    },
+    /// An activity invocation succeeded.
+    Invoked {
+        /// Activity name.
+        activity: String,
+        /// The service that served it.
+        service: ServiceId,
+    },
+    /// An activity invocation failed.
+    InvocationFailed {
+        /// Activity name.
+        activity: String,
+        /// The failing service.
+        service: ServiceId,
+    },
+    /// A (possibly predicted) violation of a global constraint was
+    /// detected.
+    ViolationDetected {
+        /// Name of the violated property.
+        property: String,
+        /// Whether the violation was predicted rather than observed.
+        proactive: bool,
+    },
+    /// A service was substituted.
+    Substituted {
+        /// Activity whose binding changed.
+        activity: String,
+        /// The replaced service.
+        from: ServiceId,
+        /// The replacement.
+        to: ServiceId,
+    },
+    /// Execution switched to an alternative behaviour of the task class.
+    BehaviouralAdaptation {
+        /// Name of the abandoned behaviour.
+        from: String,
+        /// Name of the behaviour taking over.
+        to: String,
+    },
+    /// The task completed (successfully or not).
+    Completed {
+        /// Task name (the behaviour that actually finished).
+        task: String,
+        /// Whether every activity was eventually served.
+        success: bool,
+    },
+}

@@ -1,0 +1,174 @@
+//! User requests: functional part + QoS part.
+
+use qasom_qos::{ConstraintSet, Preferences, QosModel, QosModelError, Unit};
+use qasom_selection::AggregationApproach;
+use qasom_task::UserTask;
+
+/// A user request: the task to accomplish (the functional requirements)
+/// plus the QoS requirements — global constraints, preference weights and
+/// the aggregation approach non-deterministic patterns are folded under.
+///
+/// # Examples
+///
+/// ```
+/// use qasom::UserRequest;
+/// use qasom_qos::Unit;
+/// use qasom_task::{Activity, TaskNode, UserTask};
+///
+/// let task = UserTask::new(
+///     "t",
+///     TaskNode::activity(Activity::new("a", "x#A")),
+/// )
+/// .unwrap();
+/// let request = UserRequest::new(task)
+///     .constraint("ResponseTime", 2.0, Unit::Seconds)
+///     .unwrap()
+///     .constraint("Availability", 0.9, Unit::Ratio)
+///     .unwrap();
+/// assert_eq!(request.constraints(&qasom_qos::QosModel::standard()).unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UserRequest {
+    task: UserTask,
+    raw_constraints: Vec<(String, f64, Unit)>,
+    raw_weights: Vec<(String, f64)>,
+    approach: AggregationApproach,
+}
+
+impl UserRequest {
+    /// Creates a request for `task` with no QoS requirement.
+    pub fn new(task: UserTask) -> Self {
+        UserRequest {
+            task,
+            raw_constraints: Vec::new(),
+            raw_weights: Vec::new(),
+            approach: AggregationApproach::MeanValue,
+        }
+    }
+
+    /// Adds a global QoS constraint, by property name (the user
+    /// vocabulary is accepted: names are resolved through the QoS model's
+    /// ontology at composition time).
+    ///
+    /// # Errors
+    ///
+    /// Never fails at this point — the name is validated at composition
+    /// time; the `Result` keeps the signature stable for eager-validation
+    /// implementations.
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn constraint(
+        mut self,
+        property: impl Into<String>,
+        bound: f64,
+        unit: Unit,
+    ) -> Result<Self, QosModelError> {
+        self.raw_constraints.push((property.into(), bound, unit));
+        Ok(self)
+    }
+
+    /// Adds a preference weight for a property (raw weights are
+    /// normalised to sum to one).
+    pub fn weight(mut self, property: impl Into<String>, weight: f64) -> Self {
+        self.raw_weights.push((property.into(), weight));
+        self
+    }
+
+    /// Sets the aggregation approach (default: mean-value).
+    pub fn approach(mut self, approach: AggregationApproach) -> Self {
+        self.approach = approach;
+        self
+    }
+
+    /// The requested task.
+    pub fn task(&self) -> &UserTask {
+        &self.task
+    }
+
+    /// The chosen aggregation approach.
+    pub fn aggregation_approach(&self) -> AggregationApproach {
+        self.approach
+    }
+
+    /// Resolves the constraint names against a QoS model, mapping
+    /// user-layer vocabulary onto the service layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on names unknown to the model.
+    pub fn constraints(&self, model: &QosModel) -> Result<ConstraintSet, QosModelError> {
+        self.raw_constraints
+            .iter()
+            .map(|(name, bound, unit)| {
+                let c = model.constraint(name, *bound, *unit)?;
+                // A user-layer property is re-anchored on its service-layer
+                // equivalent so aggregation sees provider vocabulary.
+                let id = model
+                    .resolve_to_layer(c.property(), qasom_qos::Layer::Service)
+                    .unwrap_or(c.property());
+                Ok(qasom_qos::Constraint::new(id, c.tendency(), c.bound()))
+            })
+            .collect()
+    }
+
+    /// Resolves the preference weights against a QoS model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on names unknown to the model.
+    pub fn preferences(&self, model: &QosModel) -> Result<Preferences, QosModelError> {
+        let weights = self
+            .raw_weights
+            .iter()
+            .map(|(name, w)| {
+                let id = model.require(name)?;
+                let id = model
+                    .resolve_to_layer(id, qasom_qos::Layer::Service)
+                    .unwrap_or(id);
+                Ok((id, *w))
+            })
+            .collect::<Result<Vec<_>, QosModelError>>()?;
+        Ok(Preferences::from_weights(weights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_task::{Activity, TaskNode};
+
+    fn task() -> UserTask {
+        UserTask::new("t", TaskNode::activity(Activity::new("a", "x#A"))).unwrap()
+    }
+
+    #[test]
+    fn constraints_resolve_units_and_layers() {
+        let m = QosModel::standard();
+        let r = UserRequest::new(task())
+            .constraint("Delay", 2.0, Unit::Seconds) // user vocabulary
+            .unwrap();
+        let cs = r.constraints(&m).unwrap();
+        let rt = m.property("ResponseTime").unwrap();
+        let c = cs.get(rt).expect("Delay re-anchored on ResponseTime");
+        assert_eq!(c.bound(), 2000.0);
+    }
+
+    #[test]
+    fn unknown_constraint_name_fails_at_resolution() {
+        let m = QosModel::standard();
+        let r = UserRequest::new(task())
+            .constraint("Nope", 1.0, Unit::Dimensionless)
+            .unwrap();
+        assert!(r.constraints(&m).is_err());
+    }
+
+    #[test]
+    fn weights_resolve_and_normalise() {
+        let m = QosModel::standard();
+        let r = UserRequest::new(task())
+            .weight("ResponseTime", 3.0)
+            .weight("Availability", 1.0);
+        let p = r.preferences(&m).unwrap();
+        let rt = m.property("ResponseTime").unwrap();
+        assert!((p.weight(rt) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Thread-safe middleware handle for multi-session deployments.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{
+    ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport,
+    UserRequest,
+};
+
+/// A clonable, thread-safe handle to an [`Environment`].
+///
+/// A deployed middleware instance serves many user sessions at once:
+/// composition requests and executions arrive from different threads while
+/// providers keep registering and departing. `SharedEnvironment` wraps the
+/// single-threaded [`Environment`] in an `Arc<RwLock<…>>` (the
+/// `parking_lot` variant — no poisoning, writer-preferring):
+///
+/// * read-only queries ([`SharedEnvironment::with`]) run concurrently;
+/// * mutating operations (compose, execute, deploy) serialise on the
+///   write lock — executions mutate the shared monitor, SLA records and
+///   the synthetic runtime, so they are transactions over the
+///   environment's state.
+///
+/// # Examples
+///
+/// ```
+/// use qasom::{Environment, SharedEnvironment};
+/// use qasom_ontology::OntologyBuilder;
+/// use qasom_qos::QosModel;
+///
+/// let env = Environment::new(
+///     QosModel::standard(),
+///     OntologyBuilder::new("d").build().unwrap(),
+///     1,
+/// );
+/// let shared = SharedEnvironment::new(env);
+/// let clone = shared.clone();
+/// let services = clone.with(|e| e.registry().len());
+/// assert_eq!(services, 0);
+/// ```
+#[derive(Clone)]
+pub struct SharedEnvironment {
+    inner: Arc<RwLock<Environment>>,
+}
+
+impl SharedEnvironment {
+    /// Wraps an environment.
+    pub fn new(environment: Environment) -> Self {
+        SharedEnvironment {
+            inner: Arc::new(RwLock::new(environment)),
+        }
+    }
+
+    /// Runs a read-only query under the shared lock.
+    pub fn with<R>(&self, f: impl FnOnce(&Environment) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a mutating operation under the exclusive lock (deployments,
+    /// fault injection, task-class registration, …).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Environment) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Composes a request (exclusive: composition emits events).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Environment::compose`].
+    pub fn compose(&self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
+        self.inner.write().compose(request)
+    }
+
+    /// Executes a composition as one transaction over the environment.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Environment::execute`].
+    pub fn execute(
+        &self,
+        composition: ExecutableComposition,
+    ) -> Result<ExecutionReport, ExecutionError> {
+        self.inner.write().execute(composition)
+    }
+
+    /// Composes and executes in one exclusive section, so no churn can
+    /// slip between selection and binding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition and execution errors.
+    pub fn serve(&self, request: &UserRequest) -> Result<ExecutionReport, ServeError> {
+        let mut env = self.inner.write();
+        let composition = env.compose(request).map_err(ServeError::Compose)?;
+        env.execute(composition).map_err(ServeError::Execute)
+    }
+}
+
+/// Errors of [`SharedEnvironment::serve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The composition pipeline failed.
+    Compose(ComposeError),
+    /// The execution engine failed.
+    Execute(ExecutionError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Compose(e) => write!(f, "{e}"),
+            ServeError::Execute(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_netsim::runtime::SyntheticService;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_qos::QosModel;
+    use qasom_registry::ServiceDescription;
+    use qasom_task::{Activity, TaskNode, UserTask};
+
+    fn shared() -> SharedEnvironment {
+        let mut b = OntologyBuilder::new("d");
+        b.concept("A");
+        let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 5);
+        let rt = env.model().property("ResponseTime").unwrap();
+        for i in 0..4 {
+            let desc = ServiceDescription::new(format!("s{i}"), "d#A")
+                .with_qos(rt, 50.0 + f64::from(i));
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+        SharedEnvironment::new(env)
+    }
+
+    fn request() -> UserRequest {
+        UserRequest::new(
+            UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap(),
+        )
+    }
+
+    #[test]
+    fn serve_composes_and_executes() {
+        let shared = shared();
+        let report = shared.serve(&request()).unwrap();
+        assert!(report.success);
+    }
+
+    #[test]
+    fn concurrent_sessions_all_complete() {
+        let shared = shared();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.serve(&request()).unwrap().success)
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        // All eight sessions' invocations are visible in the shared state.
+        let invoked = shared.with(|e| {
+            e.events()
+                .iter()
+                .filter(|ev| matches!(ev, crate::MiddlewareEvent::Invoked { .. }))
+                .count()
+        });
+        assert_eq!(invoked, 8);
+    }
+
+    #[test]
+    fn reads_run_while_handle_is_cloned() {
+        let shared = shared();
+        let clone = shared.clone();
+        let (a, b) = (
+            shared.with(|e| e.registry().len()),
+            clone.with(|e| e.registry().len()),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_mut_allows_churn() {
+        let shared = shared();
+        let id = shared.with(|e| e.registry().iter().next().unwrap().0);
+        shared.with_mut(|e| e.undeploy(id));
+        assert!(shared.with(|e| e.registry().get(id).is_none()));
+    }
+}

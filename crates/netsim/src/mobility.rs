@@ -1,0 +1,324 @@
+//! Node mobility and distance-based radio quality.
+//!
+//! Pervasive scenarios degrade because people *move*: a streaming peer
+//! that was one tent away is suddenly across the camp. This module
+//! provides the classic random-waypoint mobility model plus a radio
+//! profile mapping node distance onto link quality ([`LinkConfig`]) and
+//! onto the infrastructure-layer QoS vector (network latency, packet
+//! loss, signal strength, bandwidth) that the end-to-end QoS model
+//! consumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qasom_qos::{QosModel, QosVector};
+
+use crate::LinkConfig;
+
+/// A point in the simulation plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Distance → radio-quality mapping for an ad hoc wireless technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioProfile {
+    /// Hard connectivity range (m); beyond it nodes are partitioned.
+    pub range_m: f64,
+    /// Latency at zero distance (ms).
+    pub base_latency_ms: f64,
+    /// Additional latency per metre (retransmissions as SNR drops).
+    pub latency_per_m_ms: f64,
+    /// Latency jitter (ms).
+    pub jitter_ms: f64,
+    /// Loss probability reached at the edge of the range (grows
+    /// quadratically from 0 at distance 0).
+    pub loss_at_edge: f64,
+    /// Nominal link bandwidth at zero distance (kbit/s).
+    pub max_bandwidth_kbps: f64,
+}
+
+impl RadioProfile {
+    /// An 802.11-ad-hoc-like profile: 100 m range, 2 ms + 0.05 ms/m
+    /// latency, 1 ms jitter, 20 % loss at the edge, 20 Mbit/s nominal.
+    pub fn wifi_adhoc() -> Self {
+        RadioProfile {
+            range_m: 100.0,
+            base_latency_ms: 2.0,
+            latency_per_m_ms: 0.05,
+            jitter_ms: 1.0,
+            loss_at_edge: 0.2,
+            max_bandwidth_kbps: 20_000.0,
+        }
+    }
+
+    /// The link configuration for two nodes `distance_m` apart.
+    pub fn link_for(&self, distance_m: f64) -> LinkConfig {
+        if distance_m >= self.range_m {
+            return LinkConfig::disconnected();
+        }
+        let latency = self.base_latency_ms + self.latency_per_m_ms * distance_m;
+        let loss = self.loss_at_edge * (distance_m / self.range_m).powi(2);
+        LinkConfig::new(latency, self.jitter_ms).with_loss(loss.clamp(0.0, 1.0))
+    }
+
+    /// The infrastructure-layer QoS vector (standard-model properties:
+    /// `NetworkLatency`, `PacketLoss`, `SignalStrength`, `Bandwidth`) for
+    /// a path of the given length. Properties absent from `model` are
+    /// skipped.
+    pub fn infra_qos(&self, model: &QosModel, distance_m: f64) -> QosVector {
+        let mut v = QosVector::new();
+        let in_range = distance_m < self.range_m;
+        if let Some(p) = model.property("NetworkLatency") {
+            let latency = if in_range {
+                self.base_latency_ms + self.latency_per_m_ms * distance_m
+            } else {
+                f64::INFINITY
+            };
+            v.set(p, latency);
+        }
+        if let Some(p) = model.property("PacketLoss") {
+            let loss = if in_range {
+                (self.loss_at_edge * (distance_m / self.range_m).powi(2)).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            v.set(p, loss);
+        }
+        if let Some(p) = model.property("SignalStrength") {
+            // Log-distance path loss: −40 dBm at 1 m, −25 dB per decade.
+            let d = distance_m.max(1.0);
+            v.set(p, -40.0 - 25.0 * d.log10());
+        }
+        if let Some(p) = model.property("Bandwidth") {
+            let bw = if in_range {
+                self.max_bandwidth_kbps * (1.0 - distance_m / self.range_m)
+            } else {
+                0.0
+            };
+            v.set(p, bw.max(0.0));
+        }
+        v
+    }
+}
+
+/// The random-waypoint mobility model: every node walks towards a random
+/// waypoint at a random speed, picks a new one on arrival.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_netsim::mobility::{RadioProfile, RandomWaypoint};
+///
+/// let mut mob = RandomWaypoint::new(4, (100.0, 100.0), (0.5, 2.0), 42);
+/// mob.step(10.0); // ten seconds of movement
+/// let d = mob.distance(0, 1);
+/// let link = RadioProfile::wifi_adhoc().link_for(d);
+/// assert!(link.latency_ms() >= 2.0 || !link.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    area: (f64, f64),
+    speed_range: (f64, f64),
+    positions: Vec<Position>,
+    targets: Vec<Position>,
+    speeds: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    /// Places `nodes` uniformly in an `area` (width, height in metres)
+    /// with node speeds drawn from `speed_range` (m/s), deterministically
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive area or an empty/negative speed range.
+    pub fn new(nodes: usize, area: (f64, f64), speed_range: (f64, f64), seed: u64) -> Self {
+        assert!(area.0 > 0.0 && area.1 > 0.0, "area must be positive");
+        assert!(
+            speed_range.0 > 0.0 && speed_range.1 >= speed_range.0,
+            "speed range must be positive and ordered"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let random_pos =
+            |rng: &mut StdRng| Position::new(rng.gen::<f64>() * area.0, rng.gen::<f64>() * area.1);
+        let positions: Vec<Position> = (0..nodes).map(|_| random_pos(&mut rng)).collect();
+        let targets: Vec<Position> = (0..nodes).map(|_| random_pos(&mut rng)).collect();
+        let speeds: Vec<f64> = (0..nodes)
+            .map(|_| rng.gen_range(speed_range.0..=speed_range.1))
+            .collect();
+        RandomWaypoint {
+            area,
+            speed_range,
+            positions,
+            targets,
+            speeds,
+            rng,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the model tracks no node.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Current position of node `i`.
+    pub fn position(&self, i: usize) -> Position {
+        self.positions[i]
+    }
+
+    /// Pins node `i` to a fixed spot (e.g. the user standing still).
+    pub fn set_position(&mut self, i: usize, position: Position) {
+        self.positions[i] = position;
+        self.targets[i] = position;
+    }
+
+    /// Distance between two nodes, in metres.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.positions[i].distance(&self.positions[j])
+    }
+
+    /// Advances every node by `dt_s` seconds of movement.
+    pub fn step(&mut self, dt_s: f64) {
+        for i in 0..self.positions.len() {
+            let mut remaining = self.speeds[i] * dt_s;
+            while remaining > 0.0 {
+                let to_target = self.positions[i].distance(&self.targets[i]);
+                if to_target == 0.0 {
+                    // Already at the target: the node is pinned (target ==
+                    // position is only reachable via `set_position`).
+                    break;
+                }
+                if to_target <= remaining {
+                    self.positions[i] = self.targets[i];
+                    remaining -= to_target;
+                    // New waypoint and speed.
+                    self.targets[i] = Position::new(
+                        self.rng.gen::<f64>() * self.area.0,
+                        self.rng.gen::<f64>() * self.area.1,
+                    );
+                    self.speeds[i] = self
+                        .rng
+                        .gen_range(self.speed_range.0..=self.speed_range.1);
+                } else {
+                    let f = remaining / to_target;
+                    self.positions[i].x += (self.targets[i].x - self.positions[i].x) * f;
+                    self.positions[i].y += (self.targets[i].y - self.positions[i].y) * f;
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_stay_inside_the_area() {
+        let mut m = RandomWaypoint::new(10, (50.0, 30.0), (1.0, 3.0), 1);
+        for _ in 0..200 {
+            m.step(1.0);
+        }
+        for i in 0..m.len() {
+            let p = m.position(i);
+            assert!((0.0..=50.0).contains(&p.x), "x = {}", p.x);
+            assert!((0.0..=30.0).contains(&p.y), "y = {}", p.y);
+        }
+    }
+
+    #[test]
+    fn movement_is_deterministic_per_seed() {
+        let run = || {
+            let mut m = RandomWaypoint::new(5, (100.0, 100.0), (0.5, 2.0), 9);
+            for _ in 0..50 {
+                m.step(2.0);
+            }
+            (0..5).map(|i| m.position(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn step_moves_at_most_speed_times_dt() {
+        let mut m = RandomWaypoint::new(3, (1000.0, 1000.0), (1.0, 1.0), 4);
+        let before: Vec<Position> = (0..3).map(|i| m.position(i)).collect();
+        m.step(5.0);
+        for (i, b) in before.iter().enumerate() {
+            let moved = b.distance(&m.position(i));
+            // Waypoint turns can shorten the displacement, never extend it.
+            assert!(moved <= 5.0 + 1e-9, "moved {moved}");
+        }
+    }
+
+    #[test]
+    fn pinned_nodes_do_not_move() {
+        let mut m = RandomWaypoint::new(2, (100.0, 100.0), (1.0, 2.0), 5);
+        m.set_position(0, Position::new(10.0, 10.0));
+        for _ in 0..20 {
+            m.step(1.0);
+        }
+        assert_eq!(m.position(0), Position::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn link_quality_degrades_with_distance() {
+        let radio = RadioProfile::wifi_adhoc();
+        let near = radio.link_for(5.0);
+        let far = radio.link_for(90.0);
+        assert!(near.latency_ms() < far.latency_ms());
+        assert!(near.loss() < far.loss());
+        assert!(!radio.link_for(150.0).is_connected());
+    }
+
+    #[test]
+    fn infra_qos_reflects_distance() {
+        let model = QosModel::standard();
+        let radio = RadioProfile::wifi_adhoc();
+        let lat = model.property("NetworkLatency").unwrap();
+        let loss = model.property("PacketLoss").unwrap();
+        let sig = model.property("SignalStrength").unwrap();
+        let bw = model.property("Bandwidth").unwrap();
+
+        let near = radio.infra_qos(&model, 5.0);
+        let far = radio.infra_qos(&model, 90.0);
+        assert!(near.get(lat).unwrap() < far.get(lat).unwrap());
+        assert!(near.get(loss).unwrap() < far.get(loss).unwrap());
+        assert!(near.get(sig).unwrap() > far.get(sig).unwrap());
+        assert!(near.get(bw).unwrap() > far.get(bw).unwrap());
+
+        let out = radio.infra_qos(&model, 200.0);
+        assert_eq!(out.get(loss), Some(1.0));
+        assert_eq!(out.get(bw), Some(0.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let m = RandomWaypoint::new(4, (100.0, 100.0), (1.0, 2.0), 6);
+        assert_eq!(m.distance(1, 3), m.distance(3, 1));
+        assert_eq!(m.distance(2, 2), 0.0);
+    }
+}

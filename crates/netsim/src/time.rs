@@ -1,0 +1,151 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The farthest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start, fractional.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Elapsed duration since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a span from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000))
+    }
+
+    /// Builds a span from fractional milliseconds (negative clamps to 0).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// The span in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Scales the span by a non-negative factor.
+    pub fn scale(self, factor: f64) -> Self {
+        SimDuration((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.as_micros(), 5_000);
+        assert_eq!(t.as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let early = SimTime::ZERO + SimDuration::from_millis(1);
+        let late = SimTime::ZERO + SimDuration::from_millis(3);
+        assert_eq!(late.since(early).as_micros(), 2_000);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_millis_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+        assert_eq!(SimDuration::from_millis_f64(-2.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let d = SimDuration::from_millis(10).scale(2.5);
+        assert_eq!(d.as_micros(), 25_000);
+        assert_eq!(SimDuration::from_millis(10).scale(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::ZERO.to_string(), "0.000ms");
+        assert_eq!(SimDuration::from_millis(1).to_string(), "1.000ms");
+    }
+}

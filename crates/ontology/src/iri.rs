@@ -1,0 +1,141 @@
+//! Namespaced concept identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A compact IRI of the form `namespace#local_name`.
+///
+/// IRIs name concepts across the QASOM vocabularies (QoS core, service QoS,
+/// infrastructure QoS, user QoS, domain taxonomies). Two IRIs are equal iff
+/// both the namespace and the local name are equal; semantic equivalence
+/// between *different* IRIs is recorded in the [`Ontology`] instead.
+///
+/// [`Ontology`]: crate::Ontology
+///
+/// # Examples
+///
+/// ```
+/// use qasom_ontology::Iri;
+///
+/// let iri: Iri = "qos#Latency".parse().unwrap();
+/// assert_eq!(iri.namespace(), "qos");
+/// assert_eq!(iri.local_name(), "Latency");
+/// assert_eq!(iri.to_string(), "qos#Latency");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri {
+    namespace: String,
+    local: String,
+}
+
+impl Iri {
+    /// Creates an IRI from a namespace and a local name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part is empty or if either part contains `#`,
+    /// which would make the textual form ambiguous.
+    pub fn new(namespace: impl Into<String>, local: impl Into<String>) -> Self {
+        let namespace = namespace.into();
+        let local = local.into();
+        assert!(
+            !namespace.is_empty() && !local.is_empty(),
+            "IRI parts must be non-empty"
+        );
+        assert!(
+            !namespace.contains('#') && !local.contains('#'),
+            "IRI parts must not contain '#'"
+        );
+        Self { namespace, local }
+    }
+
+    /// The namespace (vocabulary) part.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// The local name within the namespace.
+    pub fn local_name(&self) -> &str {
+        &self.local
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.namespace, self.local)
+    }
+}
+
+/// Error returned when parsing a malformed IRI string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIriError(String);
+
+impl fmt::Display for ParseIriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IRI syntax: {:?} (expected \"ns#local\")", self.0)
+    }
+}
+
+impl std::error::Error for ParseIriError {}
+
+impl FromStr for Iri {
+    type Err = ParseIriError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.splitn(2, '#');
+        let ns = parts.next().unwrap_or_default();
+        let local = parts.next().unwrap_or_default();
+        if ns.is_empty() || local.is_empty() || local.contains('#') {
+            return Err(ParseIriError(s.to_owned()));
+        }
+        Ok(Iri::new(ns, local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_iri() {
+        let iri: Iri = "svc#AudioStreaming".parse().unwrap();
+        assert_eq!(iri.namespace(), "svc");
+        assert_eq!(iri.local_name(), "AudioStreaming");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let iri = Iri::new("user", "TotalPrice");
+        let parsed: Iri = iri.to_string().parse().unwrap();
+        assert_eq!(iri, parsed);
+    }
+
+    #[test]
+    fn rejects_missing_separator() {
+        assert!("Latency".parse::<Iri>().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_parts() {
+        assert!("#Latency".parse::<Iri>().is_err());
+        assert!("qos#".parse::<Iri>().is_err());
+    }
+
+    #[test]
+    fn rejects_double_hash() {
+        assert!("qos#a#b".parse::<Iri>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn new_panics_on_empty() {
+        let _ = Iri::new("", "x");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_namespace_then_local() {
+        let a = Iri::new("a", "Z");
+        let b = Iri::new("b", "A");
+        assert!(a < b);
+    }
+}

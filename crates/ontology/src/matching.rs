@@ -1,0 +1,129 @@
+//! Semantic match degrees.
+
+use std::fmt;
+
+/// Degree of semantic match between a *required* and an *offered* concept.
+///
+/// This is the standard matchmaking lattice used by QoS-aware service
+/// discovery, ordered from best to worst:
+///
+/// 1. [`Exact`](MatchDegree::Exact) — same concept (possibly through a
+///    declared cross-vocabulary equivalence).
+/// 2. [`PlugIn`](MatchDegree::PlugIn) — the offer is a *subconcept* of the
+///    request: whatever is offered can be plugged in wherever the request
+///    applies (e.g. `RoundTripTime` offered for a required `Latency`).
+/// 3. [`Subsumes`](MatchDegree::Subsumes) — the offer is a *superconcept*
+///    of the request: it covers the request only partially.
+/// 4. [`Intersection`](MatchDegree::Intersection) — the concepts share a
+///    non-root common ancestor; they are related but neither subsumes the
+///    other.
+/// 5. [`Fail`](MatchDegree::Fail) — no semantic relation.
+///
+/// The `Ord` implementation reflects this ranking: a *greater* value is a
+/// *better* match, so candidates can be sorted with `sort_by_key` directly.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_ontology::MatchDegree;
+///
+/// assert!(MatchDegree::Exact > MatchDegree::PlugIn);
+/// assert!(MatchDegree::PlugIn.is_usable());
+/// assert!(!MatchDegree::Fail.is_usable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatchDegree {
+    /// No semantic relation between the concepts.
+    Fail,
+    /// The concepts share a non-root common ancestor.
+    Intersection,
+    /// The offered concept subsumes (is more general than) the request.
+    Subsumes,
+    /// The offered concept is subsumed by (is more specific than) the
+    /// request.
+    PlugIn,
+    /// Identical concepts.
+    Exact,
+}
+
+impl MatchDegree {
+    /// Whether the match is strong enough for substitution: exact and
+    /// plug-in matches satisfy the request outright.
+    pub fn is_usable(self) -> bool {
+        matches!(self, MatchDegree::Exact | MatchDegree::PlugIn)
+    }
+
+    /// A numeric score in `[0, 1]`, useful for blending the degree with
+    /// continuous similarity measures.
+    pub fn score(self) -> f64 {
+        match self {
+            MatchDegree::Exact => 1.0,
+            MatchDegree::PlugIn => 0.8,
+            MatchDegree::Subsumes => 0.5,
+            MatchDegree::Intersection => 0.2,
+            MatchDegree::Fail => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for MatchDegree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchDegree::Exact => "exact",
+            MatchDegree::PlugIn => "plug-in",
+            MatchDegree::Subsumes => "subsumes",
+            MatchDegree::Intersection => "intersection",
+            MatchDegree::Fail => "fail",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_ranks_better_matches_higher() {
+        let mut degrees = vec![
+            MatchDegree::Subsumes,
+            MatchDegree::Fail,
+            MatchDegree::Exact,
+            MatchDegree::PlugIn,
+            MatchDegree::Intersection,
+        ];
+        degrees.sort();
+        assert_eq!(
+            degrees,
+            vec![
+                MatchDegree::Fail,
+                MatchDegree::Intersection,
+                MatchDegree::Subsumes,
+                MatchDegree::PlugIn,
+                MatchDegree::Exact,
+            ]
+        );
+    }
+
+    #[test]
+    fn scores_are_monotone_in_the_ordering() {
+        let degrees = [
+            MatchDegree::Fail,
+            MatchDegree::Intersection,
+            MatchDegree::Subsumes,
+            MatchDegree::PlugIn,
+            MatchDegree::Exact,
+        ];
+        for pair in degrees.windows(2) {
+            assert!(pair[0].score() < pair[1].score());
+        }
+    }
+
+    #[test]
+    fn usability_cutoff_is_plugin() {
+        assert!(MatchDegree::Exact.is_usable());
+        assert!(MatchDegree::PlugIn.is_usable());
+        assert!(!MatchDegree::Subsumes.is_usable());
+        assert!(!MatchDegree::Intersection.is_usable());
+    }
+}

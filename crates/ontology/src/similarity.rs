@@ -1,0 +1,182 @@
+//! Continuous concept-similarity measures.
+//!
+//! The behavioural-adaptation engine ranks candidate activity mappings by
+//! how close two concepts sit in the taxonomy; discovery uses the same
+//! measure to order inexact matches. Both classical measures are provided:
+//! inverse edge distance and Wu–Palmer similarity.
+
+use crate::{ConceptId, Ontology};
+
+/// Concept-similarity measures over an [`Ontology`].
+///
+/// # Examples
+///
+/// ```
+/// use qasom_ontology::{OntologyBuilder, Similarity};
+///
+/// let mut b = OntologyBuilder::new("qos");
+/// let q = b.concept("Quality");
+/// let perf = b.subconcept("Performance", q);
+/// let lat = b.subconcept("Latency", perf);
+/// let thr = b.subconcept("Throughput", perf);
+/// let onto = b.build().unwrap();
+///
+/// let sim = Similarity::new(&onto);
+/// assert_eq!(sim.wu_palmer(lat, lat), 1.0);
+/// assert!(sim.wu_palmer(lat, thr) > sim.wu_palmer(lat, q));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Similarity<'a> {
+    ontology: &'a Ontology,
+}
+
+impl<'a> Similarity<'a> {
+    /// Creates a similarity view over `ontology`.
+    pub fn new(ontology: &'a Ontology) -> Self {
+        Similarity { ontology }
+    }
+
+    /// Number of `subClassOf` edges on the shortest path between `a` and
+    /// `b` that runs through their deepest common ancestor, or `None` when
+    /// the concepts are unrelated.
+    pub fn edge_distance(&self, a: ConceptId, b: ConceptId) -> Option<u32> {
+        if self.ontology.same_concept(a, b) {
+            return Some(0);
+        }
+        let lca = self.ontology.lca(a, b)?;
+        let da = self.distance_up(a, lca)?;
+        let db = self.distance_up(b, lca)?;
+        Some(da + db)
+    }
+
+    /// Wu–Palmer similarity: `2·depth(lca) / (depth(a) + depth(b))`,
+    /// in `[0, 1]`; `0` when the concepts are unrelated, `1` when equal.
+    pub fn wu_palmer(&self, a: ConceptId, b: ConceptId) -> f64 {
+        if self.ontology.same_concept(a, b) {
+            return 1.0;
+        }
+        let Some(lca) = self.ontology.lca(a, b) else {
+            return 0.0;
+        };
+        let (da, db) = (self.ontology.depth(a), self.ontology.depth(b));
+        if da + db == 0 {
+            // Both are roots and unequal: unrelated by construction.
+            return 0.0;
+        }
+        f64::from(2 * self.ontology.depth(lca)) / f64::from(da + db)
+    }
+
+    /// Inverse-distance similarity: `1 / (1 + edge_distance)`, `0` for
+    /// unrelated concepts.
+    pub fn inverse_distance(&self, a: ConceptId, b: ConceptId) -> f64 {
+        match self.edge_distance(a, b) {
+            Some(d) => 1.0 / (1.0 + f64::from(d)),
+            None => 0.0,
+        }
+    }
+
+    /// BFS upwards from `from` until `target`, returning the hop count.
+    fn distance_up(&self, from: ConceptId, target: ConceptId) -> Option<u32> {
+        let mut frontier = vec![from];
+        let mut dist = 0u32;
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(from);
+        while !frontier.is_empty() {
+            if frontier
+                .iter()
+                .any(|&c| self.ontology.same_concept(c, target))
+            {
+                return Some(dist);
+            }
+            let mut next = Vec::new();
+            for c in frontier {
+                for &p in self.ontology.parents(c) {
+                    if visited.insert(p) {
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+            dist += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OntologyBuilder;
+
+    fn chain() -> (Ontology, Vec<ConceptId>) {
+        let mut b = OntologyBuilder::new("t");
+        let root = b.concept("C0");
+        let mut ids = vec![root];
+        for i in 1..5 {
+            let prev = *ids.last().unwrap();
+            ids.push(b.subconcept(&format!("C{i}"), prev));
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn edge_distance_along_a_chain() {
+        let (o, ids) = chain();
+        let sim = Similarity::new(&o);
+        assert_eq!(sim.edge_distance(ids[0], ids[4]), Some(4));
+        assert_eq!(sim.edge_distance(ids[2], ids[2]), Some(0));
+    }
+
+    #[test]
+    fn edge_distance_through_lca() {
+        let mut b = OntologyBuilder::new("t");
+        let root = b.concept("R");
+        let a = b.subconcept("A", root);
+        let a1 = b.subconcept("A1", a);
+        let c = b.subconcept("B", root);
+        let o = b.build().unwrap();
+        let sim = Similarity::new(&o);
+        // A1 -> A -> R -> B = 3 edges.
+        assert_eq!(sim.edge_distance(a1, c), Some(3));
+    }
+
+    #[test]
+    fn unrelated_roots_have_no_distance() {
+        let mut b = OntologyBuilder::new("t");
+        let a = b.concept("A");
+        let c = b.concept("B");
+        let o = b.build().unwrap();
+        let sim = Similarity::new(&o);
+        assert_eq!(sim.edge_distance(a, c), None);
+        assert_eq!(sim.wu_palmer(a, c), 0.0);
+        assert_eq!(sim.inverse_distance(a, c), 0.0);
+    }
+
+    #[test]
+    fn wu_palmer_decreases_with_taxonomic_distance() {
+        let (o, ids) = chain();
+        let sim = Similarity::new(&o);
+        let near = sim.wu_palmer(ids[3], ids[4]);
+        let far = sim.wu_palmer(ids[1], ids[4]);
+        assert!(near > far, "{near} !> {far}");
+    }
+
+    #[test]
+    fn wu_palmer_is_symmetric() {
+        let (o, ids) = chain();
+        let sim = Similarity::new(&o);
+        assert_eq!(sim.wu_palmer(ids[1], ids[4]), sim.wu_palmer(ids[4], ids[1]));
+    }
+
+    #[test]
+    fn inverse_distance_in_unit_interval() {
+        let (o, ids) = chain();
+        let sim = Similarity::new(&o);
+        for &a in &ids {
+            for &b in &ids {
+                let v = sim.inverse_distance(a, b);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

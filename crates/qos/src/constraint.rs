@@ -1,0 +1,268 @@
+//! User QoS constraints (the `U = {u_i}` of the formal model).
+
+use std::fmt;
+
+use crate::{PropertyId, QosVector, Tendency};
+
+/// A single global QoS constraint: a bound on one property, interpreted
+/// through the property's [`Tendency`].
+///
+/// * `LowerBetter` property — satisfied when `value ≤ bound`
+///   (e.g. *total response time ≤ 2 s*).
+/// * `HigherBetter` property — satisfied when `value ≥ bound`
+///   (e.g. *availability ≥ 0.95*).
+///
+/// A QoS vector that carries **no value** for the constrained property
+/// violates the constraint: in an open environment an unknown quality
+/// cannot be assumed satisfactory.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_qos::{Constraint, QosModel, QosVector, Tendency};
+///
+/// let model = QosModel::standard();
+/// let rt = model.property("ResponseTime").unwrap();
+/// let c = Constraint::new(rt, Tendency::LowerBetter, 200.0);
+///
+/// let mut qos = QosVector::new();
+/// qos.set(rt, 150.0);
+/// assert!(c.satisfied_by(&qos));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    property: PropertyId,
+    tendency: Tendency,
+    bound: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint on `property` with the given tendency and bound.
+    pub fn new(property: PropertyId, tendency: Tendency, bound: f64) -> Self {
+        Constraint {
+            property,
+            tendency,
+            bound,
+        }
+    }
+
+    /// The constrained property.
+    pub fn property(&self) -> PropertyId {
+        self.property
+    }
+
+    /// The bound, in the property's canonical unit.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The tendency the bound is interpreted under.
+    pub fn tendency(&self) -> Tendency {
+        self.tendency
+    }
+
+    /// Whether a raw value satisfies the constraint.
+    pub fn is_satisfied(&self, value: f64) -> bool {
+        self.tendency.at_least_as_good(value, self.bound)
+    }
+
+    /// Whether a QoS vector satisfies the constraint. Missing values count
+    /// as violations.
+    pub fn satisfied_by(&self, qos: &QosVector) -> bool {
+        qos.get(self.property).is_some_and(|v| self.is_satisfied(v))
+    }
+
+    /// Signed margin between `value` and the bound: positive when the
+    /// constraint is satisfied, negative when violated, in canonical units.
+    pub fn slack(&self, value: f64) -> f64 {
+        match self.tendency {
+            Tendency::LowerBetter => self.bound - value,
+            Tendency::HigherBetter => value - self.bound,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.tendency {
+            Tendency::LowerBetter => "<=",
+            Tendency::HigherBetter => ">=",
+        };
+        write!(f, "{} {} {}", self.property, op, self.bound)
+    }
+}
+
+/// The set of global QoS constraints attached to a user request.
+///
+/// At most one constraint per property is kept: adding a second constraint
+/// on the same property *tightens* the set by keeping the stricter bound.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set (every QoS vector satisfies it).
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint; if one already exists on the same property the
+    /// stricter bound is kept.
+    pub fn add(&mut self, constraint: Constraint) -> &mut Self {
+        match self
+            .constraints
+            .iter_mut()
+            .find(|c| c.property == constraint.property)
+        {
+            Some(existing) => {
+                // The stricter bound is the harder one to satisfy: the
+                // smaller for LowerBetter, the larger for HigherBetter.
+                existing.bound = match existing.tendency {
+                    Tendency::LowerBetter => existing.bound.min(constraint.bound),
+                    Tendency::HigherBetter => existing.bound.max(constraint.bound),
+                };
+            }
+            None => self.constraints.push(constraint),
+        }
+        self
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The constraint on `property`, if any.
+    pub fn get(&self, property: PropertyId) -> Option<&Constraint> {
+        self.constraints.iter().find(|c| c.property == property)
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Whether `qos` satisfies *all* constraints.
+    pub fn satisfied_by(&self, qos: &QosVector) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(qos))
+    }
+
+    /// The constraints `qos` violates (missing values included).
+    pub fn violations<'a>(&'a self, qos: &'a QosVector) -> impl Iterator<Item = &'a Constraint> {
+        self.constraints.iter().filter(|c| !c.satisfied_by(qos))
+    }
+
+    /// The constrained properties.
+    pub fn properties(&self) -> impl Iterator<Item = PropertyId> + '_ {
+        self.constraints.iter().map(|c| c.property)
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
+        let mut set = ConstraintSet::new();
+        for c in iter {
+            set.add(c);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a ConstraintSet {
+    type Item = &'a Constraint;
+    type IntoIter = std::slice::Iter<'a, Constraint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.constraints.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PropertyId {
+        PropertyId(i)
+    }
+
+    #[test]
+    fn lower_better_is_upper_bound() {
+        let c = Constraint::new(p(0), Tendency::LowerBetter, 100.0);
+        assert!(c.is_satisfied(100.0));
+        assert!(c.is_satisfied(20.0));
+        assert!(!c.is_satisfied(101.0));
+    }
+
+    #[test]
+    fn higher_better_is_lower_bound() {
+        let c = Constraint::new(p(0), Tendency::HigherBetter, 0.95);
+        assert!(c.is_satisfied(0.95));
+        assert!(c.is_satisfied(0.99));
+        assert!(!c.is_satisfied(0.9));
+    }
+
+    #[test]
+    fn missing_property_violates() {
+        let c = Constraint::new(p(0), Tendency::LowerBetter, 100.0);
+        assert!(!c.satisfied_by(&QosVector::new()));
+    }
+
+    #[test]
+    fn slack_sign_matches_satisfaction() {
+        let c = Constraint::new(p(0), Tendency::HigherBetter, 0.9);
+        assert!(c.slack(0.95) > 0.0);
+        assert!(c.slack(0.85) < 0.0);
+        assert_eq!(c.slack(0.9), 0.0);
+    }
+
+    #[test]
+    fn duplicate_constraints_keep_stricter_bound() {
+        let mut set = ConstraintSet::new();
+        set.add(Constraint::new(p(0), Tendency::LowerBetter, 200.0));
+        set.add(Constraint::new(p(0), Tendency::LowerBetter, 150.0));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(p(0)).unwrap().bound(), 150.0);
+
+        let mut set = ConstraintSet::new();
+        set.add(Constraint::new(p(1), Tendency::HigherBetter, 0.9));
+        set.add(Constraint::new(p(1), Tendency::HigherBetter, 0.99));
+        assert_eq!(set.get(p(1)).unwrap().bound(), 0.99);
+    }
+
+    #[test]
+    fn set_satisfaction_requires_all() {
+        let set: ConstraintSet = [
+            Constraint::new(p(0), Tendency::LowerBetter, 100.0),
+            Constraint::new(p(1), Tendency::HigherBetter, 0.9),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut good = QosVector::new();
+        good.set(p(0), 50.0);
+        good.set(p(1), 0.95);
+        assert!(set.satisfied_by(&good));
+
+        let mut bad = good.clone();
+        bad.set(p(1), 0.5);
+        assert!(!set.satisfied_by(&bad));
+        assert_eq!(set.violations(&bad).count(), 1);
+    }
+
+    #[test]
+    fn empty_set_accepts_anything() {
+        assert!(ConstraintSet::new().satisfied_by(&QosVector::new()));
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        let c = Constraint::new(p(2), Tendency::LowerBetter, 10.0);
+        assert_eq!(c.to_string(), "p2 <= 10");
+    }
+}

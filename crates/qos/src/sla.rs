@@ -1,0 +1,194 @@
+//! Service-level agreements: contracts derived from advertisements,
+//! checked against deliveries.
+//!
+//! When the middleware binds a service, the advertised QoS becomes the
+//! *agreed* QoS — with a tolerance band, since pervasive delivery is
+//! noisy by nature. Every delivered QoS vector is recorded against the
+//! agreement; the running compliance ratio feeds reputation and gives
+//! substitution an objective trigger.
+
+use crate::{Constraint, ConstraintSet, QosModel, QosVector, Tendency};
+
+/// A service-level agreement: tolerance-widened bounds around the agreed
+/// QoS plus a delivery record.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_qos::{QosModel, QosVector, Sla};
+///
+/// let model = QosModel::standard();
+/// let rt = model.property("ResponseTime").unwrap();
+/// let mut agreed = QosVector::new();
+/// agreed.set(rt, 100.0);
+///
+/// let mut sla = Sla::from_agreed(&model, &agreed, 0.10); // ±10 %
+/// let mut delivered = QosVector::new();
+/// delivered.set(rt, 105.0);
+/// assert!(sla.record(&delivered)); // within tolerance
+/// delivered.set(rt, 150.0);
+/// assert!(!sla.record(&delivered)); // breach
+/// assert_eq!(sla.compliance(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sla {
+    agreed: QosVector,
+    constraints: ConstraintSet,
+    checks: u64,
+    breaches: u64,
+}
+
+impl Sla {
+    /// Creates an agreement from the advertised (agreed) QoS, widening
+    /// each bound by `tolerance` (a fraction: `0.1` tolerates deliveries
+    /// 10 % worse than agreed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or non-finite.
+    pub fn from_agreed(model: &QosModel, agreed: &QosVector, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be a non-negative fraction"
+        );
+        let constraints = agreed
+            .iter()
+            .map(|(p, v)| {
+                let tendency = model.tendency(p);
+                let bound = match tendency {
+                    Tendency::LowerBetter => v * (1.0 + tolerance),
+                    Tendency::HigherBetter => v * (1.0 - tolerance),
+                };
+                Constraint::new(p, tendency, bound)
+            })
+            .collect();
+        Sla {
+            agreed: agreed.clone(),
+            constraints,
+            checks: 0,
+            breaches: 0,
+        }
+    }
+
+    /// The agreed (advertised) QoS.
+    pub fn agreed(&self) -> &QosVector {
+        &self.agreed
+    }
+
+    /// The tolerance-widened bounds the deliveries are checked against.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Records one delivery; returns whether it complied. A failed
+    /// invocation should be recorded with [`Sla::record_failure`]
+    /// instead.
+    pub fn record(&mut self, delivered: &QosVector) -> bool {
+        self.checks += 1;
+        let ok = self.constraints.satisfied_by(delivered);
+        if !ok {
+            self.breaches += 1;
+        }
+        ok
+    }
+
+    /// Records a failed invocation (always a breach).
+    pub fn record_failure(&mut self) {
+        self.checks += 1;
+        self.breaches += 1;
+    }
+
+    /// Number of recorded deliveries (including failures).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of breaches.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// Compliance ratio in `[0, 1]`; `1.0` when nothing was recorded yet
+    /// (innocent until proven otherwise).
+    pub fn compliance(&self) -> f64 {
+        if self.checks == 0 {
+            1.0
+        } else {
+            1.0 - self.breaches as f64 / self.checks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (QosModel, QosVector) {
+        let model = QosModel::standard();
+        let rt = model.property("ResponseTime").unwrap();
+        let av = model.property("Availability").unwrap();
+        let mut agreed = QosVector::new();
+        agreed.set(rt, 100.0);
+        agreed.set(av, 0.9);
+        (model, agreed)
+    }
+
+    fn deliver(model: &QosModel, rt_v: f64, av_v: f64) -> QosVector {
+        let rt = model.property("ResponseTime").unwrap();
+        let av = model.property("Availability").unwrap();
+        let mut v = QosVector::new();
+        v.set(rt, rt_v);
+        v.set(av, av_v);
+        v
+    }
+
+    #[test]
+    fn tolerance_widens_both_directions() {
+        let (model, agreed) = fixture();
+        let mut sla = Sla::from_agreed(&model, &agreed, 0.1);
+        // 10 % slower and 10 % less available both still comply.
+        assert!(sla.record(&deliver(&model, 110.0, 0.81)));
+        // Beyond tolerance breaches.
+        assert!(!sla.record(&deliver(&model, 111.0, 0.9)));
+        assert!(!sla.record(&deliver(&model, 100.0, 0.80)));
+    }
+
+    #[test]
+    fn zero_tolerance_pins_the_advertisement() {
+        let (model, agreed) = fixture();
+        let mut sla = Sla::from_agreed(&model, &agreed, 0.0);
+        assert!(sla.record(&deliver(&model, 100.0, 0.9)));
+        assert!(!sla.record(&deliver(&model, 100.1, 0.9)));
+    }
+
+    #[test]
+    fn compliance_tracks_history() {
+        let (model, agreed) = fixture();
+        let mut sla = Sla::from_agreed(&model, &agreed, 0.1);
+        assert_eq!(sla.compliance(), 1.0);
+        sla.record(&deliver(&model, 100.0, 0.9));
+        sla.record_failure();
+        sla.record(&deliver(&model, 500.0, 0.9));
+        sla.record(&deliver(&model, 90.0, 0.95));
+        assert_eq!(sla.checks(), 4);
+        assert_eq!(sla.breaches(), 2);
+        assert_eq!(sla.compliance(), 0.5);
+    }
+
+    #[test]
+    fn missing_delivered_property_is_a_breach() {
+        let (model, agreed) = fixture();
+        let mut sla = Sla::from_agreed(&model, &agreed, 0.5);
+        let rt = model.property("ResponseTime").unwrap();
+        let mut partial = QosVector::new();
+        partial.set(rt, 100.0); // availability missing
+        assert!(!sla.record(&partial));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_is_rejected() {
+        let (model, agreed) = fixture();
+        let _ = Sla::from_agreed(&model, &agreed, -0.1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Measurement units and conversions.
+
+use std::fmt;
+
+/// Physical/measurement dimension of a QoS unit.
+///
+/// Values can only be converted between units of the same dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Durations (response time, latency, jitter…).
+    Time,
+    /// Request rates (throughput).
+    Rate,
+    /// Data rates (bandwidth).
+    DataRate,
+    /// Probabilities and percentages (availability, reliability, loss…).
+    Probability,
+    /// Monetary cost.
+    Money,
+    /// Energy (battery drain per invocation).
+    Energy,
+    /// Radio signal power (log scale — no cross-unit conversion).
+    SignalPower,
+    /// Unit-less scores (reputation, security level, encoding quality…).
+    Scalar,
+}
+
+/// Units understood by the QoS model, each belonging to one [`Dimension`].
+///
+/// Every dimension has a *canonical* unit (the first listed below) in which
+/// [`QosVector`](crate::QosVector) values are stored:
+///
+/// | Dimension | Canonical unit |
+/// |---|---|
+/// | Time | milliseconds |
+/// | Rate | requests/second |
+/// | DataRate | kilobits/second |
+/// | Probability | ratio in `[0, 1]` |
+/// | Money | euro |
+/// | Energy | millijoule |
+/// | SignalPower | dBm |
+/// | Scalar | dimensionless |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Unit {
+    /// Milliseconds (canonical for [`Dimension::Time`]).
+    Milliseconds,
+    /// Seconds.
+    Seconds,
+    /// Minutes.
+    Minutes,
+    /// Requests per second (canonical for [`Dimension::Rate`]).
+    RequestsPerSecond,
+    /// Requests per minute.
+    RequestsPerMinute,
+    /// Kilobits per second (canonical for [`Dimension::DataRate`]).
+    KilobitsPerSecond,
+    /// Megabits per second.
+    MegabitsPerSecond,
+    /// A ratio in `[0, 1]` (canonical for [`Dimension::Probability`]).
+    Ratio,
+    /// A percentage in `[0, 100]`.
+    Percent,
+    /// Euros (canonical for [`Dimension::Money`]).
+    Euro,
+    /// Euro cents.
+    Cent,
+    /// Millijoules (canonical for [`Dimension::Energy`]).
+    Millijoules,
+    /// Joules.
+    Joules,
+    /// Decibel-milliwatts (canonical for [`Dimension::SignalPower`]).
+    Dbm,
+    /// Unit-less score (canonical for [`Dimension::Scalar`]).
+    Dimensionless,
+}
+
+/// Error returned by unit conversions between incompatible dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitError {
+    from: Unit,
+    to: Unit,
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot convert {} ({:?}) to {} ({:?})",
+            self.from,
+            self.from.dimension(),
+            self.to,
+            self.to.dimension()
+        )
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+impl Unit {
+    /// The dimension this unit measures.
+    pub fn dimension(self) -> Dimension {
+        match self {
+            Unit::Milliseconds | Unit::Seconds | Unit::Minutes => Dimension::Time,
+            Unit::RequestsPerSecond | Unit::RequestsPerMinute => Dimension::Rate,
+            Unit::KilobitsPerSecond | Unit::MegabitsPerSecond => Dimension::DataRate,
+            Unit::Ratio | Unit::Percent => Dimension::Probability,
+            Unit::Euro | Unit::Cent => Dimension::Money,
+            Unit::Millijoules | Unit::Joules => Dimension::Energy,
+            Unit::Dbm => Dimension::SignalPower,
+            Unit::Dimensionless => Dimension::Scalar,
+        }
+    }
+
+    /// The canonical unit of this unit's dimension.
+    pub fn canonical(self) -> Unit {
+        match self.dimension() {
+            Dimension::Time => Unit::Milliseconds,
+            Dimension::Rate => Unit::RequestsPerSecond,
+            Dimension::DataRate => Unit::KilobitsPerSecond,
+            Dimension::Probability => Unit::Ratio,
+            Dimension::Money => Unit::Euro,
+            Dimension::Energy => Unit::Millijoules,
+            Dimension::SignalPower => Unit::Dbm,
+            Dimension::Scalar => Unit::Dimensionless,
+        }
+    }
+
+    /// Multiplicative factor taking a value in this unit to the canonical
+    /// unit of its dimension.
+    fn factor_to_canonical(self) -> f64 {
+        match self {
+            Unit::Milliseconds => 1.0,
+            Unit::Seconds => 1_000.0,
+            Unit::Minutes => 60_000.0,
+            Unit::RequestsPerSecond => 1.0,
+            Unit::RequestsPerMinute => 1.0 / 60.0,
+            Unit::KilobitsPerSecond => 1.0,
+            Unit::MegabitsPerSecond => 1_000.0,
+            Unit::Ratio => 1.0,
+            Unit::Percent => 0.01,
+            Unit::Euro => 1.0,
+            Unit::Cent => 0.01,
+            Unit::Millijoules => 1.0,
+            Unit::Joules => 1_000.0,
+            Unit::Dbm => 1.0,
+            Unit::Dimensionless => 1.0,
+        }
+    }
+
+    /// Converts `value` from this unit to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] when the units measure different dimensions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qasom_qos::Unit;
+    ///
+    /// let ms = Unit::Seconds.convert(1.5, Unit::Milliseconds).unwrap();
+    /// assert_eq!(ms, 1500.0);
+    /// assert!(Unit::Seconds.convert(1.0, Unit::Euro).is_err());
+    /// ```
+    pub fn convert(self, value: f64, target: Unit) -> Result<f64, UnitError> {
+        if self.dimension() != target.dimension() {
+            return Err(UnitError {
+                from: self,
+                to: target,
+            });
+        }
+        Ok(value * self.factor_to_canonical() / target.factor_to_canonical())
+    }
+
+    /// Converts `value` from this unit to the canonical unit of its
+    /// dimension (infallible).
+    pub fn to_canonical(self, value: f64) -> f64 {
+        value * self.factor_to_canonical()
+    }
+}
+
+impl std::str::FromStr for Unit {
+    type Err = ParseUnitError;
+
+    /// Parses the symbols produced by [`Unit`]'s `Display` impl (e.g.
+    /// `ms`, `s`, `req/s`, `ratio`, `%`, `EUR`, `dBm`), plus the empty
+    /// string and `none` for [`Unit::Dimensionless`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "ms" => Unit::Milliseconds,
+            "s" => Unit::Seconds,
+            "min" => Unit::Minutes,
+            "req/s" => Unit::RequestsPerSecond,
+            "req/min" => Unit::RequestsPerMinute,
+            "kbit/s" => Unit::KilobitsPerSecond,
+            "Mbit/s" => Unit::MegabitsPerSecond,
+            "ratio" => Unit::Ratio,
+            "%" => Unit::Percent,
+            "EUR" => Unit::Euro,
+            "c" => Unit::Cent,
+            "mJ" => Unit::Millijoules,
+            "J" => Unit::Joules,
+            "dBm" => Unit::Dbm,
+            "" | "none" => Unit::Dimensionless,
+            other => return Err(ParseUnitError(other.to_owned())),
+        })
+    }
+}
+
+/// Error returned when parsing an unknown unit symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUnitError(String);
+
+impl fmt::Display for ParseUnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown unit symbol {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseUnitError {}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Unit::Milliseconds => "ms",
+            Unit::Seconds => "s",
+            Unit::Minutes => "min",
+            Unit::RequestsPerSecond => "req/s",
+            Unit::RequestsPerMinute => "req/min",
+            Unit::KilobitsPerSecond => "kbit/s",
+            Unit::MegabitsPerSecond => "Mbit/s",
+            Unit::Ratio => "ratio",
+            Unit::Percent => "%",
+            Unit::Euro => "EUR",
+            Unit::Cent => "c",
+            Unit::Millijoules => "mJ",
+            Unit::Joules => "J",
+            Unit::Dbm => "dBm",
+            Unit::Dimensionless => "",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_to_milliseconds() {
+        assert_eq!(Unit::Seconds.convert(2.0, Unit::Milliseconds), Ok(2000.0));
+    }
+
+    #[test]
+    fn milliseconds_to_minutes() {
+        assert_eq!(Unit::Milliseconds.convert(120_000.0, Unit::Minutes), Ok(2.0));
+    }
+
+    #[test]
+    fn percent_to_ratio() {
+        let v = Unit::Percent.convert(95.0, Unit::Ratio).unwrap();
+        assert!((v - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cents_to_euro() {
+        assert_eq!(Unit::Cent.convert(250.0, Unit::Euro), Ok(2.5));
+    }
+
+    #[test]
+    fn requests_per_minute_to_per_second() {
+        let v = Unit::RequestsPerMinute
+            .convert(120.0, Unit::RequestsPerSecond)
+            .unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_dimension_conversion_fails() {
+        let err = Unit::Seconds.convert(1.0, Unit::Euro).unwrap_err();
+        assert!(err.to_string().contains("cannot convert"));
+    }
+
+    #[test]
+    fn identity_conversion() {
+        assert_eq!(Unit::Dbm.convert(-70.0, Unit::Dbm), Ok(-70.0));
+    }
+
+    #[test]
+    fn canonical_units_are_fixed_points() {
+        for u in [
+            Unit::Milliseconds,
+            Unit::RequestsPerSecond,
+            Unit::KilobitsPerSecond,
+            Unit::Ratio,
+            Unit::Euro,
+            Unit::Millijoules,
+            Unit::Dbm,
+            Unit::Dimensionless,
+        ] {
+            assert_eq!(u.canonical(), u);
+            assert_eq!(u.to_canonical(3.25), 3.25);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_value() {
+        let v = Unit::Minutes.convert(7.0, Unit::Milliseconds).unwrap();
+        let back = Unit::Milliseconds.convert(v, Unit::Minutes).unwrap();
+        assert!((back - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        for u in [
+            Unit::Milliseconds,
+            Unit::Seconds,
+            Unit::Minutes,
+            Unit::RequestsPerSecond,
+            Unit::RequestsPerMinute,
+            Unit::KilobitsPerSecond,
+            Unit::MegabitsPerSecond,
+            Unit::Ratio,
+            Unit::Percent,
+            Unit::Euro,
+            Unit::Cent,
+            Unit::Millijoules,
+            Unit::Joules,
+            Unit::Dbm,
+            Unit::Dimensionless,
+        ] {
+            let parsed: Unit = u.to_string().parse().unwrap();
+            assert_eq!(parsed, u);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_symbols() {
+        assert!("parsec".parse::<Unit>().is_err());
+    }
+}

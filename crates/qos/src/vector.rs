@@ -1,0 +1,203 @@
+//! QoS value vectors.
+
+use std::fmt;
+
+use crate::PropertyId;
+
+/// A sparse vector of QoS values, keyed by [`PropertyId`], always stored in
+/// the property's canonical unit.
+///
+/// `QosVector` is the `QoS_{s_{i,k}}` of the original formalisation: the
+/// QoS advertised by (or measured on) a service, and — after aggregation —
+/// the QoS of a whole composition.
+///
+/// Entries are kept sorted by property id, which makes iteration
+/// deterministic and merging linear.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_qos::{QosModel, QosVector};
+///
+/// let model = QosModel::standard();
+/// let rt = model.property("ResponseTime").unwrap();
+///
+/// let mut qos = QosVector::new();
+/// qos.set(rt, 80.0);
+/// assert_eq!(qos.get(rt), Some(80.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QosVector {
+    entries: Vec<(PropertyId, f64)>,
+}
+
+impl QosVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        QosVector::default()
+    }
+
+    /// Number of properties carrying a value.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector carries no value.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Value of `property`, if present.
+    pub fn get(&self, property: PropertyId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&property, |&(p, _)| p)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Sets (or replaces) the value of `property`, returning the previous
+    /// value if there was one.
+    pub fn set(&mut self, property: PropertyId, value: f64) -> Option<f64> {
+        match self.entries.binary_search_by_key(&property, |&(p, _)| p) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (property, value));
+                None
+            }
+        }
+    }
+
+    /// Removes `property`, returning its value if it was present.
+    pub fn remove(&mut self, property: PropertyId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&property, |&(p, _)| p)
+            .ok()
+            .map(|i| self.entries.remove(i).1)
+    }
+
+    /// Whether the vector carries a value for `property`.
+    pub fn contains(&self, property: PropertyId) -> bool {
+        self.get(property).is_some()
+    }
+
+    /// Iterates over `(property, value)` pairs in property-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropertyId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The property ids carrying a value, in order.
+    pub fn properties(&self) -> impl Iterator<Item = PropertyId> + '_ {
+        self.entries.iter().map(|&(p, _)| p)
+    }
+
+    /// Merges `other` into `self`; on conflict the value chosen by
+    /// `combine(self_value, other_value)` wins.
+    pub fn merge_with(&mut self, other: &QosVector, mut combine: impl FnMut(f64, f64) -> f64) {
+        for (p, v) in other.iter() {
+            match self.get(p) {
+                Some(cur) => {
+                    self.set(p, combine(cur, v));
+                }
+                None => {
+                    self.set(p, v);
+                }
+            }
+        }
+    }
+}
+
+impl FromIterator<(PropertyId, f64)> for QosVector {
+    fn from_iter<T: IntoIterator<Item = (PropertyId, f64)>>(iter: T) -> Self {
+        let mut v = QosVector::new();
+        for (p, val) in iter {
+            v.set(p, val);
+        }
+        v
+    }
+}
+
+impl Extend<(PropertyId, f64)> for QosVector {
+    fn extend<T: IntoIterator<Item = (PropertyId, f64)>>(&mut self, iter: T) {
+        for (p, val) in iter {
+            self.set(p, val);
+        }
+    }
+}
+
+impl fmt::Display for QosVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (p, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PropertyId {
+        PropertyId(i)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = QosVector::new();
+        assert_eq!(v.set(p(3), 1.5), None);
+        assert_eq!(v.get(p(3)), Some(1.5));
+        assert_eq!(v.get(p(4)), None);
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let mut v = QosVector::new();
+        v.set(p(1), 1.0);
+        assert_eq!(v.set(p(1), 2.0), Some(1.0));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let mut v = QosVector::new();
+        for i in [5u32, 1, 3, 2, 4] {
+            v.set(p(i), f64::from(i));
+        }
+        let ids: Vec<_> = v.properties().collect();
+        assert_eq!(ids, vec![p(1), p(2), p(3), p(4), p(5)]);
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut v: QosVector = [(p(1), 1.0), (p(2), 2.0)].into_iter().collect();
+        assert_eq!(v.remove(p(1)), Some(1.0));
+        assert_eq!(v.remove(p(1)), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn merge_with_prefers_combined_value() {
+        let mut a: QosVector = [(p(1), 10.0), (p(2), 5.0)].into_iter().collect();
+        let b: QosVector = [(p(2), 7.0), (p(3), 1.0)].into_iter().collect();
+        a.merge_with(&b, f64::max);
+        assert_eq!(a.get(p(1)), Some(10.0));
+        assert_eq!(a.get(p(2)), Some(7.0));
+        assert_eq!(a.get(p(3)), Some(1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty_for_empty_vector() {
+        assert_eq!(QosVector::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_deduplicates_keeping_last() {
+        let v: QosVector = [(p(1), 1.0), (p(1), 9.0)].into_iter().collect();
+        assert_eq!(v.get(p(1)), Some(9.0));
+        assert_eq!(v.len(), 1);
+    }
+}

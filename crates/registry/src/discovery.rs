@@ -1,0 +1,375 @@
+//! QoS-aware semantic service discovery.
+
+use qasom_ontology::{Iri, MatchDegree, Ontology};
+use qasom_qos::{ConstraintSet, QosModel};
+use qasom_task::Activity;
+
+use crate::{ServiceId, ServiceRegistry};
+
+/// A discovered candidate service for an abstract activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The matched service.
+    pub service: ServiceId,
+    /// How well its capability matches the required function.
+    pub degree: MatchDegree,
+}
+
+/// QoS-aware service discovery over a domain [`Ontology`] and a
+/// [`QosModel`].
+///
+/// Discovery is *semantic*: a service matches an activity when its
+/// capability concept matches the required function with at least
+/// [`MatchDegree::PlugIn`] strength, its I/O signature is compatible, and
+/// its advertised QoS passes the activity-level constraints (when given).
+/// Function IRIs unknown to the ontology fall back to syntactic equality,
+/// so purely syntactic environments still work (degraded recall).
+#[derive(Debug, Clone, Copy)]
+pub struct Discovery<'a> {
+    ontology: &'a Ontology,
+    model: &'a QosModel,
+}
+
+impl<'a> Discovery<'a> {
+    /// Creates a discovery engine over a domain ontology and QoS model.
+    pub fn new(ontology: &'a Ontology, model: &'a QosModel) -> Self {
+        Discovery { ontology, model }
+    }
+
+    /// The QoS model used to interpret constraints.
+    pub fn model(&self) -> &QosModel {
+        self.model
+    }
+
+    /// Semantic match degree between a required and an offered function
+    /// IRI. Unknown IRIs match syntactically (equal → exact).
+    pub fn match_functions(&self, required: &Iri, offered: &Iri) -> MatchDegree {
+        match (self.ontology.concept(required), self.ontology.concept(offered)) {
+            (Some(r), Some(o)) => self.ontology.match_degree(r, o),
+            _ => {
+                if required == offered {
+                    MatchDegree::Exact
+                } else {
+                    MatchDegree::Fail
+                }
+            }
+        }
+    }
+
+    /// Whether `required` is satisfied by `offered` (exact or plug-in).
+    fn satisfies(&self, required: &Iri, offered: &Iri) -> bool {
+        self.match_functions(required, offered).is_usable()
+    }
+
+    /// I/O compatibility of a service with an activity:
+    ///
+    /// * every *output* the activity requires must be produced by the
+    ///   service (semantically);
+    /// * every *input* the service consumes must be provided by the
+    ///   activity.
+    ///
+    /// Activities or services declaring no I/O impose no I/O constraint on
+    /// that side.
+    pub fn io_compatible(
+        &self,
+        activity: &Activity,
+        service: &crate::ServiceDescription,
+    ) -> bool {
+        let outputs_ok = activity.outputs().iter().all(|req| {
+            service
+                .outputs()
+                .iter()
+                .any(|off| self.satisfies(req, off))
+        });
+        let inputs_ok = service.inputs().iter().all(|need| {
+            activity
+                .inputs()
+                .iter()
+                .any(|have| self.satisfies(need, have))
+        });
+        outputs_ok && inputs_ok
+    }
+
+    /// Functional matches for a required capability, best degrees first.
+    pub fn functional_matches(
+        &self,
+        registry: &ServiceRegistry,
+        required: &Iri,
+        min_degree: MatchDegree,
+    ) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = registry
+            .iter()
+            .filter_map(|(id, desc)| {
+                let degree = self.match_functions(required, desc.function());
+                (degree >= min_degree && degree != MatchDegree::Fail).then_some(Candidate {
+                    service: id,
+                    degree,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.degree.cmp(&a.degree).then(a.service.cmp(&b.service)));
+        out
+    }
+
+    /// The candidate set `S_i` for an abstract activity: usable functional
+    /// matches with a compatible I/O signature.
+    pub fn candidates(&self, registry: &ServiceRegistry, activity: &Activity) -> Vec<Candidate> {
+        self.functional_matches(registry, activity.function(), MatchDegree::PlugIn)
+            .into_iter()
+            .filter(|c| {
+                registry
+                    .get(c.service)
+                    .is_some_and(|d| self.io_compatible(activity, d))
+            })
+            .collect()
+    }
+
+    /// White-box discovery: like [`Discovery::candidates`], but services
+    /// whose *profile* does not match may still qualify through one of
+    /// their conversation [`Operation`](crate::Operation)s. The returned
+    /// QoS vector is what selection should reason on: the service-level
+    /// advertisement, overridden by the matched operation's per-operation
+    /// QoS when the match came from an operation.
+    pub fn deep_candidates(
+        &self,
+        registry: &ServiceRegistry,
+        activity: &Activity,
+    ) -> Vec<(Candidate, qasom_qos::QosVector)> {
+        let mut out = Vec::new();
+        for (id, desc) in registry.iter() {
+            if !self.io_compatible(activity, desc) {
+                continue;
+            }
+            let profile_degree = self.match_functions(activity.function(), desc.function());
+            if profile_degree.is_usable() {
+                out.push((
+                    Candidate {
+                        service: id,
+                        degree: profile_degree,
+                    },
+                    desc.qos().clone(),
+                ));
+                continue;
+            }
+            // Fall back to the conversation: the best usable operation.
+            let best_op = desc
+                .operations()
+                .iter()
+                .map(|op| (op, self.match_functions(activity.function(), op.function())))
+                .filter(|(_, d)| d.is_usable())
+                .max_by_key(|&(_, d)| d);
+            if let Some((op, degree)) = best_op {
+                let mut qos = desc.qos().clone();
+                // Operation-level QoS overrides the black-box figures.
+                qos.merge_with(op.qos(), |_, op_value| op_value);
+                out.push((
+                    Candidate {
+                        service: id,
+                        degree,
+                    },
+                    qos,
+                ));
+            }
+        }
+        out.sort_by(|a, b| {
+            b.0.degree
+                .cmp(&a.0.degree)
+                .then(a.0.service.cmp(&b.0.service))
+        });
+        out
+    }
+
+    /// Like [`Discovery::candidates`] but additionally applies
+    /// activity-level QoS constraints to the advertised QoS.
+    pub fn qos_candidates(
+        &self,
+        registry: &ServiceRegistry,
+        activity: &Activity,
+        local_constraints: &ConstraintSet,
+    ) -> Vec<Candidate> {
+        self.candidates(registry, activity)
+            .into_iter()
+            .filter(|c| {
+                registry
+                    .get(c.service)
+                    .is_some_and(|d| local_constraints.satisfied_by(d.qos()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceDescription;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_qos::{Constraint, Tendency, Unit};
+
+    fn domain() -> Ontology {
+        let mut b = OntologyBuilder::new("shop");
+        let pay = b.concept("Pay");
+        b.subconcept("PayByCard", pay);
+        b.subconcept("PayCash", pay);
+        b.concept("Browse");
+        b.build().unwrap()
+    }
+
+    fn setup() -> (Ontology, QosModel) {
+        (domain(), QosModel::standard())
+    }
+
+    #[test]
+    fn plugin_matches_are_discovered() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("visa", "shop#PayByCard"));
+        r.register(ServiceDescription::new("cash", "shop#PayCash"));
+        r.register(ServiceDescription::new("browse", "shop#Browse"));
+        let a = Activity::new("pay", "shop#Pay");
+        assert_eq!(d.candidates(&r, &a).len(), 2);
+    }
+
+    #[test]
+    fn exact_sorts_before_plugin() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        let card = r.register(ServiceDescription::new("visa", "shop#PayByCard"));
+        let generic = r.register(ServiceDescription::new("till", "shop#Pay"));
+        let req: Iri = "shop#Pay".parse().unwrap();
+        let matches = d.functional_matches(&r, &req, MatchDegree::PlugIn);
+        assert_eq!(matches[0].service, generic);
+        assert_eq!(matches[0].degree, MatchDegree::Exact);
+        assert_eq!(matches[1].service, card);
+        assert_eq!(matches[1].degree, MatchDegree::PlugIn);
+    }
+
+    #[test]
+    fn unknown_iris_match_syntactically() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("x", "other#Thing"));
+        let a = Activity::new("t", "other#Thing");
+        assert_eq!(d.candidates(&r, &a).len(), 1);
+        let b = Activity::new("t", "other#Different");
+        assert_eq!(d.candidates(&r, &b).len(), 0);
+    }
+
+    #[test]
+    fn io_incompatible_services_are_filtered() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        // Needs data the activity cannot provide.
+        r.register(
+            ServiceDescription::new("greedy", "shop#Pay").with_input("shop#LoyaltyCard"),
+        );
+        let a = Activity::new("pay", "shop#Pay");
+        assert_eq!(d.candidates(&r, &a).len(), 0);
+
+        // Activity provides the needed input.
+        let a = Activity::new("pay", "shop#Pay").with_input("shop#LoyaltyCard");
+        assert_eq!(d.candidates(&r, &a).len(), 1);
+    }
+
+    #[test]
+    fn required_outputs_must_be_produced() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("s", "shop#Pay"));
+        let a = Activity::new("pay", "shop#Pay").with_output("shop#Receipt");
+        assert_eq!(d.candidates(&r, &a).len(), 0);
+
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("s", "shop#Pay").with_output("shop#Receipt"));
+        assert_eq!(d.candidates(&r, &a).len(), 1);
+    }
+
+    #[test]
+    fn qos_constraints_filter_candidates() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let rt = m.property("ResponseTime").unwrap();
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("fast", "shop#Pay").with_qos(rt, 50.0));
+        r.register(ServiceDescription::new("slow", "shop#Pay").with_qos(rt, 500.0));
+        let a = Activity::new("pay", "shop#Pay");
+        let cs: ConstraintSet = [Constraint::new(rt, Tendency::LowerBetter, 100.0)]
+            .into_iter()
+            .collect();
+        let hits = d.qos_candidates(&r, &a, &cs);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(r.get(hits[0].service).unwrap().name(), "fast");
+    }
+
+    #[test]
+    fn departed_services_are_not_discovered() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::new();
+        let id = r.register(ServiceDescription::new("visa", "shop#PayByCard"));
+        r.deregister(id);
+        let a = Activity::new("pay", "shop#Pay");
+        assert!(d.candidates(&r, &a).is_empty());
+    }
+
+    #[test]
+    fn deep_candidates_match_through_operations() {
+        use crate::Operation;
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let rt = m.property("ResponseTime").unwrap();
+        let av = m.property("Availability").unwrap();
+        let mut r = ServiceRegistry::new();
+        // A multi-function kiosk: profile is a generic concept unknown to
+        // the ontology, but one operation implements payment with its own
+        // (faster) QoS.
+        let kiosk = ServiceDescription::new("kiosk", "misc#MultiService")
+            .with_qos(rt, 500.0)
+            .with_qos(av, 0.95)
+            .with_operation(Operation::new("pay-op", "shop#PayByCard").with_qos(rt, 80.0));
+        let id = r.register(kiosk);
+
+        let a = Activity::new("pay", "shop#Pay");
+        // Black-box discovery misses it…
+        assert!(d.candidates(&r, &a).is_empty());
+        // …white-box discovery finds the operation and merges its QoS.
+        let deep = d.deep_candidates(&r, &a);
+        assert_eq!(deep.len(), 1);
+        assert_eq!(deep[0].0.service, id);
+        assert_eq!(deep[0].1.get(rt), Some(80.0)); // operation overrides
+        assert_eq!(deep[0].1.get(av), Some(0.95)); // service-level kept
+    }
+
+    #[test]
+    fn deep_candidates_prefer_profile_matches() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let rt = m.property("ResponseTime").unwrap();
+        let mut r = ServiceRegistry::new();
+        let direct = r.register(ServiceDescription::new("till", "shop#Pay").with_qos(rt, 100.0));
+        let a = Activity::new("pay", "shop#Pay");
+        let deep = d.deep_candidates(&r, &a);
+        assert_eq!(deep.len(), 1);
+        assert_eq!(deep[0].0.service, direct);
+        assert_eq!(deep[0].1.get(rt), Some(100.0));
+    }
+
+    #[test]
+    fn constraint_via_model_units() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let rt = m.property("ResponseTime").unwrap();
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescription::new("s", "shop#Pay").with_qos(rt, 1500.0));
+        let a = Activity::new("pay", "shop#Pay");
+        // 2 seconds => 2000 ms: satisfied.
+        let cs: ConstraintSet = [m.constraint("ResponseTime", 2.0, Unit::Seconds).unwrap()]
+            .into_iter()
+            .collect();
+        assert_eq!(d.qos_candidates(&r, &a, &cs).len(), 1);
+    }
+}

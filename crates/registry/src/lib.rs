@@ -1,0 +1,56 @@
+//! Service model, repository and QoS-aware semantic discovery.
+//!
+//! Pervasive environments are *dynamic service environments*: providers
+//! join and leave, and users have no prior knowledge of what is available.
+//! This crate provides the middleware's view of that world:
+//!
+//! * [`ServiceDescription`] — a provider's advertisement: capability
+//!   concept, consumed/produced data concepts, advertised QoS
+//!   ([`QosVector`]), optional per-operation (*white-box*) QoS, and the
+//!   hosting node;
+//! * [`ServiceRegistry`] — the service directory, supporting dynamic
+//!   registration and departure;
+//! * [`Discovery`] — QoS-aware service discovery: semantic functional
+//!   matching (through a domain [`Ontology`]) combined with I/O
+//!   compatibility and QoS-requirement filtering, yielding the per-activity
+//!   candidate sets (`S_i`) the selection algorithm consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use qasom_ontology::OntologyBuilder;
+//! use qasom_qos::QosModel;
+//! use qasom_registry::{Discovery, ServiceDescription, ServiceRegistry};
+//! use qasom_task::Activity;
+//!
+//! let mut onto = OntologyBuilder::new("shop");
+//! let pay = onto.concept("Pay");
+//! onto.subconcept("PayByCard", pay);
+//! let onto = onto.build().unwrap();
+//! let model = QosModel::standard();
+//!
+//! let mut registry = ServiceRegistry::new();
+//! registry.register(ServiceDescription::new("visa", "shop#PayByCard"));
+//!
+//! let discovery = Discovery::new(&onto, &model);
+//! let activity = Activity::new("pay", "shop#Pay");
+//! let candidates = discovery.candidates(&registry, &activity);
+//! assert_eq!(candidates.len(), 1); // PayByCard plugs into Pay
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod discovery;
+pub mod qsd;
+mod registry;
+mod service;
+
+pub use discovery::{Candidate, Discovery};
+pub use registry::{RegistryEvent, ServiceId, ServiceRegistry};
+pub use service::{Operation, ServiceDescription};
+
+pub use qasom_qos::QosVector;
+
+#[doc(no_inline)]
+pub use qasom_ontology::Ontology;

@@ -1,0 +1,213 @@
+//! The service directory.
+
+use std::fmt;
+
+use qasom_ontology::Iri;
+
+use crate::ServiceDescription;
+
+/// Handle to a registered service. Ids are never reused within one
+/// registry, so a stale id reliably reports a departed service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(u32);
+
+impl ServiceId {
+    /// Index into the registry's service table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A change notification produced by the registry, consumed by components
+/// that track environment dynamics (monitoring, adaptation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryEvent {
+    /// A provider published a service.
+    Registered(ServiceId),
+    /// A provider (or churn) removed a service.
+    Deregistered(ServiceId),
+}
+
+/// The service directory of a pervasive environment.
+///
+/// Supports dynamic registration/departure and keeps an event log so
+/// observers can catch up on churn (`events_since`).
+///
+/// # Examples
+///
+/// ```
+/// use qasom_registry::{ServiceDescription, ServiceRegistry};
+///
+/// let mut reg = ServiceRegistry::new();
+/// let id = reg.register(ServiceDescription::new("s", "d#F"));
+/// assert!(reg.get(id).is_some());
+/// reg.deregister(id);
+/// assert!(reg.get(id).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    services: Vec<Option<ServiceDescription>>,
+    events: Vec<RegistryEvent>,
+    alive: usize,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Publishes a service, returning its id.
+    pub fn register(&mut self, description: ServiceDescription) -> ServiceId {
+        let id = ServiceId(u32::try_from(self.services.len()).expect("registry overflow"));
+        self.services.push(Some(description));
+        self.alive += 1;
+        self.events.push(RegistryEvent::Registered(id));
+        id
+    }
+
+    /// Removes a service, returning its description if it was present.
+    pub fn deregister(&mut self, id: ServiceId) -> Option<ServiceDescription> {
+        let slot = self.services.get_mut(id.index())?;
+        let desc = slot.take();
+        if desc.is_some() {
+            self.alive -= 1;
+            self.events.push(RegistryEvent::Deregistered(id));
+        }
+        desc
+    }
+
+    /// The description of a live service.
+    pub fn get(&self, id: ServiceId) -> Option<&ServiceDescription> {
+        self.services.get(id.index())?.as_ref()
+    }
+
+    /// Mutable description access (QoS re-advertisement).
+    pub fn get_mut(&mut self, id: ServiceId) -> Option<&mut ServiceDescription> {
+        self.services.get_mut(id.index())?.as_mut()
+    }
+
+    /// Number of live services.
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// Whether no service is live.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Iterates over live services.
+    pub fn iter(&self) -> impl Iterator<Item = (ServiceId, &ServiceDescription)> {
+        self.services
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|d| (ServiceId(i as u32), d)))
+    }
+
+    /// Live services whose function IRI equals `function` exactly
+    /// (syntactic lookup; use [`Discovery`](crate::Discovery) for semantic
+    /// matching).
+    pub fn find_by_function<'a>(
+        &'a self,
+        function: &'a Iri,
+    ) -> impl Iterator<Item = (ServiceId, &'a ServiceDescription)> {
+        self.iter().filter(move |(_, d)| d.function() == function)
+    }
+
+    /// Live services hosted on `node`.
+    pub fn hosted_on(&self, node: u64) -> impl Iterator<Item = (ServiceId, &ServiceDescription)> {
+        self.iter().filter(move |(_, d)| d.host() == Some(node))
+    }
+
+    /// Total number of events emitted so far (a cursor for
+    /// [`ServiceRegistry::events_since`]).
+    pub fn event_cursor(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events emitted at or after `cursor`.
+    pub fn events_since(&self, cursor: usize) -> &[RegistryEvent] {
+        &self.events[cursor.min(self.events.len())..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(name: &str, function: &str) -> ServiceDescription {
+        ServiceDescription::new(name, function)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ServiceRegistry::new();
+        let a = r.register(svc("a", "d#F"));
+        let b = r.register(svc("b", "d#G"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap().name(), "a");
+        assert_eq!(r.get(b).unwrap().name(), "b");
+    }
+
+    #[test]
+    fn deregister_removes_and_is_idempotent() {
+        let mut r = ServiceRegistry::new();
+        let a = r.register(svc("a", "d#F"));
+        assert!(r.deregister(a).is_some());
+        assert!(r.deregister(a).is_none());
+        assert_eq!(r.len(), 0);
+        assert!(r.get(a).is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut r = ServiceRegistry::new();
+        let a = r.register(svc("a", "d#F"));
+        r.deregister(a);
+        let b = r.register(svc("b", "d#F"));
+        assert_ne!(a, b);
+        assert!(r.get(a).is_none());
+    }
+
+    #[test]
+    fn find_by_function_is_syntactic() {
+        let mut r = ServiceRegistry::new();
+        r.register(svc("a", "d#F"));
+        r.register(svc("b", "d#F"));
+        r.register(svc("c", "d#G"));
+        let f: Iri = "d#F".parse().unwrap();
+        assert_eq!(r.find_by_function(&f).count(), 2);
+    }
+
+    #[test]
+    fn hosted_on_filters_by_node() {
+        let mut r = ServiceRegistry::new();
+        r.register(svc("a", "d#F").with_host(1));
+        r.register(svc("b", "d#F").with_host(2));
+        assert_eq!(r.hosted_on(1).count(), 1);
+        assert_eq!(r.hosted_on(3).count(), 0);
+    }
+
+    #[test]
+    fn event_log_records_churn() {
+        let mut r = ServiceRegistry::new();
+        let cursor = r.event_cursor();
+        let a = r.register(svc("a", "d#F"));
+        r.deregister(a);
+        assert_eq!(
+            r.events_since(cursor),
+            &[
+                RegistryEvent::Registered(a),
+                RegistryEvent::Deregistered(a)
+            ]
+        );
+        assert!(r.events_since(r.event_cursor()).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Service descriptions (quality-based service description, QSD).
+
+use std::fmt;
+
+use qasom_ontology::Iri;
+use qasom_qos::{PropertyId, QosVector};
+
+/// One operation of a *white-box* service description: an elementary part
+/// of the service's conversation with its own QoS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    name: String,
+    function: Iri,
+    qos: QosVector,
+}
+
+impl Operation {
+    /// Creates an operation implementing `function`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed function IRI.
+    pub fn new(name: impl Into<String>, function: &str) -> Self {
+        Operation {
+            name: name.into(),
+            function: function.parse().expect("malformed operation IRI"),
+            qos: QosVector::new(),
+        }
+    }
+
+    /// Attaches a QoS value (canonical unit) to the operation.
+    pub fn with_qos(mut self, property: PropertyId, value: f64) -> Self {
+        self.qos.set(property, value);
+        self
+    }
+
+    /// Operation name (unique within its service).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The capability concept the operation implements.
+    pub fn function(&self) -> &Iri {
+        &self.function
+    }
+
+    /// Operation-level QoS.
+    pub fn qos(&self) -> &QosVector {
+        &self.qos
+    }
+}
+
+/// A provider's service advertisement.
+///
+/// The *black-box* part is the profile: capability concept, consumed and
+/// produced data concepts, and service-level advertised QoS. White-box
+/// descriptions additionally list [`Operation`]s with per-operation QoS.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_qos::QosModel;
+/// use qasom_registry::ServiceDescription;
+///
+/// let model = QosModel::standard();
+/// let rt = model.property("ResponseTime").unwrap();
+///
+/// let svc = ServiceDescription::new("fnac-books", "shop#BuyBook")
+///     .with_provider("fnac")
+///     .with_input("shop#BookTitle")
+///     .with_output("shop#Receipt")
+///     .with_qos(rt, 120.0)
+///     .with_host(3);
+/// assert_eq!(svc.host(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDescription {
+    name: String,
+    provider: String,
+    function: Iri,
+    inputs: Vec<Iri>,
+    outputs: Vec<Iri>,
+    qos: QosVector,
+    operations: Vec<Operation>,
+    host: Option<u64>,
+}
+
+impl ServiceDescription {
+    /// Creates a description for a service implementing `function`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed function IRI; use
+    /// [`ServiceDescription::try_new`] for fallible construction.
+    pub fn new(name: impl Into<String>, function: &str) -> Self {
+        ServiceDescription::try_new(name, function).expect("malformed function IRI")
+    }
+
+    /// Fallible counterpart of [`ServiceDescription::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the IRI parse error when `function` is malformed.
+    pub fn try_new(
+        name: impl Into<String>,
+        function: &str,
+    ) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        Ok(ServiceDescription {
+            name: name.into(),
+            provider: String::new(),
+            function: function.parse()?,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            qos: QosVector::new(),
+            operations: Vec::new(),
+            host: None,
+        })
+    }
+
+    /// Sets the provider name.
+    pub fn with_provider(mut self, provider: impl Into<String>) -> Self {
+        self.provider = provider.into();
+        self
+    }
+
+    /// Adds a consumed data concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed IRI.
+    pub fn with_input(mut self, input: &str) -> Self {
+        self.inputs.push(input.parse().expect("malformed input IRI"));
+        self
+    }
+
+    /// Adds a produced data concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed IRI.
+    pub fn with_output(mut self, output: &str) -> Self {
+        self.outputs
+            .push(output.parse().expect("malformed output IRI"));
+        self
+    }
+
+    /// Advertises a QoS value (canonical unit).
+    pub fn with_qos(mut self, property: PropertyId, value: f64) -> Self {
+        self.qos.set(property, value);
+        self
+    }
+
+    /// Replaces the whole advertised QoS vector.
+    pub fn with_qos_vector(mut self, qos: QosVector) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Adds a white-box operation.
+    pub fn with_operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Binds the service to a hosting node (used by the network
+    /// simulation and the end-to-end QoS computation).
+    pub fn with_host(mut self, node: u64) -> Self {
+        self.host = Some(node);
+        self
+    }
+
+    /// Service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Provider name (may be empty).
+    pub fn provider(&self) -> &str {
+        &self.provider
+    }
+
+    /// The capability concept the service implements.
+    pub fn function(&self) -> &Iri {
+        &self.function
+    }
+
+    /// Consumed data concepts.
+    pub fn inputs(&self) -> &[Iri] {
+        &self.inputs
+    }
+
+    /// Produced data concepts.
+    pub fn outputs(&self) -> &[Iri] {
+        &self.outputs
+    }
+
+    /// Advertised service-level QoS.
+    pub fn qos(&self) -> &QosVector {
+        &self.qos
+    }
+
+    /// Mutable access to the advertised QoS (providers re-advertise as
+    /// conditions change).
+    pub fn qos_mut(&mut self) -> &mut QosVector {
+        &mut self.qos
+    }
+
+    /// White-box operations (empty for black-box descriptions).
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Whether the description is white-box (has per-operation QoS).
+    pub fn is_white_box(&self) -> bool {
+        !self.operations.is_empty()
+    }
+
+    /// The hosting node, if declared.
+    pub fn host(&self) -> Option<u64> {
+        self.host
+    }
+}
+
+impl fmt::Display for ServiceDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.name, self.function, self.qos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_qos::QosModel;
+
+    #[test]
+    fn builder_accumulates_fields() {
+        let m = QosModel::standard();
+        let rt = m.property("ResponseTime").unwrap();
+        let s = ServiceDescription::new("s", "d#F")
+            .with_provider("p")
+            .with_input("d#In")
+            .with_output("d#Out")
+            .with_qos(rt, 10.0)
+            .with_host(7);
+        assert_eq!(s.provider(), "p");
+        assert_eq!(s.inputs().len(), 1);
+        assert_eq!(s.outputs().len(), 1);
+        assert_eq!(s.qos().get(rt), Some(10.0));
+        assert_eq!(s.host(), Some(7));
+        assert!(!s.is_white_box());
+    }
+
+    #[test]
+    fn white_box_services_carry_operations() {
+        let m = QosModel::standard();
+        let rt = m.property("ResponseTime").unwrap();
+        let s = ServiceDescription::new("s", "d#F")
+            .with_operation(Operation::new("op1", "d#F1").with_qos(rt, 5.0))
+            .with_operation(Operation::new("op2", "d#F2").with_qos(rt, 9.0));
+        assert!(s.is_white_box());
+        assert_eq!(s.operations()[1].qos().get(rt), Some(9.0));
+        assert_eq!(s.operations()[0].function().to_string(), "d#F1");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_iri() {
+        assert!(ServiceDescription::try_new("s", "nope").is_err());
+    }
+
+    #[test]
+    fn qos_mut_allows_readvertising() {
+        let m = QosModel::standard();
+        let rt = m.property("ResponseTime").unwrap();
+        let mut s = ServiceDescription::new("s", "d#F").with_qos(rt, 10.0);
+        s.qos_mut().set(rt, 50.0);
+        assert_eq!(s.qos().get(rt), Some(50.0));
+    }
+}

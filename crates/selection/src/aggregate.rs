@@ -1,0 +1,486 @@
+//! QoS aggregation across composition patterns (Table IV.1).
+
+use qasom_qos::{AggregationOp, Dimension, PropertyId, QosModel, QosVector, Tendency};
+use qasom_task::{TaskNode, UserTask};
+
+/// How non-deterministic patterns (choice, loop) are folded into one
+/// number.
+///
+/// * **Pessimistic** — assume the worst branch / the maximum iteration
+///   count: the aggregate is a guarantee.
+/// * **Optimistic** — assume the best branch / a single iteration: the
+///   aggregate is a best case.
+/// * **MeanValue** — probability-weighted branches and expected iteration
+///   counts: the aggregate is an expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregationApproach {
+    /// Worst-case folding.
+    Pessimistic,
+    /// Best-case folding.
+    Optimistic,
+    /// Expected-value folding.
+    MeanValue,
+}
+
+/// Aggregates per-activity QoS vectors into the QoS of a whole task
+/// (the `Q_j` of a composition `C_v`).
+///
+/// Per-pattern rules, following Table IV.1 of the original evaluation
+/// (`op` is the property's sequence-aggregation operator):
+///
+/// | op \ pattern | sequence | parallel | choice | loop (n iterations) |
+/// |---|---|---|---|---|
+/// | Sum (time) | Σ | max | approach | n·v |
+/// | Sum (other) | Σ | Σ | approach | n·v |
+/// | Product | Π | Π | approach | vⁿ |
+/// | Min | min | min | approach | v |
+/// | Max | max | max | approach | v |
+/// | Average | mean | mean | approach | v |
+///
+/// "approach" picks the worst branch (pessimistic), the best branch
+/// (optimistic) or the probability-weighted mean (mean-value); the loop
+/// iteration count `n` is likewise the maximum, `1`, or the expected
+/// count.
+///
+/// A property missing from **any** involved activity is missing from the
+/// aggregate: unknown quality cannot be vouched for.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_qos::{QosModel, QosVector};
+/// use qasom_selection::{AggregationApproach, Aggregator};
+/// use qasom_task::{Activity, TaskNode, UserTask};
+///
+/// let model = QosModel::standard();
+/// let rt = model.property("ResponseTime").unwrap();
+/// let task = UserTask::new(
+///     "t",
+///     TaskNode::sequence([
+///         TaskNode::activity(Activity::new("a", "x#A")),
+///         TaskNode::activity(Activity::new("b", "x#B")),
+///     ]),
+/// )
+/// .unwrap();
+///
+/// let mut qa = QosVector::new();
+/// qa.set(rt, 100.0);
+/// let mut qb = QosVector::new();
+/// qb.set(rt, 50.0);
+///
+/// let agg = Aggregator::new(&model, AggregationApproach::MeanValue);
+/// let total = agg.aggregate(&task, &[qa, qb], &[rt]);
+/// assert_eq!(total.get(rt), Some(150.0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregator<'a> {
+    model: &'a QosModel,
+    approach: AggregationApproach,
+}
+
+impl<'a> Aggregator<'a> {
+    /// Creates an aggregator using `approach` for non-deterministic
+    /// patterns.
+    pub fn new(model: &'a QosModel, approach: AggregationApproach) -> Self {
+        Aggregator { model, approach }
+    }
+
+    /// The configured approach.
+    pub fn approach(&self) -> AggregationApproach {
+        self.approach
+    }
+
+    /// Aggregates the QoS of a task given one QoS vector per activity
+    /// (`assignments[i]` belongs to the activity with DFS index `i`) over
+    /// the given properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `assignments.len()` differs from the task's activity
+    /// count.
+    pub fn aggregate(
+        &self,
+        task: &UserTask,
+        assignments: &[QosVector],
+        properties: &[PropertyId],
+    ) -> QosVector {
+        assert_eq!(
+            assignments.len(),
+            task.activity_count(),
+            "one QoS vector per activity is required"
+        );
+        let mut out = QosVector::new();
+        for &p in properties {
+            let mut idx = 0;
+            if let Some(v) = self.fold(task.root(), assignments, p, &mut idx) {
+                out.set(p, v);
+            }
+        }
+        out
+    }
+
+    /// Aggregates a single property; `idx` is the DFS activity cursor.
+    fn fold(
+        &self,
+        node: &TaskNode,
+        assignments: &[QosVector],
+        property: PropertyId,
+        idx: &mut usize,
+    ) -> Option<f64> {
+        let def = self.model.def(property);
+        let op = def.aggregation();
+        match node {
+            TaskNode::Activity(_) => {
+                let v = assignments[*idx].get(property);
+                *idx += 1;
+                v
+            }
+            TaskNode::Sequence(cs) => {
+                let vals = self.fold_children(cs.iter(), assignments, property, idx)?;
+                Some(combine_sequence(op, &vals))
+            }
+            TaskNode::Parallel(cs) => {
+                let vals = self.fold_children(cs.iter(), assignments, property, idx)?;
+                Some(combine_parallel(op, def.unit().dimension(), &vals))
+            }
+            TaskNode::Choice(bs) => {
+                let mut vals = Vec::with_capacity(bs.len());
+                let mut missing = false;
+                for (prob, c) in bs {
+                    match self.fold(c, assignments, property, idx) {
+                        Some(v) => vals.push((*prob, v)),
+                        None => missing = true,
+                    }
+                }
+                if missing || vals.is_empty() {
+                    return None;
+                }
+                Some(self.combine_choice(def.tendency(), &vals))
+            }
+            TaskNode::Loop { body, bound } => {
+                let v = self.fold(body, assignments, property, idx)?;
+                let n = match self.approach {
+                    AggregationApproach::Pessimistic => f64::from(bound.max()),
+                    AggregationApproach::Optimistic => 1.0,
+                    AggregationApproach::MeanValue => bound.expected().max(1.0),
+                };
+                Some(scale_loop(op, v, n))
+            }
+        }
+    }
+
+    fn fold_children<'n>(
+        &self,
+        children: impl Iterator<Item = &'n TaskNode>,
+        assignments: &[QosVector],
+        property: PropertyId,
+        idx: &mut usize,
+    ) -> Option<Vec<f64>> {
+        let mut vals = Vec::new();
+        let mut missing = false;
+        for c in children {
+            match self.fold(c, assignments, property, idx) {
+                Some(v) => vals.push(v),
+                None => missing = true,
+            }
+        }
+        (!missing && !vals.is_empty()).then_some(vals)
+    }
+
+    fn combine_choice(&self, tendency: Tendency, vals: &[(f64, f64)]) -> f64 {
+        match self.approach {
+            AggregationApproach::Pessimistic => vals
+                .iter()
+                .map(|&(_, v)| v)
+                .reduce(|a, b| tendency.worse(a, b))
+                .expect("non-empty"),
+            AggregationApproach::Optimistic => vals
+                .iter()
+                .map(|&(_, v)| v)
+                .reduce(|a, b| tendency.better(a, b))
+                .expect("non-empty"),
+            AggregationApproach::MeanValue => {
+                let total_p: f64 = vals.iter().map(|&(p, _)| p).sum();
+                vals.iter().map(|&(p, v)| p * v).sum::<f64>() / total_p
+            }
+        }
+    }
+}
+
+fn combine_sequence(op: AggregationOp, vals: &[f64]) -> f64 {
+    match op {
+        AggregationOp::Sum => vals.iter().sum(),
+        AggregationOp::Product => vals.iter().product(),
+        AggregationOp::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        AggregationOp::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggregationOp::Average => vals.iter().sum::<f64>() / vals.len() as f64,
+    }
+}
+
+fn combine_parallel(op: AggregationOp, dimension: Dimension, vals: &[f64]) -> f64 {
+    match op {
+        // Time-like additive properties overlap in parallel: the slowest
+        // branch dominates. Money/energy still add up.
+        AggregationOp::Sum if dimension == Dimension::Time => {
+            vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+        other => combine_sequence(other, vals),
+    }
+}
+
+fn scale_loop(op: AggregationOp, v: f64, n: f64) -> f64 {
+    match op {
+        AggregationOp::Sum => v * n,
+        AggregationOp::Product => v.powf(n),
+        AggregationOp::Min | AggregationOp::Max | AggregationOp::Average => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_task::{Activity, LoopBound};
+
+    struct Fx {
+        model: QosModel,
+        rt: PropertyId,
+        av: PropertyId,
+        price: PropertyId,
+        thr: PropertyId,
+    }
+
+    fn fx() -> Fx {
+        let model = QosModel::standard();
+        let rt = model.property("ResponseTime").unwrap();
+        let av = model.property("Availability").unwrap();
+        let price = model.property("Price").unwrap();
+        let thr = model.property("Throughput").unwrap();
+        Fx {
+            model,
+            rt,
+            av,
+            price,
+            thr,
+        }
+    }
+
+    fn act(name: &str) -> TaskNode {
+        TaskNode::activity(Activity::new(name, "t#F"))
+    }
+
+    fn qv(pairs: &[(PropertyId, f64)]) -> QosVector {
+        pairs.iter().copied().collect()
+    }
+
+    fn agg(
+        f: &Fx,
+        approach: AggregationApproach,
+        node: TaskNode,
+        assignments: &[QosVector],
+        p: PropertyId,
+    ) -> Option<f64> {
+        let task = UserTask::new("t", node).unwrap();
+        Aggregator::new(&f.model, approach)
+            .aggregate(&task, assignments, &[p])
+            .get(p)
+    }
+
+    #[test]
+    fn table_iv1_sequence_rules() {
+        let f = fx();
+        let node = TaskNode::sequence([act("a"), act("b")]);
+        let a = qv(&[(f.rt, 100.0), (f.av, 0.9), (f.price, 2.0), (f.thr, 10.0)]);
+        let b = qv(&[(f.rt, 50.0), (f.av, 0.8), (f.price, 3.0), (f.thr, 4.0)]);
+        let m = AggregationApproach::MeanValue;
+        assert_eq!(agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt), Some(150.0));
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.av),
+            Some(0.9 * 0.8)
+        );
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.price),
+            Some(5.0)
+        );
+        assert_eq!(agg(&f, m, node, &[a, b], f.thr), Some(4.0));
+    }
+
+    #[test]
+    fn table_iv1_parallel_rules() {
+        let f = fx();
+        let node = TaskNode::parallel([act("a"), act("b")]);
+        let a = qv(&[(f.rt, 100.0), (f.av, 0.9), (f.price, 2.0), (f.thr, 10.0)]);
+        let b = qv(&[(f.rt, 50.0), (f.av, 0.8), (f.price, 3.0), (f.thr, 4.0)]);
+        let m = AggregationApproach::MeanValue;
+        // Parallel response time = max, price still adds up.
+        assert_eq!(agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt), Some(100.0));
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.price),
+            Some(5.0)
+        );
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.av),
+            Some(0.9 * 0.8)
+        );
+        assert_eq!(agg(&f, m, node, &[a, b], f.thr), Some(4.0));
+    }
+
+    #[test]
+    fn choice_depends_on_approach() {
+        let f = fx();
+        let node = TaskNode::choice([(0.25, act("a")), (0.75, act("b"))]);
+        let a = qv(&[(f.rt, 100.0)]);
+        let b = qv(&[(f.rt, 200.0)]);
+        assert_eq!(
+            agg(
+                &f,
+                AggregationApproach::Pessimistic,
+                node.clone(),
+                &[a.clone(), b.clone()],
+                f.rt
+            ),
+            Some(200.0)
+        );
+        assert_eq!(
+            agg(
+                &f,
+                AggregationApproach::Optimistic,
+                node.clone(),
+                &[a.clone(), b.clone()],
+                f.rt
+            ),
+            Some(100.0)
+        );
+        assert_eq!(
+            agg(&f, AggregationApproach::MeanValue, node, &[a, b], f.rt),
+            Some(175.0)
+        );
+    }
+
+    #[test]
+    fn choice_pessimism_respects_tendency() {
+        let f = fx();
+        let node = TaskNode::choice([(0.5, act("a")), (0.5, act("b"))]);
+        let a = qv(&[(f.av, 0.99)]);
+        let b = qv(&[(f.av, 0.8)]);
+        // For higher-is-better the worst branch is the *lower* value.
+        assert_eq!(
+            agg(&f, AggregationApproach::Pessimistic, node, &[a, b], f.av),
+            Some(0.8)
+        );
+    }
+
+    #[test]
+    fn loop_scaling_per_approach() {
+        let f = fx();
+        let node = TaskNode::repeat(act("a"), LoopBound::new(3.0, 10));
+        let a = qv(&[(f.rt, 10.0), (f.av, 0.9)]);
+        assert_eq!(
+            agg(
+                &f,
+                AggregationApproach::Pessimistic,
+                node.clone(),
+                std::slice::from_ref(&a),
+                f.rt
+            ),
+            Some(100.0)
+        );
+        assert_eq!(
+            agg(
+                &f,
+                AggregationApproach::Optimistic,
+                node.clone(),
+                std::slice::from_ref(&a),
+                f.rt
+            ),
+            Some(10.0)
+        );
+        assert_eq!(
+            agg(
+                &f,
+                AggregationApproach::MeanValue,
+                node.clone(),
+                std::slice::from_ref(&a),
+                f.rt
+            ),
+            Some(30.0)
+        );
+        // Product ops use powers.
+        let av_pess = agg(&f, AggregationApproach::Pessimistic, node, &[a], f.av).unwrap();
+        assert!((av_pess - 0.9f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_value_makes_aggregate_missing() {
+        let f = fx();
+        let node = TaskNode::sequence([act("a"), act("b")]);
+        let a = qv(&[(f.rt, 100.0)]);
+        let b = qv(&[]);
+        assert_eq!(
+            agg(&f, AggregationApproach::MeanValue, node, &[a, b], f.rt),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_structure_aggregates_inside_out() {
+        let f = fx();
+        // seq(a, par(b, c)) on response time: 10 + max(20, 30) = 40.
+        let node = TaskNode::sequence([act("a"), TaskNode::parallel([act("b"), act("c")])]);
+        let vecs = [
+            qv(&[(f.rt, 10.0)]),
+            qv(&[(f.rt, 20.0)]),
+            qv(&[(f.rt, 30.0)]),
+        ];
+        assert_eq!(
+            agg(&f, AggregationApproach::MeanValue, node, &vecs, f.rt),
+            Some(40.0)
+        );
+    }
+
+    #[test]
+    fn activity_cursor_advances_through_skipped_branches() {
+        let f = fx();
+        // Choice with a missing branch must not desynchronise later
+        // activities.
+        let node = TaskNode::sequence([
+            TaskNode::choice([(0.5, act("a")), (0.5, act("b"))]),
+            act("c"),
+        ]);
+        let vecs = [
+            qv(&[(f.rt, 1.0)]),
+            qv(&[]), // b missing rt
+            qv(&[(f.rt, 7.0)]),
+        ];
+        // rt missing overall (choice has a missing branch), but the fold
+        // must still consume all three activity slots without panicking.
+        assert_eq!(
+            agg(&f, AggregationApproach::MeanValue, node, &vecs, f.rt),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one QoS vector per activity")]
+    fn wrong_assignment_count_panics() {
+        let f = fx();
+        let task = UserTask::new("t", act("a")).unwrap();
+        let _ = Aggregator::new(&f.model, AggregationApproach::MeanValue).aggregate(
+            &task,
+            &[],
+            &[f.rt],
+        );
+    }
+
+    #[test]
+    fn average_op_means_over_children() {
+        let f = fx();
+        let rep = f.model.property("Reputation").unwrap();
+        let node = TaskNode::sequence([act("a"), act("b")]);
+        let a = qv(&[(rep, 4.0)]);
+        let b = qv(&[(rep, 2.0)]);
+        assert_eq!(
+            agg(&f, AggregationApproach::MeanValue, node, &[a, b], rep),
+            Some(3.0)
+        );
+    }
+}

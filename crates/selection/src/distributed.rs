@@ -1,0 +1,430 @@
+//! Distributed QASSA: local selection on provider nodes, global selection
+//! on the requesting device — the ad hoc variant of the algorithm
+//! (Fig. VI.12 of the original evaluation).
+//!
+//! The protocol, over the [`qasom_netsim`] simulator:
+//!
+//! 1. the coordinator (user device) broadcasts a `SelectRequest`;
+//! 2. every provider node runs the *local selection* phase over the
+//!    candidates it hosts (cost modelled as
+//!    `candidates × properties × per_candidate_cost`, scaled by the
+//!    node's CPU factor) and replies with per-activity ranked digests;
+//! 3. once all replies arrived, the coordinator merges the digests
+//!    ([`QosLevels::merge`]) and runs the *global selection* phase
+//!    locally.
+//!
+//! The report separates the local phase (request → last digest, dominated
+//! by the slowest provider + messaging) from the global phase (coordinator
+//! compute), which is exactly the split the original figure plots.
+
+use qasom_netsim::{
+    DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime,
+    Simulation,
+};
+use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosModel};
+use qasom_task::UserTask;
+
+use crate::workload::Workload;
+use crate::{
+    AggregationApproach, LocalRank, Qassa, QassaConfig, QosLevels, SelectionOutcome,
+    SelectionProblem, ServiceCandidate,
+};
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Coordinator → providers: run local selection.
+    SelectRequest {
+        /// Properties to rank on.
+        properties: Vec<PropertyId>,
+        /// User preference weights.
+        preferences: Preferences,
+    },
+    /// Provider → coordinator: ranked digests, one per hosted activity,
+    /// plus the raw candidates (the coordinator needs them to rebuild a
+    /// complete problem for the global phase).
+    LocalDigest {
+        /// Per-activity `(activity index, hierarchy, candidates)`.
+        digests: Vec<(usize, QosLevels, Vec<ServiceCandidate>)>,
+    },
+}
+
+/// Deployment parameters of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedSetup {
+    /// Number of provider nodes the candidates are spread over.
+    pub providers: usize,
+    /// Wireless link profile.
+    pub link: LinkConfig,
+    /// Device profile of provider nodes.
+    pub provider_profile: DeviceProfile,
+    /// Device profile of the coordinator (user device).
+    pub coordinator_profile: DeviceProfile,
+    /// Modelled local-selection cost per (candidate × property), in
+    /// microseconds on the reference machine.
+    pub per_candidate_cost_us: u64,
+    /// How long the coordinator waits for provider digests before
+    /// proceeding with whatever arrived (provider churn tolerance), in
+    /// simulated milliseconds.
+    pub reply_timeout_ms: u64,
+}
+
+impl Default for DistributedSetup {
+    /// Ten constrained handhelds on a 5 ms ± 1 ms ad hoc network; 10 µs
+    /// of ranking work per candidate-property.
+    fn default() -> Self {
+        DistributedSetup {
+            providers: 10,
+            link: LinkConfig::default(),
+            provider_profile: DeviceProfile::constrained(),
+            coordinator_profile: DeviceProfile::constrained(),
+            per_candidate_cost_us: 10,
+            reply_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// Result of a distributed QASSA run.
+#[derive(Debug, Clone)]
+pub struct DistributedReport {
+    /// The selection outcome computed by the coordinator.
+    pub outcome: SelectionOutcome,
+    /// Simulated duration of the local phase (request → last digest).
+    pub local_phase: SimDuration,
+    /// Simulated duration of the global phase (coordinator compute).
+    pub global_phase: SimDuration,
+    /// Total protocol messages sent.
+    pub messages: u64,
+}
+
+impl DistributedReport {
+    /// Total simulated selection latency.
+    pub fn total(&self) -> SimDuration {
+        self.local_phase + self.global_phase
+    }
+}
+
+struct ProviderState {
+    model: QosModel,
+    local: LocalRank,
+    /// `(activity, candidates)` hosted by this provider.
+    shard: Vec<(usize, Vec<ServiceCandidate>)>,
+    per_candidate_cost_us: u64,
+}
+
+struct CoordinatorState {
+    model: QosModel,
+    config: QassaConfig,
+    task: UserTask,
+    constraints: ConstraintSet,
+    preferences: Preferences,
+    approach: AggregationApproach,
+    expected_replies: usize,
+    received: usize,
+    merged: Vec<QosLevels>,
+    candidates: Vec<Vec<ServiceCandidate>>,
+    per_candidate_cost_us: u64,
+    reply_timeout_ms: u64,
+    started_at: SimTime,
+    local_done_at: Option<SimTime>,
+    global_done_at: Option<SimTime>,
+    outcome: Option<Result<SelectionOutcome, crate::SelectionError>>,
+}
+
+impl CoordinatorState {
+    /// Runs the global phase over whatever digests arrived.
+    fn finish(&mut self, ctx: &mut NodeContext<'_, Message>) {
+        self.local_done_at = Some(ctx.now());
+
+        // Global phase on the user device.
+        let total: u64 = self.candidates.iter().map(|c| c.len() as u64).sum();
+        let props = self.constraints.len().max(self.preferences.len()).max(1) as u64;
+        let work = SimDuration::from_micros(total * props * self.per_candidate_cost_us / 4);
+        ctx.compute(work);
+
+        let problem = SelectionProblem::new(&self.task)
+            .with_candidates(self.candidates.clone())
+            .with_constraints(self.constraints.clone())
+            .with_preferences(self.preferences.clone())
+            .with_approach(self.approach);
+        let qassa = Qassa::with_config(&self.model, self.config);
+        let result = qassa.select_with_levels(&problem, &self.merged);
+        self.global_done_at = Some(ctx.now() + ctx.compute_debt());
+        self.outcome = Some(result);
+    }
+}
+
+enum Role {
+    Provider(Box<ProviderState>),
+    Coordinator(Box<CoordinatorState>),
+}
+
+impl NodeBehaviour<Message> for Role {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_, Message>) {
+        if let Role::Coordinator(state) = self {
+            // Churn tolerance: proceed with whatever digests arrived once
+            // the reply deadline passes.
+            ctx.set_timer(SimDuration::from_millis(state.reply_timeout_ms), 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_, Message>, _timer: u64) {
+        if let Role::Coordinator(state) = self {
+            if state.outcome.is_none() {
+                state.finish(ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeContext<'_, Message>, from: NodeId, msg: Message) {
+        match (self, msg) {
+            (
+                Role::Provider(state),
+                Message::SelectRequest {
+                    properties,
+                    preferences,
+                },
+            ) => {
+                let mut digests = Vec::with_capacity(state.shard.len());
+                let mut work_units = 0u64;
+                for (activity, cands) in &state.shard {
+                    let levels =
+                        state
+                            .local
+                            .rank(&state.model, cands, &properties, &preferences);
+                    work_units += (cands.len() * properties.len()) as u64;
+                    digests.push((*activity, levels, cands.clone()));
+                }
+                ctx.compute(SimDuration::from_micros(
+                    work_units * state.per_candidate_cost_us,
+                ));
+                ctx.send(from, Message::LocalDigest { digests });
+            }
+            (Role::Coordinator(state), Message::LocalDigest { digests }) => {
+                if state.outcome.is_some() {
+                    return; // a digest arriving after the reply deadline
+                }
+                for (activity, levels, cands) in digests {
+                    state.merged[activity].merge(levels);
+                    state.candidates[activity].extend(cands);
+                }
+                state.received += 1;
+                if state.received == state.expected_replies {
+                    state.finish(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Drives distributed QASSA runs over the network simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedQassa<'a> {
+    model: &'a QosModel,
+    config: QassaConfig,
+}
+
+impl<'a> DistributedQassa<'a> {
+    /// Creates a driver with the default QASSA configuration.
+    pub fn new(model: &'a QosModel) -> Self {
+        DistributedQassa {
+            model,
+            config: QassaConfig::default(),
+        }
+    }
+
+    /// Overrides the QASSA configuration.
+    pub fn with_config(mut self, config: QassaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the protocol for `workload` under `setup`, deterministically
+    /// from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural selection errors (e.g. an activity whose
+    /// candidates ended up on no provider).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setup.providers == 0`.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        setup: &DistributedSetup,
+        seed: u64,
+    ) -> Result<DistributedReport, crate::SelectionError> {
+        assert!(setup.providers > 0, "at least one provider is required");
+        let n_activities = workload.task().activity_count();
+
+        // Shard candidates round-robin over providers.
+        let mut shards: Vec<Vec<(usize, Vec<ServiceCandidate>)>> =
+            vec![(0..n_activities).map(|a| (a, Vec::new())).collect(); setup.providers];
+        for (activity, cands) in workload.candidates().iter().enumerate() {
+            for (i, c) in cands.iter().enumerate() {
+                shards[i % setup.providers][activity].1.push(c.clone());
+            }
+        }
+        for shard in &mut shards {
+            shard.retain(|(_, cands)| !cands.is_empty());
+        }
+        let expected_replies = setup.providers;
+
+        let problem = workload.problem();
+        let properties = problem.properties();
+
+        let mut sim: Simulation<Message, Role> = Simulation::new(seed);
+        sim.set_default_link(setup.link);
+
+        let coordinator = sim.add_node(
+            setup.coordinator_profile,
+            Role::Coordinator(Box::new(CoordinatorState {
+                model: self.model.clone(),
+                config: self.config,
+                task: workload.task().clone(),
+                constraints: problem.constraints().clone(),
+                preferences: problem.preferences().clone(),
+                approach: problem.approach(),
+                expected_replies,
+                received: 0,
+                merged: vec![QosLevels::default(); n_activities],
+                candidates: vec![Vec::new(); n_activities],
+                per_candidate_cost_us: setup.per_candidate_cost_us,
+                reply_timeout_ms: setup.reply_timeout_ms,
+                started_at: SimTime::ZERO,
+                local_done_at: None,
+                global_done_at: None,
+                outcome: None,
+            })),
+        );
+        let providers: Vec<NodeId> = shards
+            .into_iter()
+            .map(|shard| {
+                sim.add_node(
+                    setup.provider_profile,
+                    Role::Provider(Box::new(ProviderState {
+                        model: self.model.clone(),
+                        local: self.config.local,
+                        shard,
+                        per_candidate_cost_us: setup.per_candidate_cost_us,
+                    })),
+                )
+            })
+            .collect();
+
+        // Kick off: the coordinator broadcasts the request. Injected from
+        // outside so the broadcast transits real links.
+        for &p in &providers {
+            sim.send_external(
+                coordinator,
+                p,
+                Message::SelectRequest {
+                    properties: properties.clone(),
+                    preferences: problem.preferences().clone(),
+                },
+            );
+        }
+        // External injection models the local hand-off to the radio; give
+        // each request one coordinator-side link transit by re-sending
+        // through the provider loopback — simpler: requests above arrive
+        // instantly; digests pay the return trip, which dominates.
+        sim.run();
+
+        let Role::Coordinator(state) = sim.node(coordinator) else {
+            unreachable!("coordinator role is fixed");
+        };
+        let outcome = state
+            .outcome
+            .clone()
+            .expect("protocol completed")?;
+        let local_done = state.local_done_at.expect("local phase completed");
+        let global_done = state.global_done_at.expect("global phase completed");
+        Ok(DistributedReport {
+            outcome,
+            local_phase: local_done.since(state.started_at),
+            global_phase: global_done.since(local_done),
+            messages: sim.stats().sent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn small() -> (QosModel, Workload) {
+        let m = QosModel::standard();
+        let w = WorkloadSpec::evaluation_default()
+            .activities(3)
+            .services_per_activity(30)
+            .build(&m, 5);
+        (m, w)
+    }
+
+    #[test]
+    fn distributed_matches_centralised_feasibility() {
+        let (m, w) = small();
+        let central = Qassa::new(&m).select(&w.problem()).unwrap();
+        let report = DistributedQassa::new(&m)
+            .run(&w, &DistributedSetup::default(), 1)
+            .unwrap();
+        assert_eq!(report.outcome.feasible, central.feasible);
+        assert_eq!(report.outcome.assignment.len(), 3);
+    }
+
+    #[test]
+    fn local_phase_shrinks_with_more_providers() {
+        let (m, w) = small();
+        let few = DistributedSetup {
+            providers: 2,
+            ..DistributedSetup::default()
+        };
+        let many = DistributedSetup {
+            providers: 10,
+            ..DistributedSetup::default()
+        };
+        let d = DistributedQassa::new(&m);
+        let t_few = d.run(&w, &few, 1).unwrap().local_phase;
+        let t_many = d.run(&w, &many, 1).unwrap().local_phase;
+        assert!(
+            t_many < t_few,
+            "local phase with 10 providers ({t_many}) should beat 2 ({t_few})"
+        );
+    }
+
+    #[test]
+    fn all_candidates_reach_the_coordinator() {
+        let (m, w) = small();
+        let report = DistributedQassa::new(&m)
+            .run(&w, &DistributedSetup::default(), 2)
+            .unwrap();
+        let total: usize = report.outcome.ranked.iter().map(Vec::len).sum();
+        assert_eq!(total, 3 * 30);
+    }
+
+    #[test]
+    fn message_count_scales_with_providers() {
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            providers: 7,
+            ..DistributedSetup::default()
+        };
+        let report = DistributedQassa::new(&m).run(&w, &setup, 3).unwrap();
+        // 7 requests + 7 digests.
+        assert_eq!(report.messages, 14);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (m, w) = small();
+        let d = DistributedQassa::new(&m);
+        let a = d.run(&w, &DistributedSetup::default(), 9).unwrap();
+        let b = d.run(&w, &DistributedSetup::default(), 9).unwrap();
+        assert_eq!(a.local_phase, b.local_phase);
+        assert_eq!(a.outcome.assignment, b.outcome.assignment);
+    }
+}

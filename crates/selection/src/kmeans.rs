@@ -1,0 +1,235 @@
+//! Deterministic 1-D K-means, the clustering primitive of QASSA's local
+//! selection phase.
+
+use qasom_qos::Tendency;
+
+/// Result of clustering scalar values into `k` quality bands.
+///
+/// Clusters are relabelled so that cluster `0` has the smallest centroid;
+/// [`Clustering::ranks`] converts labels into quality ranks (rank `0` =
+/// best) under a property's tendency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    centroids: Vec<f64>,
+}
+
+impl Clustering {
+    /// Number of clusters actually produced (≤ requested `k`).
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster label of input point `i` (labels ordered by ascending
+    /// centroid).
+    pub fn assignment(&self, i: usize) -> usize {
+        self.assignments[i]
+    }
+
+    /// All labels, parallel to the input slice.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Centroid of cluster `label`.
+    pub fn centroid(&self, label: usize) -> f64 {
+        self.centroids[label]
+    }
+
+    /// Quality rank (0 = best band) of every input point under the given
+    /// tendency: ascending centroids are best for lower-is-better
+    /// properties, descending for higher-is-better ones.
+    pub fn ranks(&self, tendency: Tendency) -> Vec<usize> {
+        let k = self.k();
+        self.assignments
+            .iter()
+            .map(|&label| match tendency {
+                Tendency::LowerBetter => label,
+                Tendency::HigherBetter => k - 1 - label,
+            })
+            .collect()
+    }
+}
+
+/// Clusters `values` into at most `k` bands with Lloyd's algorithm.
+///
+/// Deterministic: centroids are initialised at evenly spaced quantiles of
+/// the sorted input. When the input has fewer than `k` distinct values,
+/// the effective `k` shrinks to the distinct count. An empty input yields
+/// an empty clustering.
+///
+/// # Panics
+///
+/// Panics when `k == 0` with a non-empty input, or when a value is not
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_selection::kmeans_1d;
+///
+/// let values = [1.0, 1.1, 0.9, 10.0, 10.2, 9.8];
+/// let c = kmeans_1d(&values, 2, 50);
+/// assert_eq!(c.k(), 2);
+/// assert_eq!(c.assignment(0), c.assignment(1));
+/// assert_ne!(c.assignment(0), c.assignment(3));
+/// ```
+pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
+    if values.is_empty() {
+        return Clustering {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+        };
+    }
+    assert!(k > 0, "k must be positive");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "values must be finite"
+    );
+
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.dedup();
+    let k = k.min(sorted.len());
+
+    // Quantile initialisation over distinct values.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            let pos = (i as f64 + 0.5) / k as f64 * (sorted.len() as f64 - 1.0);
+            sorted[pos.round() as usize]
+        })
+        .collect();
+    centroids.dedup();
+
+    let mut assignments = vec![0usize; values.len()];
+    for _ in 0..max_iters.max(1) {
+        // Assignment step.
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (v - **a)
+                        .abs()
+                        .partial_cmp(&(v - **b).abs())
+                        .expect("finite")
+                })
+                .map(|(j, _)| j)
+                .expect("at least one centroid");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, &v) in values.iter().enumerate() {
+            sums[assignments[i]] += v;
+            counts[assignments[i]] += 1;
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                *c = sums[j] / counts[j] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Drop empty clusters and relabel by ascending centroid.
+    let mut used: Vec<usize> = assignments.to_vec();
+    used.sort_unstable();
+    used.dedup();
+    let mut order: Vec<usize> = used.clone();
+    order.sort_by(|&a, &b| {
+        centroids[a]
+            .partial_cmp(&centroids[b])
+            .expect("finite centroids")
+    });
+    let relabel: std::collections::HashMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let final_centroids: Vec<f64> = order.iter().map(|&old| centroids[old]).collect();
+    let final_assignments: Vec<usize> = assignments.iter().map(|a| relabel[a]).collect();
+
+    Clustering {
+        assignments: final_assignments,
+        centroids: final_centroids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_bands() {
+        let values = [1.0, 2.0, 1.5, 100.0, 101.0, 99.0, 50.0, 51.0];
+        let c = kmeans_1d(&values, 3, 100);
+        assert_eq!(c.k(), 3);
+        assert_eq!(c.assignment(0), 0);
+        assert_eq!(c.assignment(6), 1);
+        assert_eq!(c.assignment(3), 2);
+    }
+
+    #[test]
+    fn centroids_are_sorted_ascending() {
+        let values = [9.0, 1.0, 5.0, 9.5, 1.2, 5.1];
+        let c = kmeans_1d(&values, 3, 100);
+        for w in (0..c.k()).collect::<Vec<_>>().windows(2) {
+            assert!(c.centroid(w[0]) < c.centroid(w[1]));
+        }
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k() {
+        let values = [5.0, 5.0, 5.0];
+        let c = kmeans_1d(&values, 4, 10);
+        assert_eq!(c.k(), 1);
+        assert!(c.assignments().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = kmeans_1d(&[], 3, 10);
+        assert_eq!(c.k(), 0);
+        assert!(c.assignments().is_empty());
+    }
+
+    #[test]
+    fn ranks_invert_for_higher_better() {
+        let values = [1.0, 10.0];
+        let c = kmeans_1d(&values, 2, 10);
+        assert_eq!(c.ranks(Tendency::LowerBetter), vec![0, 1]);
+        assert_eq!(c.ranks(Tendency::HigherBetter), vec![1, 0]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let values: Vec<f64> = (0..100).map(|i| f64::from(i % 17) * 3.3).collect();
+        assert_eq!(kmeans_1d(&values, 4, 100), kmeans_1d(&values, 4, 100));
+    }
+
+    #[test]
+    fn partition_covers_all_points() {
+        let values: Vec<f64> = (0..57).map(f64::from).collect();
+        let c = kmeans_1d(&values, 4, 100);
+        assert_eq!(c.assignments().len(), values.len());
+        assert!(c.assignments().iter().all(|&a| a < c.k()));
+        // Every cluster is non-empty.
+        for label in 0..c.k() {
+            assert!(c.assignments().contains(&label));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = kmeans_1d(&[1.0, f64::NAN], 2, 10);
+    }
+}

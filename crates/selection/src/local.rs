@@ -1,0 +1,386 @@
+//! QASSA phase 1 — local selection.
+//!
+//! Per abstract activity, candidate services are clustered per QoS
+//! property into ranked quality bands (1-D K-means), the band memberships
+//! are combined into **QoS levels** and **QoS classes**, and candidates
+//! are ordered best-first:
+//!
+//! * the *level* of a candidate is its worst band rank across the
+//!   requested properties (`QL_r` — a service can only guarantee its worst
+//!   band);
+//! * within a level, its *class* is the number of properties stuck at that
+//!   worst rank (`QC_{r,e}` — the fewer, the closer the candidate is to
+//!   the better level);
+//! * within a class, candidates are ordered by SAW utility.
+//!
+//! A candidate missing a requested property is ranked below every band
+//! (its quality is unknown, which an open environment must treat as
+//! worst).
+
+use qasom_qos::utility::utility;
+use qasom_qos::{Normalizer, Preferences, PropertyId, QosModel};
+
+use crate::{kmeans_1d, ServiceCandidate};
+
+/// A candidate annotated with its local-selection rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    candidate: ServiceCandidate,
+    level: usize,
+    class: usize,
+    utility: f64,
+}
+
+impl RankedCandidate {
+    /// The underlying candidate.
+    pub fn candidate(&self) -> &ServiceCandidate {
+        &self.candidate
+    }
+
+    /// QoS level (`0` = best band).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// QoS class within the level (`1` = closest to the better level).
+    pub fn class(&self) -> usize {
+        self.class
+    }
+
+    /// SAW utility among the activity's candidates (`f_{s_{i,k}}`).
+    pub fn utility(&self) -> f64 {
+        self.utility
+    }
+}
+
+/// Configuration of the local selection phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRank {
+    /// Number of K-means bands per property (the `k` of QASSA).
+    pub bands: usize,
+    /// Lloyd-iteration cap.
+    pub kmeans_iters: usize,
+}
+
+impl Default for LocalRank {
+    /// Four bands, as in the original evaluation set-up.
+    fn default() -> Self {
+        LocalRank {
+            bands: 4,
+            kmeans_iters: 50,
+        }
+    }
+}
+
+impl LocalRank {
+    /// Runs local selection for one activity's candidate set over the
+    /// requested properties.
+    pub fn rank(
+        &self,
+        model: &QosModel,
+        candidates: &[ServiceCandidate],
+        properties: &[PropertyId],
+        preferences: &Preferences,
+    ) -> QosLevels {
+        if candidates.is_empty() {
+            return QosLevels { levels: Vec::new() };
+        }
+
+        // Worst possible rank: below the deepest band (missing values).
+        let missing_rank = self.bands;
+
+        // Per property: cluster present values and rank candidates.
+        let mut rank_matrix: Vec<Vec<usize>> = vec![Vec::with_capacity(properties.len()); candidates.len()];
+        for &p in properties {
+            let tendency = model.tendency(p);
+            // Non-finite values (e.g. an unreachable host's perceived
+            // response time) count as missing: unknown or unusable
+            // quality sinks below every band.
+            let present: Vec<(usize, f64)> = candidates
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    c.qos().get(p).filter(|v| v.is_finite()).map(|v| (i, v))
+                })
+                .collect();
+            let values: Vec<f64> = present.iter().map(|&(_, v)| v).collect();
+            let clustering = kmeans_1d(&values, self.bands, self.kmeans_iters);
+            let ranks = clustering.ranks(tendency);
+            let mut per_candidate = vec![missing_rank; candidates.len()];
+            for (j, &(i, _)) in present.iter().enumerate() {
+                per_candidate[i] = ranks[j];
+            }
+            for (i, row) in rank_matrix.iter_mut().enumerate() {
+                row.push(per_candidate[i]);
+            }
+        }
+
+        // Utilities over this activity's candidate pool.
+        let normalizer = Normalizer::fit(model, candidates.iter().map(ServiceCandidate::qos));
+        let prefs_owned;
+        let prefs = if preferences.is_empty() {
+            prefs_owned = Preferences::uniform(properties.iter().copied());
+            &prefs_owned
+        } else {
+            preferences
+        };
+
+        let mut ranked: Vec<RankedCandidate> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (level, class) = if properties.is_empty() {
+                    (0, 0)
+                } else {
+                    let worst = *rank_matrix[i].iter().max().expect("non-empty properties");
+                    let class = rank_matrix[i].iter().filter(|&&r| r == worst).count();
+                    (worst, class)
+                };
+                RankedCandidate {
+                    candidate: c.clone(),
+                    level,
+                    class,
+                    utility: utility(c.qos(), &normalizer, prefs),
+                }
+            })
+            .collect();
+
+        ranked.sort_by(|a, b| {
+            a.level
+                .cmp(&b.level)
+                .then(a.class.cmp(&b.class))
+                .then(b.utility.partial_cmp(&a.utility).expect("finite utility"))
+                .then(a.candidate.id().cmp(&b.candidate.id()))
+        });
+
+        let level_count = ranked.iter().map(|r| r.level + 1).max().unwrap_or(0);
+        let mut levels: Vec<Vec<RankedCandidate>> = vec![Vec::new(); level_count];
+        for r in ranked {
+            levels[r.level].push(r);
+        }
+        QosLevels { levels }
+    }
+}
+
+/// The ranked candidate hierarchy of one activity: candidates grouped by
+/// QoS level, best level first, each level internally sorted by class then
+/// utility.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QosLevels {
+    levels: Vec<Vec<RankedCandidate>>,
+}
+
+impl QosLevels {
+    /// Number of levels (including empty intermediate ones).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Candidates of one level (best-first within the level).
+    pub fn level(&self, r: usize) -> &[RankedCandidate] {
+        self.levels.get(r).map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidates of levels `0..=r`, best-first.
+    pub fn up_to_level(&self, r: usize) -> impl Iterator<Item = &RankedCandidate> {
+        self.levels.iter().take(r + 1).flatten()
+    }
+
+    /// All candidates, best-first across levels.
+    pub fn iter_best_first(&self) -> impl Iterator<Item = &RankedCandidate> {
+        self.levels.iter().flatten()
+    }
+
+    /// The single best-ranked candidate.
+    pub fn best(&self) -> Option<&RankedCandidate> {
+        self.iter_best_first().next()
+    }
+
+    /// Total number of candidates.
+    pub fn total(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether there is no candidate at all.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Merges another hierarchy into this one (distributed QASSA: the
+    /// coordinator unions provider-side digests). Levels are concatenated
+    /// pairwise and re-sorted by (class, utility).
+    pub fn merge(&mut self, other: QosLevels) {
+        if other.levels.len() > self.levels.len() {
+            self.levels.resize(other.levels.len(), Vec::new());
+        }
+        for (r, mut level) in other.levels.into_iter().enumerate() {
+            self.levels[r].append(&mut level);
+            self.levels[r].sort_by(|a, b| {
+                a.class
+                    .cmp(&b.class)
+                    .then(b.utility.partial_cmp(&a.utility).expect("finite"))
+                    .then(a.candidate.id().cmp(&b.candidate.id()))
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_qos::QosVector;
+    use qasom_registry::{ServiceDescription, ServiceRegistry};
+
+    fn candidates(model: &QosModel, specs: &[(f64, f64)]) -> Vec<ServiceCandidate> {
+        // specs: (response_time, availability)
+        let rt = model.property("ResponseTime").unwrap();
+        let av = model.property("Availability").unwrap();
+        let mut reg = ServiceRegistry::new();
+        specs
+            .iter()
+            .map(|&(t, a)| {
+                let id = reg.register(ServiceDescription::new("s", "d#F"));
+                let mut q = QosVector::new();
+                q.set(rt, t);
+                q.set(av, a);
+                ServiceCandidate::new(id, q)
+            })
+            .collect()
+    }
+
+    fn props(model: &QosModel) -> Vec<PropertyId> {
+        vec![
+            model.property("ResponseTime").unwrap(),
+            model.property("Availability").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn best_candidates_land_in_level_zero() {
+        let m = QosModel::standard();
+        let cands = candidates(
+            &m,
+            &[
+                (10.0, 0.99), // uniformly excellent
+                (500.0, 0.5), // uniformly terrible
+                (10.0, 0.5),  // mixed
+            ],
+        );
+        let levels = LocalRank::default().rank(&m, &cands, &props(&m), &Preferences::default());
+        let best = levels.best().unwrap();
+        assert_eq!(best.candidate().id(), cands[0].id());
+        assert_eq!(best.level(), 0);
+        // The uniformly terrible one sits in a deeper level.
+        let worst_level = levels
+            .iter_best_first()
+            .find(|r| r.candidate().id() == cands[1].id())
+            .unwrap()
+            .level();
+        assert!(worst_level > 0);
+    }
+
+    #[test]
+    fn class_counts_properties_at_worst_rank() {
+        let m = QosModel::standard();
+        let cands = candidates(
+            &m,
+            &[
+                (10.0, 0.99), // uniformly good: level 0
+                (10.0, 0.5),  // one property drags it down
+                (500.0, 0.5), // both properties at the bottom
+            ],
+        );
+        let levels = LocalRank::default().rank(&m, &cands, &props(&m), &Preferences::default());
+        let by_id = |id| {
+            levels
+                .iter_best_first()
+                .find(|r| r.candidate().id() == id)
+                .unwrap()
+        };
+        let mixed = by_id(cands[1].id());
+        let bad = by_id(cands[2].id());
+        assert_eq!(mixed.level(), bad.level());
+        assert!(mixed.class() < bad.class());
+        // And the mixed one is therefore ranked first within the level.
+        assert_eq!(
+            levels.level(mixed.level())[0].candidate().id(),
+            cands[1].id()
+        );
+    }
+
+    #[test]
+    fn missing_property_sinks_below_all_bands() {
+        let m = QosModel::standard();
+        let rt = m.property("ResponseTime").unwrap();
+        let mut reg = ServiceRegistry::new();
+        let full = {
+            let id = reg.register(ServiceDescription::new("a", "d#F"));
+            let mut q = QosVector::new();
+            q.set(rt, 10.0);
+            ServiceCandidate::new(id, q)
+        };
+        let empty = {
+            let id = reg.register(ServiceDescription::new("b", "d#F"));
+            ServiceCandidate::new(id, QosVector::new())
+        };
+        let cfg = LocalRank::default();
+        let levels = cfg.rank(&m, &[full.clone(), empty.clone()], &[rt], &Preferences::default());
+        let empty_rank = levels
+            .iter_best_first()
+            .find(|r| r.candidate().id() == empty.id())
+            .unwrap();
+        assert_eq!(empty_rank.level(), cfg.bands);
+        assert_eq!(levels.best().unwrap().candidate().id(), full.id());
+    }
+
+    #[test]
+    fn up_to_level_grows_monotonically() {
+        let m = QosModel::standard();
+        let specs: Vec<(f64, f64)> = (0..40)
+            .map(|i| (10.0 + f64::from(i) * 20.0, 0.99 - f64::from(i) * 0.01))
+            .collect();
+        let cands = candidates(&m, &specs);
+        let levels = LocalRank::default().rank(&m, &cands, &props(&m), &Preferences::default());
+        let mut prev = 0;
+        for r in 0..levels.level_count() {
+            let n = levels.up_to_level(r).count();
+            assert!(n >= prev);
+            prev = n;
+        }
+        assert_eq!(prev, 40);
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_levels() {
+        let m = QosModel::standard();
+        let levels = LocalRank::default().rank(&m, &[], &props(&m), &Preferences::default());
+        assert!(levels.is_empty());
+        assert!(levels.best().is_none());
+    }
+
+    #[test]
+    fn merge_unions_levels() {
+        let m = QosModel::standard();
+        let a = candidates(&m, &[(10.0, 0.99), (500.0, 0.5)]);
+        let b = candidates(&m, &[(12.0, 0.98), (480.0, 0.55)]);
+        let cfg = LocalRank::default();
+        let mut la = cfg.rank(&m, &a, &props(&m), &Preferences::default());
+        let lb = cfg.rank(&m, &b, &props(&m), &Preferences::default());
+        let total = la.total() + lb.total();
+        la.merge(lb);
+        assert_eq!(la.total(), total);
+    }
+
+    #[test]
+    fn utilities_are_in_unit_interval() {
+        let m = QosModel::standard();
+        let specs: Vec<(f64, f64)> = (0..25)
+            .map(|i| (10.0 + f64::from(i * 13 % 7) * 30.0, 0.5 + f64::from(i % 5) * 0.1))
+            .collect();
+        let cands = candidates(&m, &specs);
+        let levels = LocalRank::default().rank(&m, &cands, &props(&m), &Preferences::default());
+        for r in levels.iter_best_first() {
+            assert!((0.0..=1.0).contains(&r.utility()), "{}", r.utility());
+        }
+    }
+}

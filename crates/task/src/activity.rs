@@ -1,0 +1,149 @@
+//! Abstract activities — the `A_i` of the formal model.
+
+use std::fmt;
+
+use qasom_ontology::Iri;
+
+/// An abstract activity of a user task.
+///
+/// An activity is a *functional requirement*, not a concrete service: it
+/// names a capability (`function`, a domain-ontology concept) plus the data
+/// it consumes and produces. QoS-aware discovery later binds one or more
+/// concrete services to each activity.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_task::Activity;
+///
+/// let browse = Activity::new("browse", "shop#Browse")
+///     .with_input("shop#ItemList")
+///     .with_output("shop#Catalogue");
+/// assert_eq!(browse.name(), "browse");
+/// assert_eq!(browse.inputs().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    name: String,
+    function: Iri,
+    inputs: Vec<Iri>,
+    outputs: Vec<Iri>,
+}
+
+impl Activity {
+    /// Creates an activity named `name` requiring capability `function`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `function` is not a well-formed `ns#local` IRI; use
+    /// [`Activity::try_new`] for fallible construction.
+    pub fn new(name: impl Into<String>, function: &str) -> Self {
+        Activity::try_new(name, function).expect("malformed function IRI")
+    }
+
+    /// Fallible counterpart of [`Activity::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the IRI parse error when `function` is malformed.
+    pub fn try_new(
+        name: impl Into<String>,
+        function: &str,
+    ) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        Ok(Activity {
+            name: name.into(),
+            function: function.parse()?,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        })
+    }
+
+    /// Creates an activity from an already-parsed function IRI.
+    pub fn with_function(name: impl Into<String>, function: Iri) -> Self {
+        Activity {
+            name: name.into(),
+            function,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a consumed data concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed IRI.
+    pub fn with_input(mut self, input: &str) -> Self {
+        self.inputs.push(input.parse().expect("malformed input IRI"));
+        self
+    }
+
+    /// Adds a produced data concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed IRI.
+    pub fn with_output(mut self, output: &str) -> Self {
+        self.outputs
+            .push(output.parse().expect("malformed output IRI"));
+        self
+    }
+
+    /// The activity's unique name within its task.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The required capability concept.
+    pub fn function(&self) -> &Iri {
+        &self.function
+    }
+
+    /// Consumed data concepts.
+    pub fn inputs(&self) -> &[Iri] {
+        &self.inputs
+    }
+
+    /// Produced data concepts.
+    pub fn outputs(&self) -> &[Iri] {
+        &self.outputs
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.function)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_io() {
+        let a = Activity::new("register", "med#Register")
+            .with_input("med#PatientRecord")
+            .with_output("med#Appointment");
+        assert_eq!(a.function().to_string(), "med#Register");
+        assert_eq!(a.inputs()[0].to_string(), "med#PatientRecord");
+        assert_eq!(a.outputs()[0].to_string(), "med#Appointment");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_iri() {
+        assert!(Activity::try_new("x", "no-namespace").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed function IRI")]
+    fn new_panics_on_bad_iri() {
+        let _ = Activity::new("x", "broken");
+    }
+
+    #[test]
+    fn display_shows_name_and_function() {
+        let a = Activity::new("pay", "shop#Pay");
+        assert_eq!(a.to_string(), "pay[shop#Pay]");
+    }
+}

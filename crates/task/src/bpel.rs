@@ -1,0 +1,422 @@
+//! The *abstract BPEL* dialect: the XML form users (or tools) specify
+//! tasks in, mirroring the specification format of the original platform.
+//!
+//! The dialect is the executable-free subset of BPEL the thesis relies on:
+//!
+//! ```xml
+//! <process name="shopping">
+//!   <sequence>
+//!     <invoke name="browse" function="shop#Browse"
+//!             inputs="shop#ItemList" outputs="shop#Catalogue"/>
+//!     <flow>
+//!       <invoke name="buy-book" function="shop#BuyBook"/>
+//!       <invoke name="buy-cd" function="shop#BuyCd"/>
+//!     </flow>
+//!     <if>
+//!       <branch probability="0.7">
+//!         <invoke name="pay-card" function="shop#PayByCard"/>
+//!       </branch>
+//!       <branch probability="0.3">
+//!         <invoke name="pay-cash" function="shop#PayCash"/>
+//!       </branch>
+//!     </if>
+//!     <while expected="2" max="5">
+//!       <invoke name="track" function="shop#TrackOrder"/>
+//!     </while>
+//!   </sequence>
+//! </process>
+//! ```
+//!
+//! `inputs`/`outputs` are space-separated lists of data concepts.
+//! [`parse`] and [`print()`](fn@print) round-trip: `parse(&print(&t)).unwrap() == t`.
+
+use std::fmt;
+
+use qasom_ontology::Iri;
+
+use crate::xml::{self, XmlElement, XmlError};
+use crate::{Activity, LoopBound, TaskError, TaskNode, UserTask};
+
+/// Errors raised while reading an abstract-BPEL document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BpelError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// The XML is well-formed but not valid abstract BPEL.
+    Structure(String),
+    /// The described task violates a task invariant.
+    Task(TaskError),
+}
+
+impl fmt::Display for BpelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpelError::Xml(e) => write!(f, "{e}"),
+            BpelError::Structure(m) => write!(f, "invalid abstract BPEL: {m}"),
+            BpelError::Task(e) => write!(f, "invalid task: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BpelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BpelError::Xml(e) => Some(e),
+            BpelError::Task(e) => Some(e),
+            BpelError::Structure(_) => None,
+        }
+    }
+}
+
+impl From<XmlError> for BpelError {
+    fn from(e: XmlError) -> Self {
+        BpelError::Xml(e)
+    }
+}
+
+impl From<TaskError> for BpelError {
+    fn from(e: TaskError) -> Self {
+        BpelError::Task(e)
+    }
+}
+
+/// Parses an abstract-BPEL document into a validated [`UserTask`].
+///
+/// # Errors
+///
+/// Returns a [`BpelError`] for malformed XML, unknown elements, missing
+/// attributes or task-invariant violations.
+pub fn parse(input: &str) -> Result<UserTask, BpelError> {
+    let root = xml::parse(input)?;
+    parse_process(&root)
+}
+
+/// Parses an already-parsed `<process>` element into a task (used by the
+/// task-class dialect, whose documents embed several processes).
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_process(root: &XmlElement) -> Result<UserTask, BpelError> {
+    if root.name != "process" {
+        return Err(BpelError::Structure(format!(
+            "root element must be <process>, found <{}>",
+            root.name
+        )));
+    }
+    let name = root
+        .attr("name")
+        .ok_or_else(|| BpelError::Structure("<process> requires a name attribute".into()))?;
+    let node = parse_body(root, "<process>")?;
+    Ok(UserTask::new(name, node)?)
+}
+
+/// Renders a task as a `<process>` element (used by the task-class
+/// dialect's printer).
+pub fn process_element(task: &UserTask) -> XmlElement {
+    let mut root = XmlElement::new("process").with_attr("name", task.name());
+    root.children.push(print_node(task.root()));
+    root
+}
+
+/// Parses the children of `parent` as a single node (implicit sequence for
+/// multiple children).
+fn parse_body(parent: &XmlElement, context: &str) -> Result<TaskNode, BpelError> {
+    let mut nodes = parent
+        .children
+        .iter()
+        .map(parse_node)
+        .collect::<Result<Vec<_>, _>>()?;
+    match nodes.len() {
+        0 => Err(BpelError::Structure(format!(
+            "{context} must contain at least one activity or pattern"
+        ))),
+        1 => Ok(nodes.remove(0)),
+        _ => Ok(TaskNode::Sequence(nodes)),
+    }
+}
+
+fn parse_node(el: &XmlElement) -> Result<TaskNode, BpelError> {
+    match el.name.as_str() {
+        "invoke" => parse_invoke(el),
+        "sequence" => Ok(TaskNode::Sequence(
+            el.children
+                .iter()
+                .map(parse_node)
+                .collect::<Result<_, _>>()?,
+        )),
+        "flow" => Ok(TaskNode::Parallel(
+            el.children
+                .iter()
+                .map(parse_node)
+                .collect::<Result<_, _>>()?,
+        )),
+        "if" => {
+            let mut branches = Vec::new();
+            for child in &el.children {
+                if child.name != "branch" {
+                    return Err(BpelError::Structure(format!(
+                        "<if> may only contain <branch> children, found <{}>",
+                        child.name
+                    )));
+                }
+                let p = match child.attr("probability") {
+                    Some(raw) => raw.parse::<f64>().map_err(|_| {
+                        BpelError::Structure(format!("bad branch probability {raw:?}"))
+                    })?,
+                    None => 1.0,
+                };
+                branches.push((p, parse_body(child, "<branch>")?));
+            }
+            Ok(TaskNode::Choice(branches))
+        }
+        "while" => {
+            let expected = parse_f64_attr(el, "expected", 1.0)?;
+            let max = parse_u32_attr(el, "max", 1)?;
+            if !(expected.is_finite() && expected >= 0.0) || max == 0 {
+                return Err(BpelError::Structure(
+                    "<while> needs expected >= 0 and max >= 1".into(),
+                ));
+            }
+            Ok(TaskNode::repeat(
+                parse_body(el, "<while>")?,
+                LoopBound::new(expected, max),
+            ))
+        }
+        other => Err(BpelError::Structure(format!("unknown element <{other}>"))),
+    }
+}
+
+fn parse_invoke(el: &XmlElement) -> Result<TaskNode, BpelError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| BpelError::Structure("<invoke> requires a name attribute".into()))?;
+    let function = el
+        .attr("function")
+        .ok_or_else(|| BpelError::Structure("<invoke> requires a function attribute".into()))?;
+    let function: Iri = function
+        .parse()
+        .map_err(|_| BpelError::Structure(format!("bad function IRI {function:?}")))?;
+    let mut activity = Activity::with_function(name, function);
+    for (attr, adder) in [("inputs", true), ("outputs", false)] {
+        if let Some(list) = el.attr(attr) {
+            for item in list.split_whitespace() {
+                if item.parse::<Iri>().is_err() {
+                    return Err(BpelError::Structure(format!("bad {attr} IRI {item:?}")));
+                }
+                activity = if adder {
+                    activity.with_input(item)
+                } else {
+                    activity.with_output(item)
+                };
+            }
+        }
+    }
+    Ok(TaskNode::Activity(activity))
+}
+
+fn parse_f64_attr(el: &XmlElement, name: &str, default: f64) -> Result<f64, BpelError> {
+    match el.attr(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| BpelError::Structure(format!("bad {name} attribute {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
+fn parse_u32_attr(el: &XmlElement, name: &str, default: u32) -> Result<u32, BpelError> {
+    match el.attr(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| BpelError::Structure(format!("bad {name} attribute {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
+/// Prints a task as an abstract-BPEL document.
+pub fn print(task: &UserTask) -> String {
+    process_element(task).to_xml()
+}
+
+fn print_node(node: &TaskNode) -> XmlElement {
+    match node {
+        TaskNode::Activity(a) => {
+            let mut el = XmlElement::new("invoke")
+                .with_attr("name", a.name())
+                .with_attr("function", a.function().to_string());
+            if !a.inputs().is_empty() {
+                el = el.with_attr("inputs", iri_list(a.inputs()));
+            }
+            if !a.outputs().is_empty() {
+                el = el.with_attr("outputs", iri_list(a.outputs()));
+            }
+            el
+        }
+        TaskNode::Sequence(cs) => {
+            let mut el = XmlElement::new("sequence");
+            el.children = cs.iter().map(print_node).collect();
+            el
+        }
+        TaskNode::Parallel(cs) => {
+            let mut el = XmlElement::new("flow");
+            el.children = cs.iter().map(print_node).collect();
+            el
+        }
+        TaskNode::Choice(bs) => {
+            let mut el = XmlElement::new("if");
+            for (p, c) in bs {
+                let mut branch =
+                    XmlElement::new("branch").with_attr("probability", format!("{p}"));
+                branch.children.push(print_node(c));
+                el.children.push(branch);
+            }
+            el
+        }
+        TaskNode::Loop { body, bound } => {
+            let mut el = XmlElement::new("while")
+                .with_attr("expected", format!("{}", bound.expected()))
+                .with_attr("max", format!("{}", bound.max()));
+            el.children.push(print_node(body));
+            el
+        }
+    }
+}
+
+fn iri_list(iris: &[Iri]) -> String {
+    iris.iter()
+        .map(Iri::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHOPPING: &str = r#"
+        <process name="shopping">
+          <sequence>
+            <invoke name="browse" function="shop#Browse"
+                    inputs="shop#ItemList" outputs="shop#Catalogue"/>
+            <flow>
+              <invoke name="buy-book" function="shop#BuyBook"/>
+              <invoke name="buy-cd" function="shop#BuyCd"/>
+            </flow>
+            <if>
+              <branch probability="0.7">
+                <invoke name="pay-card" function="shop#PayByCard"/>
+              </branch>
+              <branch probability="0.3">
+                <invoke name="pay-cash" function="shop#PayCash"/>
+              </branch>
+            </if>
+            <while expected="2" max="5">
+              <invoke name="track" function="shop#TrackOrder"/>
+            </while>
+          </sequence>
+        </process>"#;
+
+    #[test]
+    fn parses_the_full_dialect() {
+        let task = parse(SHOPPING).unwrap();
+        assert_eq!(task.name(), "shopping");
+        assert_eq!(task.activity_count(), 6);
+        assert_eq!(task.find("pay-cash").unwrap().index(), 4);
+    }
+
+    #[test]
+    fn round_trips() {
+        let task = parse(SHOPPING).unwrap();
+        let printed = print(&task);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(task, reparsed);
+    }
+
+    #[test]
+    fn implicit_sequence_in_process_body() {
+        let task = parse(
+            r#"<process name="t">
+                 <invoke name="a" function="x#A"/>
+                 <invoke name="b" function="x#B"/>
+               </process>"#,
+        )
+        .unwrap();
+        assert!(matches!(task.root(), TaskNode::Sequence(cs) if cs.len() == 2));
+    }
+
+    #[test]
+    fn branch_probability_defaults_and_normalises() {
+        let task = parse(
+            r#"<process name="t">
+                 <if>
+                   <branch><invoke name="a" function="x#A"/></branch>
+                   <branch><invoke name="b" function="x#B"/></branch>
+                 </if>
+               </process>"#,
+        )
+        .unwrap();
+        let TaskNode::Choice(bs) = task.root() else {
+            panic!()
+        };
+        assert_eq!(bs[0].0, 0.5);
+    }
+
+    #[test]
+    fn rejects_unknown_elements() {
+        let err = parse(r#"<process name="t"><pick/></process>"#).unwrap_err();
+        assert!(matches!(err, BpelError::Structure(_)));
+    }
+
+    #[test]
+    fn rejects_missing_function() {
+        let err = parse(r#"<process name="t"><invoke name="a"/></process>"#).unwrap_err();
+        assert!(err.to_string().contains("function"));
+    }
+
+    #[test]
+    fn rejects_bad_root() {
+        assert!(matches!(
+            parse("<task/>").unwrap_err(),
+            BpelError::Structure(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_process() {
+        assert!(parse(r#"<process name="t"/>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_non_branch_in_if() {
+        let err = parse(
+            r#"<process name="t"><if><invoke name="a" function="x#A"/></if></process>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("branch"));
+    }
+
+    #[test]
+    fn rejects_duplicate_activity_names_via_task_validation() {
+        let err = parse(
+            r#"<process name="t">
+                 <invoke name="a" function="x#A"/>
+                 <invoke name="a" function="x#B"/>
+               </process>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BpelError::Task(TaskError::DuplicateActivity(_))));
+    }
+
+    #[test]
+    fn while_defaults() {
+        let task = parse(
+            r#"<process name="t"><while><invoke name="a" function="x#A"/></while></process>"#,
+        )
+        .unwrap();
+        let TaskNode::Loop { bound, .. } = task.root() else {
+            panic!()
+        };
+        assert_eq!(bound.expected(), 1.0);
+        assert_eq!(bound.max(), 1);
+    }
+}

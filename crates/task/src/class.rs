@@ -1,0 +1,353 @@
+//! Task classes: sets of behaviourally equivalent task structures.
+//!
+//! The *task class* concept is the pivot of behavioural adaptation: a user
+//! task can usually be accomplished in several ways — reordering
+//! activities, splitting or merging them, swapping a parallel block for a
+//! sequence. A [`TaskClass`] groups such equivalent behaviours; the
+//! [`TaskClassRepository`] (one per middleware instance) stores the classes
+//! offered by a pervasive environment and answers the question the
+//! adaptation engine asks at runtime: *which alternative behaviours could
+//! still realise this task?*
+
+use std::collections::HashMap;
+
+use crate::bpel::{self, BpelError};
+use crate::xml::{self, XmlElement};
+use crate::UserTask;
+
+/// A named set of behaviourally equivalent user tasks.
+///
+/// # Examples
+///
+/// ```
+/// use qasom_task::{Activity, TaskClass, TaskNode, UserTask};
+///
+/// let seq = UserTask::new(
+///     "buy-sequential",
+///     TaskNode::sequence([
+///         TaskNode::activity(Activity::new("book", "shop#BuyBook")),
+///         TaskNode::activity(Activity::new("cd", "shop#BuyCd")),
+///     ]),
+/// )
+/// .unwrap();
+/// let par = UserTask::new(
+///     "buy-parallel",
+///     TaskNode::parallel([
+///         TaskNode::activity(Activity::new("book", "shop#BuyBook")),
+///         TaskNode::activity(Activity::new("cd", "shop#BuyCd")),
+///     ]),
+/// )
+/// .unwrap();
+///
+/// let mut class = TaskClass::new("buy");
+/// class.add_behaviour(seq);
+/// class.add_behaviour(par);
+/// assert_eq!(class.alternatives("buy-sequential").count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskClass {
+    name: String,
+    behaviours: Vec<UserTask>,
+}
+
+impl TaskClass {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<String>) -> Self {
+        TaskClass {
+            name: name.into(),
+            behaviours: Vec::new(),
+        }
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a behaviour. Behaviours added earlier are considered
+    /// preferable: the adaptation engine tries them in insertion order.
+    pub fn add_behaviour(&mut self, task: UserTask) -> &mut Self {
+        self.behaviours.push(task);
+        self
+    }
+
+    /// All behaviours, in preference order.
+    pub fn behaviours(&self) -> &[UserTask] {
+        &self.behaviours
+    }
+
+    /// Behaviours other than the one named `current`, in preference order.
+    pub fn alternatives<'a>(&'a self, current: &'a str) -> impl Iterator<Item = &'a UserTask> {
+        self.behaviours.iter().filter(move |t| t.name() != current)
+    }
+
+    /// Looks a behaviour up by task name.
+    pub fn behaviour(&self, name: &str) -> Option<&UserTask> {
+        self.behaviours.iter().find(|t| t.name() == name)
+    }
+
+    /// Number of behaviours.
+    pub fn len(&self) -> usize {
+        self.behaviours.len()
+    }
+
+    /// Whether the class has no behaviour.
+    pub fn is_empty(&self) -> bool {
+        self.behaviours.is_empty()
+    }
+
+    /// Parses the XML form of a task class: a `<taskclass name="…">`
+    /// element containing one abstract-BPEL `<process>` per behaviour (in
+    /// preference order).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed XML or invalid embedded processes.
+    pub fn from_xml(input: &str) -> Result<TaskClass, BpelError> {
+        let root = xml::parse(input).map_err(BpelError::Xml)?;
+        TaskClass::from_element(&root)
+    }
+
+    fn from_element(el: &XmlElement) -> Result<TaskClass, BpelError> {
+        if el.name != "taskclass" {
+            return Err(BpelError::Structure(format!(
+                "expected <taskclass>, found <{}>",
+                el.name
+            )));
+        }
+        let name = el.attr("name").ok_or_else(|| {
+            BpelError::Structure("<taskclass> requires a name attribute".into())
+        })?;
+        let mut class = TaskClass::new(name);
+        for child in &el.children {
+            class.add_behaviour(bpel::parse_process(child)?);
+        }
+        Ok(class)
+    }
+
+    /// Renders the class in its XML form.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    fn to_element(&self) -> XmlElement {
+        let mut el = XmlElement::new("taskclass").with_attr("name", self.name());
+        for behaviour in &self.behaviours {
+            el.children.push(bpel::process_element(behaviour));
+        }
+        el
+    }
+}
+
+/// Repository of the task classes offered by a pervasive environment.
+///
+/// Behaviour (task) names must be globally unique: inserting a class whose
+/// behaviour name collides with an already-registered one replaces the
+/// routing entry, mirroring re-deployment of an updated class.
+#[derive(Debug, Clone, Default)]
+pub struct TaskClassRepository {
+    classes: Vec<TaskClass>,
+    class_by_task: HashMap<String, usize>,
+    class_by_name: HashMap<String, usize>,
+}
+
+impl TaskClassRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        TaskClassRepository::default()
+    }
+
+    /// Registers a class and indexes all its behaviours.
+    pub fn insert(&mut self, class: TaskClass) {
+        let idx = self.classes.len();
+        for behaviour in class.behaviours() {
+            self.class_by_task.insert(behaviour.name().to_owned(), idx);
+        }
+        self.class_by_name.insert(class.name().to_owned(), idx);
+        self.classes.push(class);
+    }
+
+    /// The class a task (behaviour) name belongs to.
+    pub fn class_of(&self, task_name: &str) -> Option<&TaskClass> {
+        self.class_by_task
+            .get(task_name)
+            .map(|&i| &self.classes[i])
+    }
+
+    /// A class looked up by its own name.
+    pub fn get(&self, class_name: &str) -> Option<&TaskClass> {
+        self.class_by_name
+            .get(class_name)
+            .map(|&i| &self.classes[i])
+    }
+
+    /// Alternative behaviours for a task, in preference order (empty when
+    /// the task is unknown or alone in its class).
+    pub fn alternatives<'a>(&'a self, task_name: &'a str) -> impl Iterator<Item = &'a UserTask> {
+        self.class_of(task_name)
+            .into_iter()
+            .flat_map(move |c| c.alternatives(task_name))
+    }
+
+    /// Looks a behaviour (task) up by name across all classes.
+    pub fn task(&self, task_name: &str) -> Option<&UserTask> {
+        self.class_of(task_name)?.behaviour(task_name)
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over the classes.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskClass> {
+        self.classes.iter()
+    }
+
+    /// Parses the XML form of a whole repository: a `<taskclasses>`
+    /// element containing `<taskclass>` children.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed XML or invalid embedded classes.
+    pub fn from_xml(input: &str) -> Result<TaskClassRepository, BpelError> {
+        let root = xml::parse(input).map_err(BpelError::Xml)?;
+        if root.name != "taskclasses" {
+            return Err(BpelError::Structure(format!(
+                "expected <taskclasses>, found <{}>",
+                root.name
+            )));
+        }
+        let mut repo = TaskClassRepository::new();
+        for child in &root.children {
+            repo.insert(TaskClass::from_element(child)?);
+        }
+        Ok(repo)
+    }
+
+    /// Renders the repository in its XML form.
+    pub fn to_xml(&self) -> String {
+        let mut el = XmlElement::new("taskclasses");
+        for class in &self.classes {
+            el.children.push(class.to_element());
+        }
+        el.to_xml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activity, TaskNode};
+
+    fn task(name: &str, acts: &[&str]) -> UserTask {
+        UserTask::new(
+            name,
+            TaskNode::sequence(
+                acts.iter()
+                    .map(|a| TaskNode::activity(Activity::new(*a, "t#F"))),
+            ),
+        )
+        .unwrap()
+    }
+
+    fn repo() -> TaskClassRepository {
+        let mut class = TaskClass::new("shopping");
+        class.add_behaviour(task("shop-v1", &["a", "b"]));
+        class.add_behaviour(task("shop-v2", &["a", "c"]));
+        class.add_behaviour(task("shop-v3", &["d"]));
+        let mut repo = TaskClassRepository::new();
+        repo.insert(class);
+        repo
+    }
+
+    #[test]
+    fn class_of_routes_each_behaviour() {
+        let r = repo();
+        for name in ["shop-v1", "shop-v2", "shop-v3"] {
+            assert_eq!(r.class_of(name).unwrap().name(), "shopping");
+        }
+        assert!(r.class_of("nope").is_none());
+    }
+
+    #[test]
+    fn alternatives_exclude_current() {
+        let r = repo();
+        let alts: Vec<_> = r.alternatives("shop-v2").map(|t| t.name()).collect();
+        assert_eq!(alts, vec!["shop-v1", "shop-v3"]);
+    }
+
+    #[test]
+    fn alternatives_of_unknown_task_is_empty() {
+        let r = repo();
+        assert_eq!(r.alternatives("nope").count(), 0);
+    }
+
+    #[test]
+    fn task_lookup_finds_behaviour() {
+        let r = repo();
+        assert_eq!(r.task("shop-v3").unwrap().activity_count(), 1);
+    }
+
+    #[test]
+    fn get_by_class_name() {
+        let r = repo();
+        assert_eq!(r.get("shopping").unwrap().len(), 3);
+        assert!(r.get("nope").is_none());
+    }
+
+    #[test]
+    fn xml_round_trips_classes() {
+        let mut class = TaskClass::new("shopping");
+        class.add_behaviour(task("v1", &["a", "b"]));
+        class.add_behaviour(task("v2", &["c"]));
+        let xml = class.to_xml();
+        let reparsed = TaskClass::from_xml(&xml).unwrap();
+        assert_eq!(class, reparsed);
+    }
+
+    #[test]
+    fn xml_round_trips_repositories() {
+        let r = repo();
+        let xml = r.to_xml();
+        let reparsed = TaskClassRepository::from_xml(&xml).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed.get("shopping").unwrap().len(), 3);
+        assert_eq!(
+            reparsed.task("shop-v2").unwrap(),
+            r.task("shop-v2").unwrap()
+        );
+    }
+
+    #[test]
+    fn xml_rejects_wrong_elements() {
+        assert!(TaskClass::from_xml("<nope/>").is_err());
+        assert!(TaskClassRepository::from_xml("<taskclass/>").is_err());
+        assert!(TaskClass::from_xml("<taskclass/>").is_err()); // missing name
+    }
+
+    #[test]
+    fn xml_class_preserves_preference_order() {
+        let doc = r#"<taskclass name="c">
+            <process name="first"><invoke name="a" function="x#A"/></process>
+            <process name="second"><invoke name="b" function="x#B"/></process>
+        </taskclass>"#;
+        let class = TaskClass::from_xml(doc).unwrap();
+        let names: Vec<_> = class.behaviours().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn singleton_class_has_no_alternatives() {
+        let mut class = TaskClass::new("solo");
+        class.add_behaviour(task("only", &["a"]));
+        let mut r = TaskClassRepository::new();
+        r.insert(class);
+        assert_eq!(r.alternatives("only").count(), 0);
+    }
+}

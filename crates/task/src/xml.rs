@@ -1,0 +1,436 @@
+//! A minimal XML subset parser, sufficient for the abstract-BPEL dialect.
+//!
+//! Supports elements, attributes (single- or double-quoted), self-closing
+//! tags, character data, comments, processing instructions / the XML
+//! prolog, and the five predefined entities. Doctypes, CDATA sections and
+//! namespace processing are *not* supported — the BPEL dialect needs none
+//! of them.
+
+use std::fmt;
+
+/// A parsed XML element: name, attributes, children and (trimmed,
+/// concatenated) text content.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated character data directly below this element, trimmed.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// Creates an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlElement {
+            name: name.into(),
+            ..XmlElement::default()
+        }
+    }
+
+    /// Value of the first attribute called `name`.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: XmlElement) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serialises the element (and its subtree) with 2-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write_indented(out, depth + 1);
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escapes the five predefined XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    offset: usize,
+    message: String,
+}
+
+impl XmlError {
+    /// Byte offset of the error in the input.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document and returns its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] on malformed input (unbalanced tags, bad
+/// attribute syntax, trailing content, unknown entity, …).
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->", "unterminated comment")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>", "unterminated processing instruction")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str, msg: &str) -> Result<(), XmlError> {
+        match self.bytes[self.pos..]
+            .windows(terminator.len())
+            .position(|w| w == terminator.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + terminator.len();
+                Ok(())
+            }
+            None => Err(self.err(msg)),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return unescape(&raw).map_err(|m| self.err(m));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(name);
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push((attr, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content: text, children, comments — until the closing tag.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_until("-->", "unterminated comment")?;
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != element.name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: expected </{}>, found </{}>",
+                        element.name, close
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                element.text = text.trim().to_owned();
+                return Ok(element);
+            } else if self.peek() == Some(b'<') {
+                element.children.push(self.parse_element()?);
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                text.push_str(&unescape(&raw).map_err(|m| self.err(m))?);
+            } else {
+                return Err(self.err(format!("unterminated element <{}>", element.name)));
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity in {s:?}"))?;
+        match &rest[..=end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => return Err(format!("unknown entity {other:?}")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- a task -->
+            <process name="shopping">
+              <sequence>
+                <invoke name="browse" function="shop#Browse"/>
+                <invoke name='pay' function='shop#Pay'/>
+              </sequence>
+            </process>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "process");
+        assert_eq!(root.attr("name"), Some("shopping"));
+        let seq = &root.children[0];
+        assert_eq!(seq.children.len(), 2);
+        assert_eq!(seq.children[1].attr("function"), Some("shop#Pay"));
+    }
+
+    #[test]
+    fn captures_text_content() {
+        let root = parse("<a>hello <b/> world</a>").unwrap();
+        assert_eq!(root.text, "hello  world");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let root = parse(r#"<a v="&lt;x&gt; &amp; &quot;y&quot;">&apos;t&apos;</a>"#).unwrap();
+        assert_eq!(root.attr("v"), Some(r#"<x> & "y""#));
+        assert_eq!(root.text, "'t'");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_element() {
+        assert!(parse("<a><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn comments_inside_elements_are_skipped() {
+        let root = parse("<a><!-- comment --><b/></a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn to_xml_round_trips() {
+        let doc = XmlElement::new("process")
+            .with_attr("name", "t & co")
+            .with_child(XmlElement::new("invoke").with_attr("name", "a"))
+            .with_child(
+                XmlElement::new("flow").with_child(XmlElement::new("invoke").with_attr("name", "b")),
+            );
+        let text = doc.to_xml();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("<a attr=oops/>").unwrap_err();
+        assert!(err.offset() > 0);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let root = parse("<a><x/><y/><x/></a>").unwrap();
+        assert_eq!(root.children_named("x").count(), 2);
+        assert_eq!(root.children_named("y").count(), 1);
+    }
+}

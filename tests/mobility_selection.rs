@@ -1,0 +1,107 @@
+//! Mobility → end-to-end QoS → selection: the same request must select
+//! different providers as the user moves through the environment.
+
+use qasom::{Environment, UserRequest};
+use qasom_netsim::mobility::{Position, RadioProfile, RandomWaypoint};
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::{QosModel, QosVector};
+use qasom_registry::ServiceDescription;
+use qasom_task::{Activity, TaskNode, UserTask};
+
+fn streaming_env() -> Environment {
+    let mut b = OntologyBuilder::new("camp");
+    b.concept("Streaming");
+    let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 3);
+    let rt = env.model().property("ResponseTime").unwrap();
+    // Identically advertised peers on hosts 1 and 2.
+    for host in [1u64, 2] {
+        let desc = ServiceDescription::new(format!("peer-{host}"), "camp#Streaming")
+            .with_qos(rt, 100.0)
+            .with_host(host);
+        let nominal = desc.qos().clone();
+        env.deploy(
+            desc,
+            qasom_netsim::runtime::SyntheticService::new(nominal),
+        );
+    }
+    env
+}
+
+fn request() -> UserRequest {
+    UserRequest::new(
+        UserTask::new(
+            "listen",
+            TaskNode::activity(Activity::new("stream", "camp#Streaming")),
+        )
+        .unwrap(),
+    )
+    // Selection needs a QoS axis to rank on: the user cares about delay.
+    .weight("Delay", 1.0)
+}
+
+fn selected_host(env: &mut Environment) -> u64 {
+    let comp = env.compose(&request()).unwrap();
+    let id = comp.outcome().assignment[0].id();
+    env.registry().get(id).unwrap().host().unwrap()
+}
+
+#[test]
+fn selection_prefers_the_nearer_host() {
+    let mut env = streaming_env();
+    let radio = RadioProfile::wifi_adhoc();
+    let model = env.model().clone();
+    // User close to host 1, far from host 2.
+    env.set_infrastructure(1, radio.infra_qos(&model, 10.0));
+    env.set_infrastructure(2, radio.infra_qos(&model, 80.0));
+    assert_eq!(selected_host(&mut env), 1);
+
+    // The user walks: distances swap, so does the selection.
+    env.set_infrastructure(1, radio.infra_qos(&model, 80.0));
+    env.set_infrastructure(2, radio.infra_qos(&model, 10.0));
+    assert_eq!(selected_host(&mut env), 2);
+}
+
+#[test]
+fn out_of_range_hosts_are_perceived_as_unusable() {
+    let mut env = streaming_env();
+    let radio = RadioProfile::wifi_adhoc();
+    let model = env.model().clone();
+    let rt = model.property("ResponseTime").unwrap();
+    env.set_infrastructure(1, radio.infra_qos(&model, 10.0));
+    env.set_infrastructure(2, radio.infra_qos(&model, 500.0)); // out of range
+    let found = env.discover(&Activity::new("stream", "camp#Streaming"));
+    let host2 = found
+        .iter()
+        .find(|c| env.registry().get(c.id()).unwrap().host() == Some(2))
+        .unwrap();
+    // Infinite network latency makes the perceived response time infinite.
+    assert_eq!(host2.qos().get(rt), Some(f64::INFINITY));
+    assert_eq!(selected_host(&mut env), 1);
+}
+
+#[test]
+fn waypoint_walk_changes_selection_over_time() {
+    let mut env = streaming_env();
+    let radio = RadioProfile::wifi_adhoc();
+    let model = env.model().clone();
+    // Node 0 = user, nodes 1 and 2 = fixed peers at opposite corners.
+    let mut mob = RandomWaypoint::new(3, (100.0, 100.0), (2.0, 4.0), 11);
+    mob.set_position(1, Position::new(5.0, 5.0));
+    mob.set_position(2, Position::new(95.0, 95.0));
+
+    let mut hosts_seen = std::collections::HashSet::new();
+    for _ in 0..30 {
+        for host in [1u64, 2] {
+            let d = mob.distance(0, host as usize);
+            env.set_infrastructure(host, radio.infra_qos(&model, d));
+        }
+        hosts_seen.insert(selected_host(&mut env));
+        mob.step(20.0);
+    }
+    assert_eq!(
+        hosts_seen.len(),
+        2,
+        "a long random walk across the area must visit both peers' cells"
+    );
+    let _ = QosVector::new();
+}

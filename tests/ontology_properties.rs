@@ -1,0 +1,171 @@
+//! Property-based tests of the ontology substrate on random DAG
+//! taxonomies.
+
+use proptest::prelude::*;
+use qasom_ontology::{MatchDegree, Ontology, OntologyBuilder, Similarity};
+
+/// A random taxonomy: `n` concepts, each with parents drawn only from
+/// earlier concepts (guaranteeing acyclicity), plus random equivalences
+/// to alias concepts.
+#[derive(Debug, Clone)]
+struct TaxonomySpec {
+    parents: Vec<Vec<usize>>, // parents[i] ⊆ 0..i
+    aliases: Vec<usize>,      // one alias concept per referenced base
+}
+
+fn arb_taxonomy() -> impl Strategy<Value = TaxonomySpec> {
+    (2usize..24)
+        .prop_flat_map(|n| {
+            let parents = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(Vec::new()).boxed()
+                    } else {
+                        prop::collection::vec(0..i, 0..3.min(i + 1)).boxed()
+                    }
+                })
+                .collect::<Vec<_>>();
+            (parents, prop::collection::vec(0..n, 0..3))
+        })
+        .prop_map(|(parents, aliases)| TaxonomySpec { parents, aliases })
+}
+
+fn build(spec: &TaxonomySpec) -> (Ontology, Vec<qasom_ontology::ConceptId>) {
+    let mut b = OntologyBuilder::new("t");
+    let ids: Vec<_> = (0..spec.parents.len())
+        .map(|i| b.concept(&format!("C{i}")))
+        .collect();
+    for (i, ps) in spec.parents.iter().enumerate() {
+        for &p in ps {
+            b.subclass(ids[i], ids[p]);
+        }
+    }
+    for (k, &base) in spec.aliases.iter().enumerate() {
+        let alias = b.concept_iri(qasom_ontology::Iri::new("alias", format!("A{k}")));
+        b.equivalent(alias, ids[base]);
+    }
+    (b.build().expect("parents ⊆ earlier ⇒ acyclic"), ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Subsumption is reflexive and transitive on every taxonomy.
+    #[test]
+    fn subsumption_is_a_preorder(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        for &a in &ids {
+            prop_assert!(o.is_subconcept_of(a, a));
+        }
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    if o.is_subconcept_of(a, b) && o.is_subconcept_of(b, c) {
+                        prop_assert!(o.is_subconcept_of(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Antisymmetry modulo equivalence: mutual subsumption means the
+    /// concepts are the same (possibly via declared equivalence).
+    #[test]
+    fn mutual_subsumption_implies_sameness(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        for &a in &ids {
+            for &b in &ids {
+                if o.is_subconcept_of(a, b) && o.is_subconcept_of(b, a) {
+                    prop_assert!(o.same_concept(a, b));
+                }
+            }
+        }
+    }
+
+    /// The match lattice is consistent with subsumption.
+    #[test]
+    fn match_degree_is_consistent(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        for &req in &ids {
+            for &off in &ids {
+                let d = o.match_degree(req, off);
+                match d {
+                    MatchDegree::Exact => prop_assert!(o.same_concept(req, off)),
+                    MatchDegree::PlugIn => prop_assert!(o.is_subconcept_of(off, req)),
+                    MatchDegree::Subsumes => prop_assert!(o.is_subconcept_of(req, off)),
+                    MatchDegree::Intersection => {
+                        prop_assert!(o.lca(req, off).is_some());
+                        prop_assert!(!o.is_subconcept_of(req, off));
+                        prop_assert!(!o.is_subconcept_of(off, req));
+                    }
+                    MatchDegree::Fail => {
+                        prop_assert!(
+                            o.lca(req, off).is_none_or(|l| o.depth(l) == 0)
+                        );
+                    }
+                }
+                // Matching degree symmetry relations.
+                let back = o.match_degree(off, req);
+                if d == MatchDegree::PlugIn {
+                    prop_assert_eq!(back, MatchDegree::Subsumes);
+                }
+                if d == MatchDegree::Exact {
+                    prop_assert_eq!(back, MatchDegree::Exact);
+                }
+            }
+        }
+    }
+
+    /// The LCA is a common ancestor and no common ancestor is deeper.
+    #[test]
+    fn lca_is_deepest_common_ancestor(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        for &a in &ids {
+            for &b in &ids {
+                if let Some(l) = o.lca(a, b) {
+                    prop_assert!(o.is_subconcept_of(a, l));
+                    prop_assert!(o.is_subconcept_of(b, l));
+                    for &c in &ids {
+                        if o.is_subconcept_of(a, c) && o.is_subconcept_of(b, c) {
+                            prop_assert!(o.depth(c) <= o.depth(l));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wu–Palmer similarity is symmetric, bounded and maximal on self.
+    #[test]
+    fn wu_palmer_is_well_behaved(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        let sim = Similarity::new(&o);
+        for &a in &ids {
+            prop_assert_eq!(sim.wu_palmer(a, a), 1.0);
+            for &b in &ids {
+                let s = sim.wu_palmer(a, b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert_eq!(s, sim.wu_palmer(b, a));
+            }
+        }
+    }
+
+    /// Declared aliases behave exactly like their base concept.
+    #[test]
+    fn aliases_are_transparent(spec in arb_taxonomy()) {
+        let (o, ids) = build(&spec);
+        for (k, &base) in spec.aliases.iter().enumerate() {
+            let alias = o
+                .concept(&qasom_ontology::Iri::new("alias", format!("A{k}")))
+                .expect("alias declared");
+            prop_assert!(o.same_concept(alias, ids[base]));
+            for &c in &ids {
+                prop_assert_eq!(
+                    o.is_subconcept_of(alias, c),
+                    o.is_subconcept_of(ids[base], c)
+                );
+                prop_assert_eq!(o.match_degree(alias, c), o.match_degree(ids[base], c));
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Concurrent multi-session use of a shared middleware instance, with
+//! churn injected from another thread.
+
+use std::thread;
+
+use qasom::{Environment, SharedEnvironment, UserRequest};
+use qasom_netsim::runtime::SyntheticService;
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::QosModel;
+use qasom_registry::ServiceDescription;
+use qasom_task::{Activity, TaskNode, UserTask};
+
+fn shared_market(providers: usize) -> SharedEnvironment {
+    let mut b = OntologyBuilder::new("d");
+    b.concept("A");
+    let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 21);
+    let rt = env.model().property("ResponseTime").unwrap();
+    for i in 0..providers {
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A")
+            .with_qos(rt, 40.0 + i as f64);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, SyntheticService::new(nominal).with_noise(0.02));
+    }
+    SharedEnvironment::new(env)
+}
+
+fn request() -> UserRequest {
+    UserRequest::new(
+        UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap(),
+    )
+    .weight("Delay", 1.0)
+}
+
+#[test]
+fn many_sessions_with_concurrent_churn() {
+    let shared = shared_market(12);
+
+    // A churn thread keeps removing and re-adding providers while eight
+    // session threads serve requests.
+    let churner = {
+        let s = shared.clone();
+        thread::spawn(move || {
+            for round in 0..20 {
+                let victim = s.with(|e| {
+                    e.registry()
+                        .iter()
+                        .map(|(id, _)| id)
+                        .nth(round % 3)
+                });
+                if let Some(id) = victim {
+                    s.with_mut(|e| e.undeploy(id));
+                }
+                s.with_mut(|e| {
+                    let rt = e.model().property("ResponseTime").unwrap();
+                    let desc = ServiceDescription::new(
+                        format!("fresh{round}"),
+                        "d#A",
+                    )
+                    .with_qos(rt, 45.0);
+                    let nominal = desc.qos().clone();
+                    e.deploy(desc, SyntheticService::new(nominal));
+                });
+            }
+        })
+    };
+
+    let sessions: Vec<_> = (0..8)
+        .map(|_| {
+            let s = shared.clone();
+            thread::spawn(move || {
+                let mut successes = 0;
+                for _ in 0..10 {
+                    if let Ok(report) = s.serve(&request()) {
+                        assert!(report.success);
+                        successes += 1;
+                    }
+                }
+                successes
+            })
+        })
+        .collect();
+
+    churner.join().unwrap();
+    let total: usize = sessions.into_iter().map(|h| h.join().unwrap()).sum();
+    // serve() is transactional over the environment, so every session
+    // request must have completed despite the churn.
+    assert_eq!(total, 80);
+
+    // SLA records exist for every provider that actually served.
+    let tracked = shared.with(|e| {
+        e.registry()
+            .iter()
+            .filter(|(id, _)| e.sla(*id).is_some())
+            .count()
+    });
+    assert!(tracked >= 1);
+}

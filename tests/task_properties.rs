@@ -1,0 +1,139 @@
+//! Property-based tests of the task model: BPEL round-tripping and
+//! behavioural-graph invariants over randomly generated task structures.
+
+use proptest::prelude::*;
+use qasom_task::{bpel, Activity, BehaviouralGraph, LoopBound, TaskNode, UserTask, VertexKind};
+
+/// Structure skeleton; names are assigned afterwards so they stay unique.
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf,
+    Seq(Vec<Shape>),
+    Par(Vec<Shape>),
+    Choice(Vec<Shape>),
+    Loop(Box<Shape>, u32, u32),
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = Just(Shape::Leaf);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Par),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Choice),
+            (inner, 1u32..4, 0u32..3)
+                .prop_map(|(b, e, extra)| Shape::Loop(Box::new(b), e, e + extra)),
+        ]
+    })
+}
+
+fn to_node(shape: &Shape, counter: &mut usize) -> TaskNode {
+    match shape {
+        Shape::Leaf => {
+            let i = *counter;
+            *counter += 1;
+            TaskNode::activity(
+                Activity::new(format!("act{i}"), &format!("gen#F{}", i % 5))
+                    .with_input("gen#In")
+                    .with_output(&format!("gen#Out{}", i % 3)),
+            )
+        }
+        Shape::Seq(cs) => TaskNode::sequence(cs.iter().map(|c| to_node(c, counter))),
+        Shape::Par(cs) => TaskNode::parallel(cs.iter().map(|c| to_node(c, counter))),
+        Shape::Choice(cs) => TaskNode::choice(
+            cs.iter()
+                .enumerate()
+                .map(|(i, c)| (1.0 + i as f64, to_node(c, counter))),
+        ),
+        Shape::Loop(b, e, m) => TaskNode::repeat(
+            to_node(b, counter),
+            LoopBound::new(f64::from(*e), (*m).max(1)),
+        ),
+    }
+}
+
+fn arb_task() -> impl Strategy<Value = UserTask> {
+    arb_shape().prop_map(|s| {
+        let mut counter = 0;
+        UserTask::new("generated", to_node(&s, &mut counter)).expect("generated tasks are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bpel_round_trips(task in arb_task()) {
+        let printed = bpel::print(&task);
+        let reparsed = bpel::parse(&printed).expect("printed BPEL parses");
+        prop_assert_eq!(task, reparsed);
+    }
+
+    #[test]
+    fn graph_is_acyclic_single_source_single_sink(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        prop_assert!(g.is_acyclic());
+        let sources: Vec<_> = g.vertex_ids().filter(|&v| g.predecessors(v).is_empty()).collect();
+        let sinks: Vec<_> = g.vertex_ids().filter(|&v| g.successors(v).is_empty()).collect();
+        prop_assert_eq!(sources, vec![g.start()]);
+        prop_assert_eq!(sinks, vec![g.end()]);
+    }
+
+    #[test]
+    fn graph_preserves_activity_count(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        prop_assert_eq!(g.activity_vertices().count(), task.activity_count());
+        prop_assert_eq!(g.len(), task.activity_count() + 2);
+    }
+
+    #[test]
+    fn every_vertex_is_reachable_from_start(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        prop_assert_eq!(g.reachable_from(g.start()).len(), g.len());
+    }
+
+    #[test]
+    fn iteration_weights_are_at_least_one(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        for v in g.activity_vertices() {
+            prop_assert!(g.vertex(v).iteration_weight() >= 1.0);
+        }
+        prop_assert_eq!(g.vertex(g.start()).kind(), VertexKind::Start);
+    }
+
+    #[test]
+    fn restriction_to_all_activities_keeps_them(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        let keep: Vec<_> = g.activity_vertices().collect();
+        let (r, back) = g.restriction(&keep);
+        prop_assert_eq!(r.activity_vertices().count(), keep.len());
+        // The back-mapping is injective into the original graph.
+        let mut images: Vec<_> = r.activity_vertices().map(|v| back[&v]).collect();
+        images.sort();
+        images.dedup();
+        prop_assert_eq!(images.len(), keep.len());
+    }
+
+    #[test]
+    fn restriction_edges_reflect_original_reachability(task in arb_task()) {
+        let g = BehaviouralGraph::from_task(&task);
+        let keep: Vec<_> = g.activity_vertices().take(3).collect();
+        let (r, back) = g.restriction(&keep);
+        for (u, v) in r.edges() {
+            // Skip edges touching the synthetic end (it has none) and
+            // check the original graph can realise each edge.
+            let (ou, ov) = (back[&u], back[&v]);
+            prop_assert!(
+                g.reachable_from(ou).contains(&ov),
+                "restricted edge {u}->{v} has no original path"
+            );
+        }
+    }
+
+    #[test]
+    fn activity_indices_are_stable_across_iterations(task in arb_task()) {
+        let a: Vec<_> = task.activities().map(|r| (r.index(), r.activity().name().to_owned())).collect();
+        let b: Vec<_> = task.activities().map(|r| (r.index(), r.activity().name().to_owned())).collect();
+        prop_assert_eq!(a, b);
+    }
+}

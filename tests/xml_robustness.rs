@@ -1,0 +1,97 @@
+//! Robustness of the XML subset parser: arbitrary input must never panic,
+//! and serialisation must round-trip arbitrary content.
+
+use proptest::prelude::*;
+use qasom_task::xml::{self, XmlElement};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,10}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Arbitrary printable content including XML-special characters —
+    // leading/trailing whitespace is excluded because the parser trims
+    // text content by design.
+    "[ -~]{0,40}".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_element() -> impl Strategy<Value = XmlElement> {
+    let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut el = XmlElement::new(name);
+            // Attribute names must be unique for round-trip equality.
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el.attributes.push((k, v));
+                }
+            }
+            el.text = text;
+            el
+        });
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+            prop::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = XmlElement::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el.attributes.push((k, v));
+                    }
+                }
+                el.children = children;
+                el
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever bytes arrive, the parser returns a structured result.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = xml::parse(&input);
+    }
+
+    /// Angle-bracket-heavy inputs (more likely to reach deep parser
+    /// states) don't panic either.
+    #[test]
+    fn parser_never_panics_on_taggy_input(input in "[<>/a-z \"'=&;!?-]{0,120}") {
+        let _ = xml::parse(&input);
+    }
+
+    /// Serialising and reparsing an arbitrary element tree is lossless,
+    /// including XML-special characters in attributes and text.
+    #[test]
+    fn to_xml_round_trips_arbitrary_trees(el in arb_element()) {
+        let text = el.to_xml();
+        let reparsed = xml::parse(&text).expect("printer output parses");
+        prop_assert_eq!(el, reparsed);
+    }
+
+    /// Mutating one byte of a valid document never panics the parser.
+    #[test]
+    fn single_byte_mutations_never_panic(el in arb_element(), pos in any::<usize>(), byte in any::<u8>()) {
+        let mut text = el.to_xml().into_bytes();
+        if !text.is_empty() {
+            let i = pos % text.len();
+            text[i] = byte;
+        }
+        let _ = xml::parse(&String::from_utf8_lossy(&text));
+    }
+
+    /// `escape` always produces text the parser accepts back verbatim.
+    #[test]
+    fn escape_is_parse_safe(s in "[ -~]{0,60}") {
+        let s = s.trim().to_owned();
+        let doc = format!("<a v=\"{}\">{}</a>", xml::escape(&s), xml::escape(&s));
+        let parsed = xml::parse(&doc).expect("escaped content parses");
+        prop_assert_eq!(parsed.attr("v").unwrap(), s.as_str());
+        prop_assert_eq!(parsed.text.as_str(), s.as_str());
+    }
+}
