@@ -4,9 +4,7 @@
 use std::collections::HashMap;
 
 use qasom_ontology::Ontology;
-use qasom_task::{
-    Activity, BehaviouralGraph, TaskClassRepository, UserTask, VertexId, VertexKind,
-};
+use qasom_task::{Activity, BehaviouralGraph, TaskClassRepository, UserTask, VertexId, VertexKind};
 
 use crate::homeo::find_order_embedding;
 
@@ -58,7 +56,11 @@ impl<'a> BehaviouralAdapter<'a> {
             })
     }
 
-    fn functions_match(&self, required: &qasom_ontology::Iri, offered: &qasom_ontology::Iri) -> bool {
+    fn functions_match(
+        &self,
+        required: &qasom_ontology::Iri,
+        offered: &qasom_ontology::Iri,
+    ) -> bool {
         match (
             self.ontology.concept(required),
             self.ontology.concept(offered),
@@ -105,10 +107,7 @@ impl<'a> BehaviouralAdapter<'a> {
                 _ => false,
             }
         };
-        let pins = [
-            (pattern.start(), host.start()),
-            (pattern.end(), host.end()),
-        ];
+        let pins = [(pattern.start(), host.start()), (pattern.end(), host.end())];
         let embedding = find_order_embedding(&pattern, &host, &mut compatible, &pins)?;
 
         let mut map = HashMap::new();
@@ -316,8 +315,7 @@ mod tests {
         repo.insert(class);
 
         // No card-payment service available → v2 rejected, v3 chosen.
-        let mut available =
-            |a: &Activity| a.function().local_name() != "PayByCard";
+        let mut available = |a: &Activity| a.function().local_name() != "PayByCard";
         let plan = adapter
             .plan(&repo, &v1, &["browse"], &mut available)
             .unwrap();

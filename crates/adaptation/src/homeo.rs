@@ -116,10 +116,7 @@ pub fn find_homeomorphism(
     for &p in &pattern_vertices {
         let cands: Vec<VertexId> = match forced.get(&p) {
             Some(&h) => vec![h],
-            None => host
-                .vertex_ids()
-                .filter(|&h| compatible(p, h))
-                .collect(),
+            None => host.vertex_ids().filter(|&h| compatible(p, h)).collect(),
         };
         if cands.is_empty() {
             return None; // a pattern vertex no host vertex can represent
@@ -358,8 +355,7 @@ impl Search<'_> {
         while let Some((at, path)) = stack.pop() {
             if at == hv {
                 // Claim internal vertices.
-                let internal: Vec<VertexId> =
-                    path[1..path.len() - 1].to_vec();
+                let internal: Vec<VertexId> = path[1..path.len() - 1].to_vec();
                 for &w in &internal {
                     self.path_used[w.index()] = true;
                 }
@@ -374,8 +370,8 @@ impl Search<'_> {
                 continue;
             }
             for &next in self.host.successors(at) {
-                let blocked = next != hv
-                    && (self.host_used[next.index()] || self.path_used[next.index()]);
+                let blocked =
+                    next != hv && (self.host_used[next.index()] || self.path_used[next.index()]);
                 if blocked || path.contains(&next) {
                     continue;
                 }

@@ -101,10 +101,7 @@ impl QosMonitor {
     pub fn observe(&mut self, service: ServiceId, delivered: &QosVector) {
         let per_service = self.windows.entry(service).or_default();
         for (p, v) in delivered.iter() {
-            per_service
-                .entry(p)
-                .or_default()
-                .push(v, &self.config);
+            per_service.entry(p).or_default().push(v, &self.config);
         }
     }
 
@@ -192,7 +189,11 @@ impl CompositionMonitor {
         constraints: ConstraintSet,
         approach: AggregationApproach,
     ) -> Self {
-        assert_eq!(task.activity_count(), bindings.len(), "one binding per activity");
+        assert_eq!(
+            task.activity_count(),
+            bindings.len(),
+            "one binding per activity"
+        );
         assert_eq!(
             bindings.len(),
             advertised.len(),
@@ -258,8 +259,7 @@ impl CompositionMonitor {
         let props: Vec<PropertyId> = self.constraints.properties().collect();
         let aggregator = Aggregator::new(model, self.approach);
 
-        let current =
-            aggregator.aggregate(&self.task, &self.believed_qos(monitor), &props);
+        let current = aggregator.aggregate(&self.task, &self.believed_qos(monitor), &props);
         let predicted = aggregator.aggregate(
             &self.task,
             &self.per_activity(monitor, QosMonitor::predict),
@@ -407,10 +407,9 @@ mod tests {
             ]),
         )
         .unwrap();
-        let constraints: ConstraintSet =
-            [Constraint::new(f.rt, Tendency::LowerBetter, bound)]
-                .into_iter()
-                .collect();
+        let constraints: ConstraintSet = [Constraint::new(f.rt, Tendency::LowerBetter, bound)]
+            .into_iter()
+            .collect();
         CompositionMonitor::new(
             task,
             f.ids[..2].to_vec(),

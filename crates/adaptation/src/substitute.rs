@@ -172,10 +172,9 @@ mod tests {
             ]),
         )
         .unwrap();
-        let constraints: ConstraintSet =
-            [Constraint::new(rt, Tendency::LowerBetter, 250.0)]
-                .into_iter()
-                .collect();
+        let constraints: ConstraintSet = [Constraint::new(rt, Tendency::LowerBetter, 250.0)]
+            .into_iter()
+            .collect();
         let comp = CompositionMonitor::new(
             task,
             vec![ids[0], ids[1]],

@@ -1,10 +1,14 @@
-//! Discovery latency at registry scale: semantic matching over thousands
-//! of advertisements.
+//! Discovery latency at registry scale: the indexed pipeline (capability
+//! index + memoised match degrees) against the linear full-scan oracle
+//! over thousands of advertisements. Both paths return identical
+//! candidate vectors; only the work differs.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::QosModel;
-use qasom_registry::{Discovery, ServiceDescription, ServiceRegistry};
+use qasom_registry::{Discovery, DiscoveryQuery, MatchCache, ServiceDescription, ServiceRegistry};
 use qasom_task::Activity;
 
 fn discovery_at_scale(c: &mut Criterion) {
@@ -16,25 +20,44 @@ fn discovery_at_scale(c: &mut Criterion) {
             b.subconcept(&format!("Cat{i}Leaf{j}"), mid);
         }
     }
-    let onto = b.build().expect("valid");
+    let onto = Arc::new(b.build().expect("valid"));
     let model = QosModel::standard();
 
     let mut group = c.benchmark_group("discovery_scale");
     group.sample_size(20);
     for n in [1_000usize, 5_000, 20_000] {
-        let mut registry = ServiceRegistry::new();
+        let mut registry = ServiceRegistry::with_ontology(Arc::clone(&onto));
         for s in 0..n {
             registry.register(ServiceDescription::new(
                 format!("svc{s}"),
                 &format!("d#Cat{}Leaf{}", s % 32, s % 4),
             ));
         }
-        let discovery = Discovery::new(&onto, &model);
+        let cache = MatchCache::new();
+        let indexed = Discovery::with_cache(&onto, &model, &cache);
+        let linear = Discovery::new(&onto, &model);
         // A category-level request plugs in 4 leaves × n/128 services.
         let activity = Activity::new("a", "d#Cat7");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+
+        let expected = indexed.discover(&registry, &DiscoveryQuery::new(&activity));
+        assert!(!expected.is_empty());
+        assert_eq!(
+            expected,
+            linear.discover(&registry, &DiscoveryQuery::new(&activity).linear_scan(true)),
+            "indexed and linear paths must agree before timing them"
+        );
+
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |bch, _| {
             bch.iter(|| {
-                let found = discovery.candidates(&registry, &activity);
+                let found = indexed.discover(&registry, &DiscoveryQuery::new(&activity));
+                assert!(!found.is_empty());
+                found
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |bch, _| {
+            bch.iter(|| {
+                let found =
+                    linear.discover(&registry, &DiscoveryQuery::new(&activity).linear_scan(true));
                 assert!(!found.is_empty());
                 found
             });

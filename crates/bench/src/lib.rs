@@ -246,8 +246,7 @@ pub fn fig_vi9(model: &QosModel) -> Vec<Series> {
             .filter_map(|c| c.qos().get(p))
             .collect();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
         mean_s.points.push((i as f64, mean));
         std_s.points.push((i as f64, var.sqrt()));
         println!(
@@ -399,13 +398,13 @@ pub fn fig_vi13() -> Vec<Series> {
 /// alternative swapping the tail order.
 pub fn adaptation_pair(n: usize) -> (UserTask, UserTask) {
     let act = |i: usize, prefix: &str| {
-        TaskNode::activity(Activity::new(format!("{prefix}{i}"), format!("ad#F{i}").as_str()))
+        TaskNode::activity(Activity::new(
+            format!("{prefix}{i}"),
+            format!("ad#F{i}").as_str(),
+        ))
     };
-    let current = UserTask::new(
-        "current",
-        TaskNode::sequence((0..n).map(|i| act(i, "c"))),
-    )
-    .expect("valid");
+    let current =
+        UserTask::new("current", TaskNode::sequence((0..n).map(|i| act(i, "c")))).expect("valid");
     // Alternative: same functions; the unexecuted tail is wrapped in a
     // parallel block (a different behaviour realising the same class).
     let half = n / 2;
@@ -413,8 +412,7 @@ pub fn adaptation_pair(n: usize) -> (UserTask, UserTask) {
     if half < n {
         nodes.push(TaskNode::parallel((half..n).map(|i| act(i, "a"))));
     }
-    let alternative =
-        UserTask::new("alternative", TaskNode::sequence(nodes)).expect("valid");
+    let alternative = UserTask::new("alternative", TaskNode::sequence(nodes)).expect("valid");
     (current, alternative)
 }
 
@@ -607,8 +605,6 @@ pub fn scalability(model: &QosModel) -> Vec<Series> {
 /// mean utility and feasible rate for QASSA, greedy, the genetic
 /// baseline and random. Prints its own table.
 pub fn compare_selectors(model: &QosModel) {
-    
-
     const SEEDS: u64 = 10;
     for (scenario, spec) in [
         (
@@ -649,9 +645,7 @@ fn compare_selectors_on(model: &QosModel, spec: &WorkloadSpec, seeds: u64) {
         ),
         (
             "decomposed",
-            Box::new(move |w: &Workload| {
-                baselines.decomposed(&w.problem()).expect("well-formed")
-            }),
+            Box::new(move |w: &Workload| baselines.decomposed(&w.problem()).expect("well-formed")),
         ),
         (
             "genetic",
@@ -739,7 +733,7 @@ pub fn ablate_monitoring(model: &QosModel) -> Vec<Series> {
 /// semantic matching finds them all, exact-syntax matching finds none.
 pub fn ablate_semantics(model: &QosModel) -> Vec<Series> {
     use qasom_ontology::Ontology;
-    use qasom_registry::{Discovery, ServiceDescription, ServiceRegistry};
+    use qasom_registry::{Discovery, DiscoveryQuery, ServiceDescription, ServiceRegistry};
     use qasom_task::Activity;
 
     let build = |specialised: usize, with_taxonomy: bool| -> (Ontology, ServiceRegistry) {
@@ -766,11 +760,15 @@ pub fn ablate_semantics(model: &QosModel) -> Vec<Series> {
     for n in [1usize, 5, 10, 20] {
         let activity = Activity::new("pay", "shop#Pay");
         let (onto, reg) = build(n, true);
-        let found = Discovery::new(&onto, model).candidates(&reg, &activity).len();
+        let found = Discovery::new(&onto, model)
+            .discover(&reg, &DiscoveryQuery::new(&activity))
+            .len();
         semantic.points.push((n as f64, found as f64 / n as f64));
 
         let (onto, reg) = build(n, false);
-        let found = Discovery::new(&onto, model).candidates(&reg, &activity).len();
+        let found = Discovery::new(&onto, model)
+            .discover(&reg, &DiscoveryQuery::new(&activity))
+            .len();
         syntactic.points.push((n as f64, found as f64 / n as f64));
     }
     vec![semantic, syntactic]

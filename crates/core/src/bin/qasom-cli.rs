@@ -57,10 +57,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--services" => args.services = value("--services")?,
             "--classes" => args.classes = value("--classes")?,
@@ -180,7 +177,11 @@ fn run() -> Result<(), String> {
     let classes = env
         .load_task_classes(&classes_doc)
         .map_err(|e| e.to_string())?;
-    println!("loaded {} service(s), {} task class(es)", ids.len(), classes);
+    println!(
+        "loaded {} service(s), {} task class(es)",
+        ids.len(),
+        classes
+    );
 
     let task = env
         .task_repository()
@@ -226,7 +227,10 @@ fn run() -> Result<(), String> {
         report.substitutions,
         report.behavioural_adaptations
     );
-    println!("delivered QoS: {}", env.model().format_vector(&report.delivered));
+    println!(
+        "delivered QoS: {}",
+        env.model().format_vector(&report.delivered)
+    );
     if args.verbose {
         println!("\nevent trace:");
         for event in env.events() {

@@ -25,7 +25,10 @@ impl fmt::Display for ComposeError {
         match self {
             ComposeError::Qos(e) => write!(f, "{e}"),
             ComposeError::NoServiceFor { activity } => {
-                write!(f, "no service in the environment can serve activity {activity:?}")
+                write!(
+                    f,
+                    "no service in the environment can serve activity {activity:?}"
+                )
             }
             ComposeError::Selection(e) => write!(f, "{e}"),
         }

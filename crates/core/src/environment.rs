@@ -1,12 +1,15 @@
 //! The middleware instance: environment state + composition pipeline.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
-use qasom_registry::{Discovery, ServiceDescription, ServiceId, ServiceRegistry};
+use qasom_registry::{
+    Discovery, DiscoveryQuery, MatchCache, ServiceDescription, ServiceId, ServiceRegistry,
+};
 use qasom_selection::{Qassa, QassaConfig, SelectionProblem, ServiceCandidate};
 use qasom_task::{Activity, TaskClass, TaskClassRepository};
 
@@ -47,8 +50,9 @@ impl Default for EnvironmentConfig {
 /// middleware side).
 pub struct Environment {
     model: QosModel,
-    ontology: Ontology,
+    ontology: Arc<Ontology>,
     registry: ServiceRegistry,
+    match_cache: MatchCache,
     runtime: ServiceRuntime<ServiceId>,
     tasks: TaskClassRepository,
     infra: HashMap<u64, QosVector>,
@@ -74,10 +78,14 @@ impl Environment {
         config: EnvironmentConfig,
     ) -> Self {
         let end_to_end = EndToEnd::standard(&model);
+        let ontology = Arc::new(ontology);
         Environment {
             model,
+            // The registry is bound to the domain ontology so it maintains
+            // the inverted capability index discovery probes.
+            registry: ServiceRegistry::with_ontology(Arc::clone(&ontology)),
             ontology,
-            registry: ServiceRegistry::new(),
+            match_cache: MatchCache::new(),
             runtime: ServiceRuntime::new(seed),
             tasks: TaskClassRepository::new(),
             infra: HashMap::new(),
@@ -126,7 +134,11 @@ impl Environment {
 
     /// Publishes a service: registers the description and deploys its
     /// synthetic behaviour.
-    pub fn deploy(&mut self, description: ServiceDescription, behaviour: SyntheticService) -> ServiceId {
+    pub fn deploy(
+        &mut self,
+        description: ServiceDescription,
+        behaviour: SyntheticService,
+    ) -> ServiceId {
         let id = self.registry.register(description);
         self.runtime.deploy(id, behaviour);
         id
@@ -144,7 +156,10 @@ impl Environment {
         self.runtime.get_mut(&id)
     }
 
-    pub(crate) fn invoke(&mut self, id: ServiceId) -> Option<qasom_netsim::runtime::InvocationOutcome> {
+    pub(crate) fn invoke(
+        &mut self,
+        id: ServiceId,
+    ) -> Option<qasom_netsim::runtime::InvocationOutcome> {
         self.runtime.invoke(&id)
     }
 
@@ -239,9 +254,7 @@ impl Environment {
             let agreed: QosVector = desc
                 .qos()
                 .iter()
-                .filter(|&(p, _)| {
-                    self.model.def(p).category() != qasom_qos::Category::Reputation
-                })
+                .filter(|&(p, _)| self.model.def(p).category() != qasom_qos::Category::Reputation)
                 .collect();
             qasom_qos::Sla::from_agreed(&self.model, &agreed, self.config.sla_tolerance)
         });
@@ -281,15 +294,18 @@ impl Environment {
     /// node's infrastructure QoS is known, the candidate's QoS is the
     /// user-perceived one (service QoS degraded by the path).
     pub fn discover(&self, activity: &Activity) -> Vec<ServiceCandidate> {
-        let discovery = Discovery::new(&self.ontology, &self.model);
+        let discovery = Discovery::with_cache(&self.ontology, &self.model, &self.match_cache);
         discovery
-            .deep_candidates(&self.registry, activity)
+            .discover(
+                &self.registry,
+                &DiscoveryQuery::new(activity).white_box(true),
+            )
             .into_iter()
-            .filter_map(|(c, qos)| {
+            .filter_map(|c| {
                 let desc = self.registry.get(c.service)?;
                 let qos = match desc.host().and_then(|h| self.infra.get(&h)) {
-                    Some(infra) => self.end_to_end.perceive(&qos, infra),
-                    None => qos,
+                    Some(infra) => self.end_to_end.perceive(&c.effective_qos, infra),
+                    None => c.effective_qos,
                 };
                 Some(ServiceCandidate::new(c.service, qos))
             })
@@ -308,7 +324,10 @@ impl Environment {
     ///
     /// Fails when an activity has no candidate or the request's QoS names
     /// are unknown.
-    pub fn compose(&mut self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
+    pub fn compose(
+        &mut self,
+        request: &UserRequest,
+    ) -> Result<ExecutableComposition, ComposeError> {
         let constraints = request.constraints(&self.model)?;
         let preferences = request.preferences(&self.model)?;
         self.compose_task(
@@ -360,9 +379,9 @@ impl Environment {
         approach: qasom_selection::AggregationApproach,
         use_monitor: bool,
     ) -> Result<ExecutableComposition, ComposeError> {
-        let mut candidates = Vec::with_capacity(task.activity_count());
-        for activity in task.activities() {
-            let mut found = self.discover(activity.activity());
+        let activities: Vec<&Activity> = task.activities().map(|a| a.activity()).collect();
+        let per_activity = |activity: &Activity| -> Result<Vec<ServiceCandidate>, ComposeError> {
+            let mut found = self.discover(activity);
             if use_monitor {
                 found = found
                     .into_iter()
@@ -383,10 +402,27 @@ impl Environment {
             }
             if found.is_empty() {
                 return Err(ComposeError::NoServiceFor {
-                    activity: activity.activity().name().to_owned(),
+                    activity: activity.name().to_owned(),
                 });
             }
-            candidates.push(found);
+            Ok(found)
+        };
+
+        // Per-activity discovery is independent, so fan it out when the
+        // `parallel` feature is on; errors are still surfaced in activity
+        // order so the first missing activity wins deterministically.
+        #[cfg(feature = "parallel")]
+        let gathered: Vec<Result<Vec<ServiceCandidate>, ComposeError>> = {
+            use rayon::prelude::*;
+            activities.par_iter().map(|a| per_activity(a)).collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let gathered: Vec<Result<Vec<ServiceCandidate>, ComposeError>> =
+            activities.iter().map(|a| per_activity(a)).collect();
+
+        let mut candidates = Vec::with_capacity(gathered.len());
+        for found in gathered {
+            candidates.push(found?);
         }
 
         let problem = SelectionProblem::new(&task)
@@ -394,7 +430,11 @@ impl Environment {
             .with_constraints(constraints.clone())
             .with_preferences(preferences.clone())
             .with_approach(approach);
-        let outcome = Qassa::with_config(&self.model, self.config.qassa).select(&problem)?;
+        let qassa = Qassa::with_config(&self.model, self.config.qassa);
+        #[cfg(feature = "parallel")]
+        let outcome = qassa.select_parallel(&problem)?;
+        #[cfg(not(feature = "parallel"))]
+        let outcome = qassa.select(&problem)?;
 
         self.events.push(MiddlewareEvent::Composed {
             task: task.name().to_owned(),
@@ -498,10 +538,7 @@ mod tests {
             let desc = describe(&e, "liar", "d#A", 50.0);
             let mut delivered = desc.qos().clone();
             delivered.set(rt, 200.0);
-            e.deploy(
-                desc,
-                SyntheticService::new(delivered),
-            )
+            e.deploy(desc, SyntheticService::new(delivered))
         };
         let honest = deploy(&mut e, "honest", "d#B", 50.0);
 
@@ -537,11 +574,7 @@ mod tests {
         // An honest service; reputation feedback writes Reputation into
         // its advertisement between two execution rounds.
         let id = deploy(&mut e, "honest", "d#A", 50.0);
-        let task = UserTask::new(
-            "t",
-            TaskNode::activity(Activity::new("a", "d#A")),
-        )
-        .unwrap();
+        let task = UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap();
         let comp = e.compose(&UserRequest::new(task.clone())).unwrap();
         assert!(e.execute(comp).unwrap().success);
         assert_eq!(e.apply_reputation_feedback(), 1);
@@ -550,11 +583,8 @@ mod tests {
         // A new SLA created after feedback (fresh environment state for
         // the SLA map): re-deploy the same advertisement.
         let desc = e.registry().get(id).unwrap().clone();
-        let nominal_without_rep: qasom_qos::QosVector = desc
-            .qos()
-            .iter()
-            .filter(|&(p, _)| p != rep)
-            .collect();
+        let nominal_without_rep: qasom_qos::QosVector =
+            desc.qos().iter().filter(|&(p, _)| p != rep).collect();
         let id2 = e.deploy(
             desc.clone().with_qos_vector(desc.qos().clone()),
             SyntheticService::new(nominal_without_rep),
@@ -665,11 +695,16 @@ mod tests {
         assert_eq!(found.len(), 2);
         let by_host: std::collections::HashMap<_, _> = found
             .iter()
-            .map(|c| (e.registry().get(c.id()).unwrap().host().unwrap(), c.qos().get(rt).unwrap()))
+            .map(|c| {
+                (
+                    e.registry().get(c.id()).unwrap().host().unwrap(),
+                    c.qos().get(rt).unwrap(),
+                )
+            })
             .collect();
         assert_eq!(by_host[&1], 100.0);
         assert_eq!(by_host[&2], 500.0); // 100 + 2 × 200 round trip
-        // Selection will therefore prefer host 1.
+                                        // Selection will therefore prefer host 1.
         e.clear_infrastructure(2);
         let found = e.discover(&Activity::new("x", "d#A"));
         assert!(found.iter().all(|c| c.qos().get(rt) == Some(100.0)));
@@ -681,9 +716,7 @@ mod tests {
         let rt = e.model().property("ResponseTime").unwrap();
         let desc = ServiceDescription::new("kiosk", "misc#Multi")
             .with_qos(rt, 900.0)
-            .with_operation(
-                qasom_registry::Operation::new("fast-a", "d#A").with_qos(rt, 45.0),
-            );
+            .with_operation(qasom_registry::Operation::new("fast-a", "d#A").with_qos(rt, 45.0));
         let nominal = desc.qos().clone();
         e.deploy(desc, SyntheticService::new(nominal));
         let found = e.discover(&Activity::new("x", "d#A"));
@@ -699,9 +732,6 @@ mod tests {
         let request = UserRequest::new(two_step_task())
             .constraint("Bogus", 1.0, Unit::Dimensionless)
             .unwrap();
-        assert!(matches!(
-            e.compose(&request),
-            Err(ComposeError::Qos(_))
-        ));
+        assert!(matches!(e.compose(&request), Err(ComposeError::Qos(_))));
     }
 }

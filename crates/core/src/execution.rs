@@ -76,7 +76,10 @@ impl fmt::Display for ExecutionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecutionError::Abandoned { activity } => {
-                write!(f, "activity {activity:?} could not be served by any strategy")
+                write!(
+                    f,
+                    "activity {activity:?} could not be served by any strategy"
+                )
             }
             ExecutionError::Recompose(e) => write!(f, "re-composition failed: {e}"),
         }
@@ -269,8 +272,7 @@ impl Environment {
                 .activities()
                 .map(|r| r.activity().name().to_owned())
                 .collect();
-            let bindings: Vec<ServiceId> =
-                comp.outcome.assignment.iter().map(|c| c.id()).collect();
+            let bindings: Vec<ServiceId> = comp.outcome.assignment.iter().map(|c| c.id()).collect();
             let advertised: Vec<QosVector> = comp
                 .outcome
                 .assignment
@@ -305,9 +307,7 @@ impl Environment {
                             &name,
                         )? {
                             true => continue 'behaviour,
-                            false => {
-                                return Err(ExecutionError::Abandoned { activity: name })
-                            }
+                            false => return Err(ExecutionError::Abandoned { activity: name }),
                         }
                     }
                     attempts += 1;
@@ -323,9 +323,7 @@ impl Environment {
                             &name,
                         )? {
                             true => continue 'behaviour,
-                            false => {
-                                return Err(ExecutionError::Abandoned { activity: name })
-                            }
+                            false => return Err(ExecutionError::Abandoned { activity: name }),
                         }
                     };
                     if service != cm.bindings()[idx] {

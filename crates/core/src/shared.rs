@@ -1,12 +1,9 @@
 //! Thread-safe middleware handle for multi-session deployments.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::{
-    ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport,
-    UserRequest,
+    ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport, UserRequest,
 };
 
 /// A clonable, thread-safe handle to an [`Environment`].
@@ -14,8 +11,10 @@ use crate::{
 /// A deployed middleware instance serves many user sessions at once:
 /// composition requests and executions arrive from different threads while
 /// providers keep registering and departing. `SharedEnvironment` wraps the
-/// single-threaded [`Environment`] in an `Arc<RwLock<…>>` (the
-/// `parking_lot` variant — no poisoning, writer-preferring):
+/// single-threaded [`Environment`] in an `Arc<RwLock<…>>`. A poisoned
+/// lock (a panic inside a session) is recovered rather than propagated —
+/// the environment's state stays consistent because every mutating
+/// operation is applied transactionally under the write lock:
 ///
 /// * read-only queries ([`SharedEnvironment::with`]) run concurrently;
 /// * mutating operations (compose, execute, deploy) serialise on the
@@ -55,13 +54,25 @@ impl SharedEnvironment {
 
     /// Runs a read-only query under the shared lock.
     pub fn with<R>(&self, f: impl FnOnce(&Environment) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.read())
     }
 
     /// Runs a mutating operation under the exclusive lock (deployments,
     /// fault injection, task-class registration, …).
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Environment) -> R) -> R {
-        f(&mut self.inner.write())
+        f(&mut self.write())
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Environment> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Environment> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// Composes a request (exclusive: composition emits events).
@@ -70,7 +81,7 @@ impl SharedEnvironment {
     ///
     /// Same conditions as [`Environment::compose`].
     pub fn compose(&self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
-        self.inner.write().compose(request)
+        self.write().compose(request)
     }
 
     /// Executes a composition as one transaction over the environment.
@@ -82,7 +93,7 @@ impl SharedEnvironment {
         &self,
         composition: ExecutableComposition,
     ) -> Result<ExecutionReport, ExecutionError> {
-        self.inner.write().execute(composition)
+        self.write().execute(composition)
     }
 
     /// Composes and executes in one exclusive section, so no churn can
@@ -92,7 +103,7 @@ impl SharedEnvironment {
     ///
     /// Propagates composition and execution errors.
     pub fn serve(&self, request: &UserRequest) -> Result<ExecutionReport, ServeError> {
-        let mut env = self.inner.write();
+        let mut env = self.write();
         let composition = env.compose(request).map_err(ServeError::Compose)?;
         env.execute(composition).map_err(ServeError::Execute)
     }
@@ -133,8 +144,8 @@ mod tests {
         let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 5);
         let rt = env.model().property("ResponseTime").unwrap();
         for i in 0..4 {
-            let desc = ServiceDescription::new(format!("s{i}"), "d#A")
-                .with_qos(rt, 50.0 + f64::from(i));
+            let desc =
+                ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 50.0 + f64::from(i));
             let nominal = desc.qos().clone();
             env.deploy(desc, SyntheticService::new(nominal));
         }
@@ -142,9 +153,7 @@ mod tests {
     }
 
     fn request() -> UserRequest {
-        UserRequest::new(
-            UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap(),
-        )
+        UserRequest::new(UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap())
     }
 
     #[test]

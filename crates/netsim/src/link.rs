@@ -95,8 +95,8 @@ impl LinkConfig {
         if !self.connected || (self.loss > 0.0 && rng.gen::<f64>() < self.loss) {
             return None;
         }
-        let latency = Normal::new(self.latency_ms, self.jitter_ms)
-            .sample_clamped(rng, 0.0, f64::INFINITY);
+        let latency =
+            Normal::new(self.latency_ms, self.jitter_ms).sample_clamped(rng, 0.0, f64::INFINITY);
         Some(SimDuration::from_millis_f64(latency))
     }
 }

@@ -219,9 +219,7 @@ impl RandomWaypoint {
                         self.rng.gen::<f64>() * self.area.0,
                         self.rng.gen::<f64>() * self.area.1,
                     );
-                    self.speeds[i] = self
-                        .rng
-                        .gen_range(self.speed_range.0..=self.speed_range.1);
+                    self.speeds[i] = self.rng.gen_range(self.speed_range.0..=self.speed_range.1);
                 } else {
                     let f = remaining / to_target;
                     self.positions[i].x += (self.targets[i].x - self.positions[i].x) * f;

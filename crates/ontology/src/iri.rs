@@ -72,7 +72,11 @@ pub struct ParseIriError(String);
 
 impl fmt::Display for ParseIriError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid IRI syntax: {:?} (expected \"ns#local\")", self.0)
+        write!(
+            f,
+            "invalid IRI syntax: {:?} (expected \"ns#local\")",
+            self.0
+        )
     }
 }
 

@@ -323,8 +323,16 @@ impl OntologyBuilder {
             children,
             ancestors,
             depth,
+            stamp: next_stamp(),
         })
     }
+}
+
+/// Allocates a process-unique stamp for a freshly built ontology.
+fn next_stamp() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// An immutable concept taxonomy with precomputed subsumption indexes.
@@ -341,9 +349,20 @@ pub struct Ontology {
     children: Vec<Vec<ConceptId>>,
     ancestors: Vec<BitSet>,
     depth: Vec<u32>,
+    stamp: u64,
 }
 
 impl Ontology {
+    /// A process-unique stamp identifying this built taxonomy.
+    ///
+    /// Each [`OntologyBuilder::build`] call allocates a fresh stamp;
+    /// clones share it (they answer queries identically). Caches keyed
+    /// on match results use the stamp to detect that they are being
+    /// consulted under a different ontology and must invalidate.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
     /// Looks a concept up by IRI.
     pub fn concept(&self, iri: &Iri) -> Option<ConceptId> {
         self.by_iri.get(iri).copied()
@@ -380,7 +399,12 @@ impl Ontology {
         (0..self.concepts.len()).map(ConceptId::from_index)
     }
 
-    fn canon(&self, id: ConceptId) -> ConceptId {
+    /// The canonical representative of `id`'s equivalence class.
+    ///
+    /// Equivalent concepts share one representative; indexes keyed by
+    /// concept (such as the registry's capability index) store and probe
+    /// canonical ids so declared equivalences cost nothing at query time.
+    pub fn canon(&self, id: ConceptId) -> ConceptId {
         self.canonical[id.index()]
     }
 
@@ -412,7 +436,9 @@ impl Ontology {
 
     /// All (canonical) ancestors of `id`, including itself.
     pub fn ancestors(&self, id: ConceptId) -> impl Iterator<Item = ConceptId> + '_ {
-        self.ancestors[id.index()].iter_ones().map(ConceptId::from_index)
+        self.ancestors[id.index()]
+            .iter_ones()
+            .map(ConceptId::from_index)
     }
 
     /// All concepts subsumed by `id`, including itself (query expansion:

@@ -55,21 +55,21 @@
 #![warn(missing_docs)]
 
 mod constraint;
-mod sla;
 mod model;
 mod normalize;
 mod perceived;
 mod property;
+mod sla;
 mod unit;
 pub mod utility;
 mod vector;
 
 pub use constraint::{Constraint, ConstraintSet};
-pub use sla::Sla;
 pub use model::{PropertySpec, QosModel, QosModelBuilder, QosModelError};
 pub use normalize::Normalizer;
 pub use perceived::{EndToEnd, EndToEndRule};
 pub use property::{AggregationOp, Category, Layer, PropertyDef, PropertyId, Tendency};
+pub use sla::Sla;
 pub use unit::{Dimension, ParseUnitError, Unit, UnitError};
 pub use utility::Preferences;
 pub use vector::QosVector;

@@ -5,9 +5,7 @@ use std::fmt;
 
 use qasom_ontology::{ConceptId, Iri, MatchDegree, Ontology, OntologyBuilder, OntologyError};
 
-use crate::{
-    AggregationOp, Category, Constraint, Layer, PropertyDef, PropertyId, Tendency, Unit,
-};
+use crate::{AggregationOp, Category, Constraint, Layer, PropertyDef, PropertyId, Tendency, Unit};
 
 /// Errors raised while building or querying a [`QosModel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -512,9 +510,9 @@ impl QosModel {
             return Some(id);
         }
         // Fall back to equivalence-class search (alias concepts).
-        self.by_concept.iter().find_map(|(&c, &id)| {
-            self.ontology.same_concept(c, concept).then_some(id)
-        })
+        self.by_concept
+            .iter()
+            .find_map(|(&c, &id)| self.ontology.same_concept(c, concept).then_some(id))
     }
 
     /// Full definition of a property.
@@ -737,7 +735,10 @@ mod tests {
         let m = b.build().unwrap();
         let lat = m.property("Latency").unwrap();
         let rtt = m.property("Rtt").unwrap();
-        assert_eq!(m.best_match(lat, [rtt, lat]), Some((lat, MatchDegree::Exact)));
+        assert_eq!(
+            m.best_match(lat, [rtt, lat]),
+            Some((lat, MatchDegree::Exact))
+        );
     }
 
     #[test]

@@ -254,7 +254,10 @@ mod tests {
 
     #[test]
     fn milliseconds_to_minutes() {
-        assert_eq!(Unit::Milliseconds.convert(120_000.0, Unit::Minutes), Ok(2.0));
+        assert_eq!(
+            Unit::Milliseconds.convert(120_000.0, Unit::Minutes),
+            Ok(2.0)
+        );
     }
 
     #[test]

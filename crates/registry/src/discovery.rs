@@ -1,39 +1,238 @@
 //! QoS-aware semantic service discovery.
+//!
+//! The entry point is [`Discovery::discover`] with a [`DiscoveryQuery`]:
+//! one call covers black-box discovery, white-box (per-operation)
+//! discovery and QoS-requirement filtering, returning
+//! [`DiscoveredCandidate`]s that carry everything selection needs.
+//!
+//! Two execution paths produce byte-identical results:
+//!
+//! * an **indexed** path, used when the registry has the query's
+//!   ontology [bound](crate::ServiceRegistry::bind_ontology): the
+//!   required concept is resolved to its posting list in the registry's
+//!   inverted capability index, so only plausibly-matching services are
+//!   evaluated;
+//! * a **linear** path scanning every live service — the fallback for
+//!   unbound registries and for relaxed queries asking for degrees below
+//!   [`MatchDegree::PlugIn`], and the oracle the parity tests compare
+//!   against ([`DiscoveryQuery::linear_scan`]).
+
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 use qasom_ontology::{Iri, MatchDegree, Ontology};
-use qasom_qos::{ConstraintSet, QosModel};
+use qasom_qos::{ConstraintSet, QosModel, QosVector};
 use qasom_task::Activity;
 
-use crate::{ServiceId, ServiceRegistry};
+use crate::registry::VIA_PROFILE;
+use crate::{ServiceDescription, ServiceId, ServiceRegistry};
+
+/// How a discovered service qualified for the requested function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchedVia {
+    /// The service's profile (its advertised capability concept) matched.
+    Profile,
+    /// The profile did not qualify, but the conversation operation at
+    /// this index into [`ServiceDescription::operations`] did.
+    Operation(usize),
+}
 
 /// A discovered candidate service for an abstract activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Candidate {
+///
+/// `effective_qos` is what selection should reason on: the service-level
+/// advertisement for profile matches, or the advertisement overridden by
+/// the matched operation's per-operation QoS for white-box matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredCandidate {
     /// The matched service.
     pub service: ServiceId,
     /// How well its capability matches the required function.
     pub degree: MatchDegree,
+    /// Which part of the description produced the match.
+    pub matched_via: MatchedVia,
+    /// The QoS vector the match is advertised with.
+    pub effective_qos: QosVector,
+}
+
+/// A discovery request: the activity to serve plus matching options.
+///
+/// Built fluently and passed to [`Discovery::discover`]:
+///
+/// ```
+/// use qasom_ontology::OntologyBuilder;
+/// use qasom_qos::QosModel;
+/// use qasom_registry::{Discovery, DiscoveryQuery, ServiceDescription, ServiceRegistry};
+/// use qasom_task::Activity;
+///
+/// let mut onto = OntologyBuilder::new("shop");
+/// let pay = onto.concept("Pay");
+/// onto.subconcept("PayByCard", pay);
+/// let onto = onto.build().unwrap();
+/// let model = QosModel::standard();
+///
+/// let mut registry = ServiceRegistry::new();
+/// registry.register(ServiceDescription::new("visa", "shop#PayByCard"));
+///
+/// let discovery = Discovery::new(&onto, &model);
+/// let activity = Activity::new("pay", "shop#Pay");
+/// let found = discovery.discover(&registry, &DiscoveryQuery::new(&activity).white_box(true));
+/// assert_eq!(found.len(), 1); // PayByCard plugs into Pay
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryQuery<'a> {
+    activity: &'a Activity,
+    min_degree: MatchDegree,
+    white_box: bool,
+    constraints: Option<&'a ConstraintSet>,
+    force_linear: bool,
+}
+
+impl<'a> DiscoveryQuery<'a> {
+    /// A black-box query for `activity` with the default minimum degree
+    /// ([`MatchDegree::PlugIn`]) and no QoS requirements.
+    pub fn new(activity: &'a Activity) -> Self {
+        DiscoveryQuery {
+            activity,
+            min_degree: MatchDegree::PlugIn,
+            white_box: false,
+            constraints: None,
+            force_linear: false,
+        }
+    }
+
+    /// Requires at least `degree`. Degrees below
+    /// [`MatchDegree::PlugIn`] (i.e. [`MatchDegree::Subsumes`] and
+    /// [`MatchDegree::Intersection`]) admit services the capability
+    /// index cannot enumerate, so such queries always scan linearly.
+    pub fn min_degree(mut self, degree: MatchDegree) -> Self {
+        self.min_degree = degree;
+        self
+    }
+
+    /// Enables white-box matching: a service whose profile does not
+    /// qualify may still match through one of its conversation
+    /// operations, advertising the operation's merged QoS.
+    pub fn white_box(mut self, enabled: bool) -> Self {
+        self.white_box = enabled;
+        self
+    }
+
+    /// Keeps only candidates whose *effective* QoS satisfies
+    /// `constraints`.
+    pub fn require_qos(mut self, constraints: &'a ConstraintSet) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Forces the linear full-scan path even when the capability index is
+    /// available — the oracle used by parity tests and benchmarks. The
+    /// results are identical either way; only the work differs.
+    pub fn linear_scan(mut self, force: bool) -> Self {
+        self.force_linear = force;
+        self
+    }
+
+    /// The queried activity.
+    pub fn activity(&self) -> &Activity {
+        self.activity
+    }
+}
+
+/// A concurrent memo of semantic match-degree lookups keyed by
+/// `(required, offered)` IRI pair.
+///
+/// Built once and shared across [`Discovery`] instances (the environment
+/// owns one per middleware instance). The cache remembers which ontology
+/// ([`Ontology::stamp`]) its entries were computed under and silently
+/// flushes when consulted under a different one, so stale degrees can
+/// never leak across an ontology swap.
+#[derive(Debug, Default)]
+pub struct MatchCache {
+    inner: RwLock<MatchCacheState>,
+}
+
+#[derive(Debug, Default)]
+struct MatchCacheState {
+    stamp: u64,
+    degrees: HashMap<Iri, HashMap<Iri, MatchDegree>>,
+}
+
+impl MatchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MatchCache::default()
+    }
+
+    /// Entries currently memoised (diagnostics).
+    pub fn len(&self) -> usize {
+        let state = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        state.degrees.values().map(HashMap::len).sum()
+    }
+
+    /// Whether the cache holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, stamp: u64, required: &Iri, offered: &Iri) -> Option<MatchDegree> {
+        let state = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        if state.stamp != stamp {
+            return None;
+        }
+        state.degrees.get(required)?.get(offered).copied()
+    }
+
+    fn put(&self, stamp: u64, required: &Iri, offered: &Iri, degree: MatchDegree) {
+        let mut state = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        if state.stamp != stamp {
+            // Computed under a different ontology than the cached
+            // entries: flush and adopt the new stamp.
+            state.degrees.clear();
+            state.stamp = stamp;
+        }
+        state
+            .degrees
+            .entry(required.clone())
+            .or_default()
+            .insert(offered.clone(), degree);
+    }
 }
 
 /// QoS-aware service discovery over a domain [`Ontology`] and a
 /// [`QosModel`].
 ///
 /// Discovery is *semantic*: a service matches an activity when its
-/// capability concept matches the required function with at least
-/// [`MatchDegree::PlugIn`] strength, its I/O signature is compatible, and
-/// its advertised QoS passes the activity-level constraints (when given).
-/// Function IRIs unknown to the ontology fall back to syntactic equality,
-/// so purely syntactic environments still work (degraded recall).
+/// capability concept matches the required function with at least the
+/// query's minimum degree, its I/O signature is compatible, and its
+/// effective QoS passes the query's constraints (when given). Function
+/// IRIs unknown to the ontology fall back to syntactic equality, so
+/// purely syntactic environments still work (degraded recall).
 #[derive(Debug, Clone, Copy)]
 pub struct Discovery<'a> {
     ontology: &'a Ontology,
     model: &'a QosModel,
+    cache: Option<&'a MatchCache>,
 }
 
 impl<'a> Discovery<'a> {
     /// Creates a discovery engine over a domain ontology and QoS model.
     pub fn new(ontology: &'a Ontology, model: &'a QosModel) -> Self {
-        Discovery { ontology, model }
+        Discovery {
+            ontology,
+            model,
+            cache: None,
+        }
+    }
+
+    /// Like [`Discovery::new`], memoising match-degree lookups in
+    /// `cache`. Worth it when the same engine (or several engines over
+    /// the same ontology) serves many queries against recurring IRIs.
+    pub fn with_cache(ontology: &'a Ontology, model: &'a QosModel, cache: &'a MatchCache) -> Self {
+        Discovery {
+            ontology,
+            model,
+            cache: Some(cache),
+        }
     }
 
     /// The QoS model used to interpret constraints.
@@ -42,9 +241,26 @@ impl<'a> Discovery<'a> {
     }
 
     /// Semantic match degree between a required and an offered function
-    /// IRI. Unknown IRIs match syntactically (equal → exact).
+    /// IRI. Unknown IRIs match syntactically (equal → exact). Memoised
+    /// when the engine was built [with a cache](Discovery::with_cache).
     pub fn match_functions(&self, required: &Iri, offered: &Iri) -> MatchDegree {
-        match (self.ontology.concept(required), self.ontology.concept(offered)) {
+        if let Some(cache) = self.cache {
+            let stamp = self.ontology.stamp();
+            if let Some(hit) = cache.get(stamp, required, offered) {
+                return hit;
+            }
+            let degree = self.compute_match(required, offered);
+            cache.put(stamp, required, offered, degree);
+            return degree;
+        }
+        self.compute_match(required, offered)
+    }
+
+    fn compute_match(&self, required: &Iri, offered: &Iri) -> MatchDegree {
+        match (
+            self.ontology.concept(required),
+            self.ontology.concept(offered),
+        ) {
             (Some(r), Some(o)) => self.ontology.match_degree(r, o),
             _ => {
                 if required == offered {
@@ -70,17 +286,11 @@ impl<'a> Discovery<'a> {
     ///
     /// Activities or services declaring no I/O impose no I/O constraint on
     /// that side.
-    pub fn io_compatible(
-        &self,
-        activity: &Activity,
-        service: &crate::ServiceDescription,
-    ) -> bool {
-        let outputs_ok = activity.outputs().iter().all(|req| {
-            service
-                .outputs()
-                .iter()
-                .any(|off| self.satisfies(req, off))
-        });
+    pub fn io_compatible(&self, activity: &Activity, service: &crate::ServiceDescription) -> bool {
+        let outputs_ok = activity
+            .outputs()
+            .iter()
+            .all(|req| service.outputs().iter().any(|off| self.satisfies(req, off)));
         let inputs_ok = service.inputs().iter().all(|need| {
             activity
                 .inputs()
@@ -90,111 +300,182 @@ impl<'a> Discovery<'a> {
         outputs_ok && inputs_ok
     }
 
-    /// Functional matches for a required capability, best degrees first.
+    /// Functional matches for a required capability (profile matching
+    /// only, no I/O or QoS filtering), best degrees first. Uses the
+    /// capability index for usable degrees when available, scanning
+    /// linearly otherwise.
     pub fn functional_matches(
         &self,
         registry: &ServiceRegistry,
         required: &Iri,
         min_degree: MatchDegree,
-    ) -> Vec<Candidate> {
-        let mut out: Vec<Candidate> = registry
-            .iter()
-            .filter_map(|(id, desc)| {
-                let degree = self.match_functions(required, desc.function());
-                (degree >= min_degree && degree != MatchDegree::Fail).then_some(Candidate {
-                    service: id,
-                    degree,
+    ) -> Vec<(ServiceId, MatchDegree)> {
+        let mut out: Vec<(ServiceId, MatchDegree)> = if min_degree >= MatchDegree::PlugIn
+            && self.index_usable(registry)
+        {
+            self.profile_posting(registry, required)
+                .into_iter()
+                .filter_map(|id| {
+                    let desc = registry.get(id)?;
+                    let degree = self.match_functions(required, desc.function());
+                    (degree >= min_degree && degree != MatchDegree::Fail).then_some((id, degree))
                 })
-            })
-            .collect();
+                .collect()
+        } else {
+            registry
+                .iter()
+                .filter_map(|(id, desc)| {
+                    let degree = self.match_functions(required, desc.function());
+                    (degree >= min_degree && degree != MatchDegree::Fail).then_some((id, degree))
+                })
+                .collect()
+        };
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// QoS-aware discovery: the candidate set `S_i` for an abstract
+    /// activity under the given query. See [`DiscoveryQuery`] for the
+    /// knobs; results are sorted by match degree (best first), ties by
+    /// ascending service id — a total order, so the indexed and linear
+    /// paths return identical vectors.
+    pub fn discover(
+        &self,
+        registry: &ServiceRegistry,
+        query: &DiscoveryQuery<'_>,
+    ) -> Vec<DiscoveredCandidate> {
+        let indexed = !query.force_linear
+            && query.min_degree >= MatchDegree::PlugIn
+            && self.index_usable(registry);
+        let mut out = if indexed {
+            let candidates = self.candidate_ids(registry, query.activity.function());
+            self.evaluate_ids(registry, query, candidates)
+        } else {
+            self.evaluate_ids(registry, query, registry.iter().map(|(id, _)| id).collect())
+        };
         out.sort_by(|a, b| b.degree.cmp(&a.degree).then(a.service.cmp(&b.service)));
         out
     }
 
-    /// The candidate set `S_i` for an abstract activity: usable functional
-    /// matches with a compatible I/O signature.
-    pub fn candidates(&self, registry: &ServiceRegistry, activity: &Activity) -> Vec<Candidate> {
-        self.functional_matches(registry, activity.function(), MatchDegree::PlugIn)
-            .into_iter()
-            .filter(|c| {
-                registry
-                    .get(c.service)
-                    .is_some_and(|d| self.io_compatible(activity, d))
+    /// Whether the registry's capability index covers this engine's
+    /// ontology (same [`Ontology::stamp`]).
+    fn index_usable(&self, registry: &ServiceRegistry) -> bool {
+        registry
+            .ontology()
+            .is_some_and(|bound| bound.stamp() == self.ontology.stamp())
+    }
+
+    /// Index probe for profile-only matching: ids (ascending) whose
+    /// profile plausibly matches `required` with usable strength.
+    fn profile_posting(&self, registry: &ServiceRegistry, required: &Iri) -> Vec<ServiceId> {
+        let posting = match self.ontology.concept(required) {
+            Some(concept) => registry.usable_for_concept(self.ontology.canon(concept)),
+            None => registry.usable_for_unknown_iri(required),
+        };
+        posting
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .filter(|&(_, bits)| bits & VIA_PROFILE != 0)
+                    .map(|(&id, _)| id)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Index probe for full discovery: ids (ascending) that can qualify
+    /// for `required` through their profile or, for white-box queries,
+    /// any operation. Completeness: a service accepted by the linear
+    /// scan with a usable degree offers a capability concept having
+    /// `required` among its ancestors (hence is in the concept posting
+    /// list) or advertises the identical unknown IRI (hence is in the
+    /// syntactic bucket) — there is no third way to reach `Exact` or
+    /// `PlugIn`.
+    fn candidate_ids(&self, registry: &ServiceRegistry, required: &Iri) -> Vec<ServiceId> {
+        let posting = match self.ontology.concept(required) {
+            Some(concept) => registry.usable_for_concept(self.ontology.canon(concept)),
+            None => registry.usable_for_unknown_iri(required),
+        };
+        posting
+            .map(|bucket| bucket.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Evaluates candidate ids (ascending) against the query. The
+    /// per-service logic is shared verbatim by the indexed and linear
+    /// paths, so they can only differ in which ids they consider.
+    fn evaluate_ids(
+        &self,
+        registry: &ServiceRegistry,
+        query: &DiscoveryQuery<'_>,
+        ids: Vec<ServiceId>,
+    ) -> Vec<DiscoveredCandidate> {
+        ids.into_iter()
+            .filter_map(|id| {
+                let desc = registry.get(id)?;
+                self.evaluate_service(query, id, desc)
             })
             .collect()
     }
 
-    /// White-box discovery: like [`Discovery::candidates`], but services
-    /// whose *profile* does not match may still qualify through one of
-    /// their conversation [`Operation`](crate::Operation)s. The returned
-    /// QoS vector is what selection should reason on: the service-level
-    /// advertisement, overridden by the matched operation's per-operation
-    /// QoS when the match came from an operation.
-    pub fn deep_candidates(
+    /// Evaluates one live service against the query.
+    fn evaluate_service(
         &self,
-        registry: &ServiceRegistry,
-        activity: &Activity,
-    ) -> Vec<(Candidate, qasom_qos::QosVector)> {
-        let mut out = Vec::new();
-        for (id, desc) in registry.iter() {
-            if !self.io_compatible(activity, desc) {
-                continue;
+        query: &DiscoveryQuery<'_>,
+        id: ServiceId,
+        desc: &ServiceDescription,
+    ) -> Option<DiscoveredCandidate> {
+        let activity = query.activity;
+        if !self.io_compatible(activity, desc) {
+            return None;
+        }
+        let accepts =
+            |degree: MatchDegree| degree >= query.min_degree && degree != MatchDegree::Fail;
+
+        let profile_degree = self.match_functions(activity.function(), desc.function());
+        let candidate = if accepts(profile_degree) {
+            DiscoveredCandidate {
+                service: id,
+                degree: profile_degree,
+                matched_via: MatchedVia::Profile,
+                effective_qos: desc.qos().clone(),
             }
-            let profile_degree = self.match_functions(activity.function(), desc.function());
-            if profile_degree.is_usable() {
-                out.push((
-                    Candidate {
-                        service: id,
-                        degree: profile_degree,
-                    },
-                    desc.qos().clone(),
-                ));
-                continue;
-            }
-            // Fall back to the conversation: the best usable operation.
-            let best_op = desc
+        } else if query.white_box {
+            // Fall back to the conversation: the best qualifying
+            // operation (ties resolved towards the last declared, the
+            // behaviour of `Iterator::max_by_key`).
+            let (op_index, op, degree) = desc
                 .operations()
                 .iter()
-                .map(|op| (op, self.match_functions(activity.function(), op.function())))
-                .filter(|(_, d)| d.is_usable())
-                .max_by_key(|&(_, d)| d);
-            if let Some((op, degree)) = best_op {
-                let mut qos = desc.qos().clone();
-                // Operation-level QoS overrides the black-box figures.
-                qos.merge_with(op.qos(), |_, op_value| op_value);
-                out.push((
-                    Candidate {
-                        service: id,
-                        degree,
-                    },
-                    qos,
-                ));
+                .enumerate()
+                .map(|(i, op)| {
+                    (
+                        i,
+                        op,
+                        self.match_functions(activity.function(), op.function()),
+                    )
+                })
+                .filter(|&(_, _, d)| accepts(d))
+                .max_by_key(|&(_, _, d)| d)?;
+            let mut qos = desc.qos().clone();
+            // Operation-level QoS overrides the black-box figures.
+            qos.merge_with(op.qos(), |_, op_value| op_value);
+            DiscoveredCandidate {
+                service: id,
+                degree,
+                matched_via: MatchedVia::Operation(op_index),
+                effective_qos: qos,
+            }
+        } else {
+            return None;
+        };
+
+        if let Some(constraints) = query.constraints {
+            if !constraints.satisfied_by(&candidate.effective_qos) {
+                return None;
             }
         }
-        out.sort_by(|a, b| {
-            b.0.degree
-                .cmp(&a.0.degree)
-                .then(a.0.service.cmp(&b.0.service))
-        });
-        out
-    }
-
-    /// Like [`Discovery::candidates`] but additionally applies
-    /// activity-level QoS constraints to the advertised QoS.
-    pub fn qos_candidates(
-        &self,
-        registry: &ServiceRegistry,
-        activity: &Activity,
-        local_constraints: &ConstraintSet,
-    ) -> Vec<Candidate> {
-        self.candidates(registry, activity)
-            .into_iter()
-            .filter(|c| {
-                registry
-                    .get(c.service)
-                    .is_some_and(|d| local_constraints.satisfied_by(d.qos()))
-            })
-            .collect()
+        Some(candidate)
     }
 }
 
@@ -204,6 +485,7 @@ mod tests {
     use crate::ServiceDescription;
     use qasom_ontology::OntologyBuilder;
     use qasom_qos::{Constraint, Tendency, Unit};
+    use std::sync::Arc;
 
     fn domain() -> Ontology {
         let mut b = OntologyBuilder::new("shop");
@@ -227,7 +509,7 @@ mod tests {
         r.register(ServiceDescription::new("cash", "shop#PayCash"));
         r.register(ServiceDescription::new("browse", "shop#Browse"));
         let a = Activity::new("pay", "shop#Pay");
-        assert_eq!(d.candidates(&r, &a).len(), 2);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 2);
     }
 
     #[test]
@@ -239,10 +521,8 @@ mod tests {
         let generic = r.register(ServiceDescription::new("till", "shop#Pay"));
         let req: Iri = "shop#Pay".parse().unwrap();
         let matches = d.functional_matches(&r, &req, MatchDegree::PlugIn);
-        assert_eq!(matches[0].service, generic);
-        assert_eq!(matches[0].degree, MatchDegree::Exact);
-        assert_eq!(matches[1].service, card);
-        assert_eq!(matches[1].degree, MatchDegree::PlugIn);
+        assert_eq!(matches[0], (generic, MatchDegree::Exact));
+        assert_eq!(matches[1], (card, MatchDegree::PlugIn));
     }
 
     #[test]
@@ -252,9 +532,9 @@ mod tests {
         let mut r = ServiceRegistry::new();
         r.register(ServiceDescription::new("x", "other#Thing"));
         let a = Activity::new("t", "other#Thing");
-        assert_eq!(d.candidates(&r, &a).len(), 1);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 1);
         let b = Activity::new("t", "other#Different");
-        assert_eq!(d.candidates(&r, &b).len(), 0);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&b)).len(), 0);
     }
 
     #[test]
@@ -263,15 +543,13 @@ mod tests {
         let d = Discovery::new(&o, &m);
         let mut r = ServiceRegistry::new();
         // Needs data the activity cannot provide.
-        r.register(
-            ServiceDescription::new("greedy", "shop#Pay").with_input("shop#LoyaltyCard"),
-        );
+        r.register(ServiceDescription::new("greedy", "shop#Pay").with_input("shop#LoyaltyCard"));
         let a = Activity::new("pay", "shop#Pay");
-        assert_eq!(d.candidates(&r, &a).len(), 0);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 0);
 
         // Activity provides the needed input.
         let a = Activity::new("pay", "shop#Pay").with_input("shop#LoyaltyCard");
-        assert_eq!(d.candidates(&r, &a).len(), 1);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 1);
     }
 
     #[test]
@@ -281,11 +559,11 @@ mod tests {
         let mut r = ServiceRegistry::new();
         r.register(ServiceDescription::new("s", "shop#Pay"));
         let a = Activity::new("pay", "shop#Pay").with_output("shop#Receipt");
-        assert_eq!(d.candidates(&r, &a).len(), 0);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 0);
 
         let mut r = ServiceRegistry::new();
         r.register(ServiceDescription::new("s", "shop#Pay").with_output("shop#Receipt"));
-        assert_eq!(d.candidates(&r, &a).len(), 1);
+        assert_eq!(d.discover(&r, &DiscoveryQuery::new(&a)).len(), 1);
     }
 
     #[test]
@@ -300,7 +578,7 @@ mod tests {
         let cs: ConstraintSet = [Constraint::new(rt, Tendency::LowerBetter, 100.0)]
             .into_iter()
             .collect();
-        let hits = d.qos_candidates(&r, &a, &cs);
+        let hits = d.discover(&r, &DiscoveryQuery::new(&a).require_qos(&cs));
         assert_eq!(hits.len(), 1);
         assert_eq!(r.get(hits[0].service).unwrap().name(), "fast");
     }
@@ -313,11 +591,11 @@ mod tests {
         let id = r.register(ServiceDescription::new("visa", "shop#PayByCard"));
         r.deregister(id);
         let a = Activity::new("pay", "shop#Pay");
-        assert!(d.candidates(&r, &a).is_empty());
+        assert!(d.discover(&r, &DiscoveryQuery::new(&a)).is_empty());
     }
 
     #[test]
-    fn deep_candidates_match_through_operations() {
+    fn white_box_matches_through_operations() {
         use crate::Operation;
         let (o, m) = setup();
         let d = Discovery::new(&o, &m);
@@ -335,27 +613,29 @@ mod tests {
 
         let a = Activity::new("pay", "shop#Pay");
         // Black-box discovery misses it…
-        assert!(d.candidates(&r, &a).is_empty());
+        assert!(d.discover(&r, &DiscoveryQuery::new(&a)).is_empty());
         // …white-box discovery finds the operation and merges its QoS.
-        let deep = d.deep_candidates(&r, &a);
+        let deep = d.discover(&r, &DiscoveryQuery::new(&a).white_box(true));
         assert_eq!(deep.len(), 1);
-        assert_eq!(deep[0].0.service, id);
-        assert_eq!(deep[0].1.get(rt), Some(80.0)); // operation overrides
-        assert_eq!(deep[0].1.get(av), Some(0.95)); // service-level kept
+        assert_eq!(deep[0].service, id);
+        assert_eq!(deep[0].matched_via, MatchedVia::Operation(0));
+        assert_eq!(deep[0].effective_qos.get(rt), Some(80.0)); // operation overrides
+        assert_eq!(deep[0].effective_qos.get(av), Some(0.95)); // service-level kept
     }
 
     #[test]
-    fn deep_candidates_prefer_profile_matches() {
+    fn white_box_prefers_profile_matches() {
         let (o, m) = setup();
         let d = Discovery::new(&o, &m);
         let rt = m.property("ResponseTime").unwrap();
         let mut r = ServiceRegistry::new();
         let direct = r.register(ServiceDescription::new("till", "shop#Pay").with_qos(rt, 100.0));
         let a = Activity::new("pay", "shop#Pay");
-        let deep = d.deep_candidates(&r, &a);
+        let deep = d.discover(&r, &DiscoveryQuery::new(&a).white_box(true));
         assert_eq!(deep.len(), 1);
-        assert_eq!(deep[0].0.service, direct);
-        assert_eq!(deep[0].1.get(rt), Some(100.0));
+        assert_eq!(deep[0].service, direct);
+        assert_eq!(deep[0].matched_via, MatchedVia::Profile);
+        assert_eq!(deep[0].effective_qos.get(rt), Some(100.0));
     }
 
     #[test]
@@ -370,6 +650,106 @@ mod tests {
         let cs: ConstraintSet = [m.constraint("ResponseTime", 2.0, Unit::Seconds).unwrap()]
             .into_iter()
             .collect();
-        assert_eq!(d.qos_candidates(&r, &a, &cs).len(), 1);
+        assert_eq!(
+            d.discover(&r, &DiscoveryQuery::new(&a).require_qos(&cs))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn relaxed_degrees_admit_subsumes_and_force_linear() {
+        let (o, m) = setup();
+        let d = Discovery::new(&o, &m);
+        let mut r = ServiceRegistry::with_ontology(Arc::new(domain()));
+        r.register(ServiceDescription::new("generic", "shop#Pay"));
+        // Requesting the *sub*concept: the generic service only subsumes.
+        let a = Activity::new("pay", "shop#PayByCard");
+        assert!(d.discover(&r, &DiscoveryQuery::new(&a)).is_empty());
+        let relaxed = d.discover(
+            &r,
+            &DiscoveryQuery::new(&a).min_degree(MatchDegree::Subsumes),
+        );
+        assert_eq!(relaxed.len(), 1);
+        assert_eq!(relaxed[0].degree, MatchDegree::Subsumes);
+    }
+
+    #[test]
+    fn indexed_and_linear_paths_agree() {
+        use crate::Operation;
+        let (o, m) = setup();
+        let onto = Arc::new(o);
+        let d = Discovery::new(&onto, &m);
+        let mut r = ServiceRegistry::with_ontology(Arc::clone(&onto));
+        let rt = m.property("ResponseTime").unwrap();
+        for i in 0..40 {
+            let function = match i % 5 {
+                0 => "shop#Pay",
+                1 => "shop#PayByCard",
+                2 => "shop#PayCash",
+                3 => "shop#Browse",
+                _ => "misc#Unknown",
+            };
+            let mut desc =
+                ServiceDescription::new(format!("s{i}"), function).with_qos(rt, 40.0 + i as f64);
+            if i % 7 == 0 {
+                desc = desc.with_operation(Operation::new("op", "shop#PayCash").with_qos(rt, 10.0));
+            }
+            r.register(desc);
+        }
+        // Churn a few to exercise index removal.
+        for id in d
+            .discover(&r, &DiscoveryQuery::new(&Activity::new("x", "shop#Browse")))
+            .iter()
+            .map(|c| c.service)
+            .collect::<Vec<_>>()
+        {
+            r.deregister(id);
+        }
+        assert!(r.index_matches_rebuild());
+
+        let cs: ConstraintSet = [Constraint::new(rt, Tendency::LowerBetter, 70.0)]
+            .into_iter()
+            .collect();
+        for activity in [
+            Activity::new("a", "shop#Pay"),
+            Activity::new("b", "shop#PayCash"),
+            Activity::new("c", "misc#Unknown"),
+            Activity::new("d", "misc#Never"),
+        ] {
+            for white_box in [false, true] {
+                let query = DiscoveryQuery::new(&activity).white_box(white_box);
+                let indexed = d.discover(&r, &query);
+                let linear = d.discover(&r, &query.linear_scan(true));
+                assert_eq!(indexed, linear, "activity {}", activity.name());
+                let constrained = d.discover(&r, &query.require_qos(&cs));
+                let constrained_linear = d.discover(&r, &query.require_qos(&cs).linear_scan(true));
+                assert_eq!(constrained, constrained_linear);
+            }
+        }
+    }
+
+    #[test]
+    fn match_cache_hits_and_invalidates() {
+        let (o, m) = setup();
+        let cache = MatchCache::new();
+        let d = Discovery::with_cache(&o, &m, &cache);
+        let req: Iri = "shop#Pay".parse().unwrap();
+        let off: Iri = "shop#PayByCard".parse().unwrap();
+        assert_eq!(d.match_functions(&req, &off), MatchDegree::PlugIn);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(d.match_functions(&req, &off), MatchDegree::PlugIn);
+        assert_eq!(cache.len(), 1);
+
+        // A *different* ontology (fresh stamp) under the same cache: the
+        // stale entry must not answer, even though the IRIs collide.
+        let mut b = OntologyBuilder::new("shop");
+        b.concept("Pay");
+        b.concept("PayByCard"); // siblings now: no subsumption
+        let other = b.build().unwrap();
+        let d2 = Discovery::with_cache(&other, &m, &cache);
+        assert_eq!(d2.match_functions(&req, &off), MatchDegree::Fail);
+        // And the flush means the first engine recomputes correctly too.
+        assert_eq!(d.match_functions(&req, &off), MatchDegree::PlugIn);
     }
 }

@@ -12,29 +12,37 @@
 //!   registration and departure;
 //! * [`Discovery`] — QoS-aware service discovery: semantic functional
 //!   matching (through a domain [`Ontology`]) combined with I/O
-//!   compatibility and QoS-requirement filtering, yielding the per-activity
-//!   candidate sets (`S_i`) the selection algorithm consumes.
+//!   compatibility and QoS-requirement filtering. One entry point,
+//!   [`Discovery::discover`], takes a [`DiscoveryQuery`] (minimum match
+//!   degree, white-box matching, QoS requirements) and yields the
+//!   per-activity candidate sets (`S_i`) — [`DiscoveredCandidate`]s —
+//!   the selection algorithm consumes. Registries
+//!   [bound](ServiceRegistry::bind_ontology) to the ontology answer
+//!   queries from an inverted capability index instead of a full scan.
 //!
 //! # Examples
 //!
 //! ```
 //! use qasom_ontology::OntologyBuilder;
 //! use qasom_qos::QosModel;
-//! use qasom_registry::{Discovery, ServiceDescription, ServiceRegistry};
+//! use qasom_registry::{Discovery, DiscoveryQuery, ServiceDescription, ServiceRegistry};
 //! use qasom_task::Activity;
+//! use std::sync::Arc;
 //!
 //! let mut onto = OntologyBuilder::new("shop");
 //! let pay = onto.concept("Pay");
 //! onto.subconcept("PayByCard", pay);
-//! let onto = onto.build().unwrap();
+//! let onto = Arc::new(onto.build().unwrap());
 //! let model = QosModel::standard();
 //!
-//! let mut registry = ServiceRegistry::new();
+//! // Binding the ontology lets the registry maintain a capability index,
+//! // so discovery probes the index instead of scanning every service.
+//! let mut registry = ServiceRegistry::with_ontology(Arc::clone(&onto));
 //! registry.register(ServiceDescription::new("visa", "shop#PayByCard"));
 //!
 //! let discovery = Discovery::new(&onto, &model);
 //! let activity = Activity::new("pay", "shop#Pay");
-//! let candidates = discovery.candidates(&registry, &activity);
+//! let candidates = discovery.discover(&registry, &DiscoveryQuery::new(&activity));
 //! assert_eq!(candidates.len(), 1); // PayByCard plugs into Pay
 //! ```
 
@@ -46,7 +54,7 @@ pub mod qsd;
 mod registry;
 mod service;
 
-pub use discovery::{Candidate, Discovery};
+pub use discovery::{DiscoveredCandidate, Discovery, DiscoveryQuery, MatchCache, MatchedVia};
 pub use registry::{RegistryEvent, ServiceId, ServiceRegistry};
 pub use service::{Operation, ServiceDescription};
 

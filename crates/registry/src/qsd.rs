@@ -144,17 +144,16 @@ fn parse_service(el: &XmlElement, model: &QosModel) -> Result<ServiceDescription
     Ok(desc)
 }
 
-fn parse_qos(
-    el: &XmlElement,
-    model: &QosModel,
-) -> Result<(qasom_qos::PropertyId, f64), QsdError> {
+fn parse_qos(el: &XmlElement, model: &QosModel) -> Result<(qasom_qos::PropertyId, f64), QsdError> {
     let name = required(el, "property")?;
     let raw = required(el, "value")?;
     let value: f64 = raw
         .parse()
         .map_err(|_| QsdError::Qos(format!("bad value {raw:?} for {name}")))?;
     if !value.is_finite() {
-        return Err(QsdError::Qos(format!("non-finite value {raw:?} for {name}")));
+        return Err(QsdError::Qos(format!(
+            "non-finite value {raw:?} for {name}"
+        )));
     }
     let id = model.require(name)?;
     let canonical = model.def(id).unit();
@@ -172,9 +171,8 @@ fn parse_qos(
 }
 
 fn required<'a>(el: &'a XmlElement, attr: &str) -> Result<&'a str, QsdError> {
-    el.attr(attr).ok_or_else(|| {
-        QsdError::Structure(format!("<{}> requires a {attr} attribute", el.name))
-    })
+    el.attr(attr)
+        .ok_or_else(|| QsdError::Structure(format!("<{}> requires a {attr} attribute", el.name)))
 }
 
 /// Prints service descriptions as a QSD document (values in canonical

@@ -1,10 +1,117 @@
 //! The service directory.
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
-use qasom_ontology::Iri;
+use qasom_ontology::{ConceptId, Iri, Ontology};
 
 use crate::ServiceDescription;
+
+/// Capability-index tag: the service's *profile* matches the probed
+/// concept.
+pub(crate) const VIA_PROFILE: u8 = 0b01;
+/// Capability-index tag: one of the service's *operations* matches the
+/// probed concept.
+pub(crate) const VIA_OPERATION: u8 = 0b10;
+
+/// The inverted capability index: for every (canonical) ontology concept,
+/// the live services that can serve a request for it with a usable degree
+/// (`Exact` or `PlugIn`), plus syntactic buckets for function IRIs the
+/// ontology does not know.
+///
+/// `BTreeMap<ServiceId, u8>` keeps each posting list id-sorted, so index
+/// probes enumerate candidates in the same order a linear registry scan
+/// would — a prerequisite for byte-identical discovery results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct CapabilityIndex {
+    /// canonical concept → services offering a sub-concept (or the
+    /// concept itself), tagged with *how* (profile and/or operation).
+    by_concept: HashMap<ConceptId, BTreeMap<ServiceId, u8>>,
+    /// function IRIs unknown to the ontology → services advertising them
+    /// verbatim (syntactic `Exact` fallback), with the same tags.
+    by_unknown_iri: HashMap<Iri, BTreeMap<ServiceId, u8>>,
+}
+
+impl CapabilityIndex {
+    fn insert(&mut self, ontology: &Ontology, id: ServiceId, desc: &ServiceDescription) {
+        self.tag(ontology, id, desc.function(), VIA_PROFILE);
+        for op in desc.operations() {
+            self.tag(ontology, id, op.function(), VIA_OPERATION);
+        }
+    }
+
+    fn remove(&mut self, ontology: &Ontology, id: ServiceId, desc: &ServiceDescription) {
+        self.untag(ontology, id, desc.function(), VIA_PROFILE);
+        for op in desc.operations() {
+            self.untag(ontology, id, op.function(), VIA_OPERATION);
+        }
+    }
+
+    fn tag(&mut self, ontology: &Ontology, id: ServiceId, offered: &Iri, via: u8) {
+        match ontology.concept(offered) {
+            Some(concept) => {
+                // A request for any ancestor of the offered concept is
+                // served with Exact or PlugIn strength, so the service
+                // joins every ancestor's posting list. `ancestors`
+                // yields canonical ids, which is also what probes use.
+                for ancestor in ontology.ancestors(concept) {
+                    *self
+                        .by_concept
+                        .entry(ancestor)
+                        .or_default()
+                        .entry(id)
+                        .or_insert(0) |= via;
+                }
+            }
+            None => {
+                *self
+                    .by_unknown_iri
+                    .entry(offered.clone())
+                    .or_default()
+                    .entry(id)
+                    .or_insert(0) |= via;
+            }
+        }
+    }
+
+    fn untag(&mut self, ontology: &Ontology, id: ServiceId, offered: &Iri, via: u8) {
+        match ontology.concept(offered) {
+            Some(concept) => {
+                for ancestor in ontology.ancestors(concept) {
+                    Self::clear_bit(self.by_concept.get_mut(&ancestor), id, via);
+                    if self
+                        .by_concept
+                        .get(&ancestor)
+                        .is_some_and(BTreeMap::is_empty)
+                    {
+                        self.by_concept.remove(&ancestor);
+                    }
+                }
+            }
+            None => {
+                Self::clear_bit(self.by_unknown_iri.get_mut(offered), id, via);
+                if self
+                    .by_unknown_iri
+                    .get(offered)
+                    .is_some_and(BTreeMap::is_empty)
+                {
+                    self.by_unknown_iri.remove(offered);
+                }
+            }
+        }
+    }
+
+    fn clear_bit(bucket: Option<&mut BTreeMap<ServiceId, u8>>, id: ServiceId, via: u8) {
+        let Some(bucket) = bucket else { return };
+        if let Some(bits) = bucket.get_mut(&id) {
+            *bits &= !via;
+            if *bits == 0 {
+                bucket.remove(&id);
+            }
+        }
+    }
+}
 
 /// Handle to a registered service. Ids are never reused within one
 /// registry, so a stale id reliably reports a departed service.
@@ -55,6 +162,11 @@ pub struct ServiceRegistry {
     services: Vec<Option<ServiceDescription>>,
     events: Vec<RegistryEvent>,
     alive: usize,
+    /// Bound taxonomy: enables the inverted capability index. `None`
+    /// keeps the registry purely syntactic (discovery falls back to
+    /// linear scans).
+    ontology: Option<Arc<Ontology>>,
+    index: CapabilityIndex,
 }
 
 impl ServiceRegistry {
@@ -63,9 +175,92 @@ impl ServiceRegistry {
         ServiceRegistry::default()
     }
 
+    /// Creates an empty registry with the capability index enabled over
+    /// `ontology` (see [`ServiceRegistry::bind_ontology`]).
+    pub fn with_ontology(ontology: Arc<Ontology>) -> Self {
+        let mut registry = ServiceRegistry::new();
+        registry.bind_ontology(ontology);
+        registry
+    }
+
+    /// Binds a domain ontology and (re)builds the inverted capability
+    /// index over it.
+    ///
+    /// From then on every registration and departure maintains the index
+    /// incrementally: a service is posted under every *ancestor* of its
+    /// offered capability concepts, so a PlugIn/Exact lookup for a
+    /// required concept is a single probe instead of a registry scan.
+    /// [`Discovery`](crate::Discovery) uses the index automatically when
+    /// its ontology matches the bound one (checked via
+    /// [`Ontology::stamp`]).
+    pub fn bind_ontology(&mut self, ontology: Arc<Ontology>) {
+        self.ontology = Some(ontology);
+        self.rebuild_index();
+    }
+
+    /// The ontology the capability index is maintained over, if any.
+    pub fn ontology(&self) -> Option<&Arc<Ontology>> {
+        self.ontology.as_ref()
+    }
+
+    /// Discards and rebuilds the capability index from the live services.
+    ///
+    /// Needed only after mutating a service's *capabilities* (function or
+    /// operations) in place through [`ServiceRegistry::get_mut`] — QoS
+    /// re-advertisements do not touch the index.
+    pub fn rebuild_index(&mut self) {
+        self.index = CapabilityIndex::default();
+        let Some(ontology) = self.ontology.clone() else {
+            return;
+        };
+        for (i, slot) in self.services.iter().enumerate() {
+            if let Some(desc) = slot {
+                self.index.insert(&ontology, ServiceId(i as u32), desc);
+            }
+        }
+    }
+
+    /// Whether the incrementally maintained capability index is equal to
+    /// one rebuilt from scratch — the index's consistency invariant,
+    /// exercised by the churn property tests.
+    pub fn index_matches_rebuild(&self) -> bool {
+        let Some(ontology) = self.ontology.as_deref() else {
+            // No ontology bound: the index must be empty.
+            return self.index == CapabilityIndex::default();
+        };
+        let mut fresh = CapabilityIndex::default();
+        for (id, desc) in self.iter() {
+            fresh.insert(ontology, id, desc);
+        }
+        self.index == fresh
+    }
+
+    /// Index probe: live services able to serve a request for `concept`
+    /// with usable strength (`Exact`/`PlugIn`), id-ascending, tagged with
+    /// how they qualified. `concept` is canonicalised by the caller
+    /// ([`Ontology::canon`]).
+    pub(crate) fn usable_for_concept(
+        &self,
+        concept: ConceptId,
+    ) -> Option<&BTreeMap<ServiceId, u8>> {
+        self.index.by_concept.get(&concept)
+    }
+
+    /// Index probe: live services advertising the ontology-unknown IRI
+    /// `function` verbatim (syntactic `Exact` fallback).
+    pub(crate) fn usable_for_unknown_iri(
+        &self,
+        function: &Iri,
+    ) -> Option<&BTreeMap<ServiceId, u8>> {
+        self.index.by_unknown_iri.get(function)
+    }
+
     /// Publishes a service, returning its id.
     pub fn register(&mut self, description: ServiceDescription) -> ServiceId {
         let id = ServiceId(u32::try_from(self.services.len()).expect("registry overflow"));
+        if let Some(ontology) = &self.ontology {
+            self.index.insert(ontology, id, &description);
+        }
         self.services.push(Some(description));
         self.alive += 1;
         self.events.push(RegistryEvent::Registered(id));
@@ -76,9 +271,12 @@ impl ServiceRegistry {
     pub fn deregister(&mut self, id: ServiceId) -> Option<ServiceDescription> {
         let slot = self.services.get_mut(id.index())?;
         let desc = slot.take();
-        if desc.is_some() {
+        if let Some(desc) = &desc {
             self.alive -= 1;
             self.events.push(RegistryEvent::Deregistered(id));
+            if let Some(ontology) = &self.ontology {
+                self.index.remove(ontology, id, desc);
+            }
         }
         desc
     }
@@ -203,10 +401,7 @@ mod tests {
         r.deregister(a);
         assert_eq!(
             r.events_since(cursor),
-            &[
-                RegistryEvent::Registered(a),
-                RegistryEvent::Deregistered(a)
-            ]
+            &[RegistryEvent::Registered(a), RegistryEvent::Deregistered(a)]
         );
         assert!(r.events_since(r.event_cursor()).is_empty());
     }

@@ -129,7 +129,8 @@ impl ServiceDescription {
     ///
     /// Panics on a malformed IRI.
     pub fn with_input(mut self, input: &str) -> Self {
-        self.inputs.push(input.parse().expect("malformed input IRI"));
+        self.inputs
+            .push(input.parse().expect("malformed input IRI"));
         self
     }
 

@@ -292,7 +292,10 @@ mod tests {
         let a = qv(&[(f.rt, 100.0), (f.av, 0.9), (f.price, 2.0), (f.thr, 10.0)]);
         let b = qv(&[(f.rt, 50.0), (f.av, 0.8), (f.price, 3.0), (f.thr, 4.0)]);
         let m = AggregationApproach::MeanValue;
-        assert_eq!(agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt), Some(150.0));
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt),
+            Some(150.0)
+        );
         assert_eq!(
             agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.av),
             Some(0.9 * 0.8)
@@ -312,7 +315,10 @@ mod tests {
         let b = qv(&[(f.rt, 50.0), (f.av, 0.8), (f.price, 3.0), (f.thr, 4.0)]);
         let m = AggregationApproach::MeanValue;
         // Parallel response time = max, price still adds up.
-        assert_eq!(agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt), Some(100.0));
+        assert_eq!(
+            agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.rt),
+            Some(100.0)
+        );
         assert_eq!(
             agg(&f, m, node.clone(), &[a.clone(), b.clone()], f.price),
             Some(5.0)

@@ -364,9 +364,7 @@ impl<'a> Baselines<'a> {
                 .constraints()
                 .violations(&aggregated)
                 .map(|v| match aggregated.get(v.property()) {
-                    Some(value) => {
-                        (-v.slack(value) / v.bound().abs().max(1e-9)).max(0.0) + 1.0
-                    }
+                    Some(value) => (-v.slack(value) / v.bound().abs().max(1e-9)).max(0.0) + 1.0,
                     None => 2.0,
                 })
                 .sum();
@@ -629,7 +627,10 @@ mod tests {
         assert_eq!(a.assignment.len(), 3);
         assert!((0.0..=1.0).contains(&a.utility));
         // Feasibility flag is consistent with the aggregate.
-        assert_eq!(a.feasible, problem.constraints().satisfied_by(&a.aggregated));
+        assert_eq!(
+            a.feasible,
+            problem.constraints().satisfied_by(&a.aggregated)
+        );
     }
 
     #[test]

@@ -157,11 +157,7 @@ mod tests {
         let rt = m.property("ResponseTime").unwrap();
         let av = m.property("Availability").unwrap();
         let price = m.property("Price").unwrap();
-        let task = UserTask::new(
-            "t",
-            TaskNode::activity(Activity::new("a", "x#A")),
-        )
-        .unwrap();
+        let task = UserTask::new("t", TaskNode::activity(Activity::new("a", "x#A"))).unwrap();
         let p = SelectionProblem::new(&task)
             .with_constraints(
                 [Constraint::new(rt, Tendency::LowerBetter, 1.0)]

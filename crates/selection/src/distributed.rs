@@ -18,8 +18,7 @@
 //! compute), which is exactly the split the original figure plots.
 
 use qasom_netsim::{
-    DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime,
-    Simulation,
+    DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime, Simulation,
 };
 use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosModel};
 use qasom_task::UserTask;
@@ -188,10 +187,9 @@ impl NodeBehaviour<Message> for Role {
                 let mut digests = Vec::with_capacity(state.shard.len());
                 let mut work_units = 0u64;
                 for (activity, cands) in &state.shard {
-                    let levels =
-                        state
-                            .local
-                            .rank(&state.model, cands, &properties, &preferences);
+                    let levels = state
+                        .local
+                        .rank(&state.model, cands, &properties, &preferences);
                     work_units += (cands.len() * properties.len()) as u64;
                     digests.push((*activity, levels, cands.clone()));
                 }
@@ -336,10 +334,7 @@ impl<'a> DistributedQassa<'a> {
         let Role::Coordinator(state) = sim.node(coordinator) else {
             unreachable!("coordinator role is fixed");
         };
-        let outcome = state
-            .outcome
-            .clone()
-            .expect("protocol completed")?;
+        let outcome = state.outcome.clone().expect("protocol completed")?;
         let local_done = state.local_done_at.expect("local phase completed");
         let global_done = state.global_done_at.expect("global phase completed");
         Ok(DistributedReport {

@@ -131,7 +131,10 @@ impl<'a> Qassa<'a> {
     ///
     /// Fails when the candidate matrix is malformed (see
     /// [`SelectionError`]).
-    pub fn local_phase(&self, problem: &SelectionProblem<'_>) -> Result<Vec<QosLevels>, SelectionError> {
+    pub fn local_phase(
+        &self,
+        problem: &SelectionProblem<'_>,
+    ) -> Result<Vec<QosLevels>, SelectionError> {
         self.validate(problem)?;
         let properties = problem.properties();
         Ok(problem
@@ -150,6 +153,11 @@ impl<'a> Qassa<'a> {
     /// parallel across activities, which is also what makes the
     /// [distributed variant](crate::distributed) work.
     ///
+    /// Results are identical to [`Qassa::local_phase`]: ranking one
+    /// activity reads only that activity's candidates, and the output
+    /// order mirrors the input order. Without the `parallel` feature
+    /// this *is* the sequential local phase.
+    ///
     /// # Errors
     ///
     /// Fails when the candidate matrix is malformed.
@@ -157,22 +165,23 @@ impl<'a> Qassa<'a> {
         &self,
         problem: &SelectionProblem<'_>,
     ) -> Result<Vec<QosLevels>, SelectionError> {
-        self.validate(problem)?;
-        let properties = problem.properties();
-        let mut out: Vec<Option<QosLevels>> = vec![None; problem.candidates().len()];
-        crossbeam::thread::scope(|scope| {
-            for (slot, cands) in out.iter_mut().zip(problem.candidates()) {
-                let properties = &properties;
-                let preferences = problem.preferences();
-                let local = self.config.local;
-                let model = self.model;
-                scope.spawn(move |_| {
-                    *slot = Some(local.rank(model, cands, properties, preferences));
-                });
-            }
-        })
-        .expect("ranking threads do not panic");
-        Ok(out.into_iter().map(|l| l.expect("every slot filled")).collect())
+        #[cfg(feature = "parallel")]
+        {
+            use rayon::prelude::*;
+            self.validate(problem)?;
+            let properties = problem.properties();
+            Ok(problem
+                .candidates()
+                .par_iter()
+                .map(|cands| {
+                    self.config
+                        .local
+                        .rank(self.model, cands, &properties, problem.preferences())
+                })
+                .collect())
+        }
+        #[cfg(not(feature = "parallel"))]
+        self.local_phase(problem)
     }
 
     /// Runs the full algorithm.
@@ -182,7 +191,10 @@ impl<'a> Qassa<'a> {
     /// Fails when the candidate matrix is malformed; an *infeasible*
     /// problem is not an error — the outcome's `feasible` flag is `false`
     /// and the assignment is the least-violating composition found.
-    pub fn select(&self, problem: &SelectionProblem<'_>) -> Result<SelectionOutcome, SelectionError> {
+    pub fn select(
+        &self,
+        problem: &SelectionProblem<'_>,
+    ) -> Result<SelectionOutcome, SelectionError> {
         let levels = self.local_phase(problem)?;
         self.select_with_levels(problem, &levels)
     }
@@ -238,7 +250,8 @@ impl<'a> Qassa<'a> {
 
             let mut current: Vec<usize> = vec![0; all.len()];
             for _ in 0..=self.config.max_repairs_per_level {
-                let aggregated = self.aggregate_assignment(problem, &aggregator, &all, &current, &properties);
+                let aggregated =
+                    self.aggregate_assignment(problem, &aggregator, &all, &current, &properties);
                 let violations: Vec<_> = problem
                     .constraints()
                     .violations(&aggregated)
@@ -284,7 +297,9 @@ impl<'a> Qassa<'a> {
         // problems, scan the whole space exactly before giving up.
         let combinations: u128 = all.iter().map(|c| c.len() as u128).product();
         if combinations <= self.config.exact_fallback_cap {
-            if let Some(current) = self.exact_scan(problem, &aggregator, &all, &properties, &normalizer) {
+            if let Some(current) =
+                self.exact_scan(problem, &aggregator, &all, &properties, &normalizer)
+            {
                 let aggregated =
                     self.aggregate_assignment(problem, &aggregator, &all, &current, &properties);
                 return Ok(self.outcome(
@@ -300,9 +315,8 @@ impl<'a> Qassa<'a> {
         }
 
         // No feasible composition: return the least-violating one.
-        let (_, _, current, aggregated) = best_infeasible.ok_or(SelectionError::NoCandidates {
-            activity: 0,
-        })?;
+        let (_, _, current, aggregated) =
+            best_infeasible.ok_or(SelectionError::NoCandidates { activity: 0 })?;
         Ok(self.outcome(
             problem,
             &all,
@@ -702,12 +716,7 @@ mod tests {
         // clearly-worse-band candidate satisfies the availability bound.
         let cands = candidates(
             &f,
-            &[vec![
-                (10.0, 0.5),
-                (11.0, 0.51),
-                (12.0, 0.52),
-                (400.0, 0.99),
-            ]],
+            &[vec![(10.0, 0.5), (11.0, 0.51), (12.0, 0.52), (400.0, 0.99)]],
         );
         let problem = SelectionProblem::new(&task)
             .with_candidates(cands)
@@ -734,8 +743,8 @@ mod tests {
     fn errors_on_arity_mismatch() {
         let f = fx();
         let task = seq_task(2);
-        let problem = SelectionProblem::new(&task)
-            .with_candidates(vec![vec![ServiceCandidate::new(
+        let problem =
+            SelectionProblem::new(&task).with_candidates(vec![vec![ServiceCandidate::new(
                 ServiceRegistry::new().register(ServiceDescription::new("s", "x#F")),
                 QosVector::new(),
             )]]);
@@ -801,7 +810,12 @@ mod tests {
             &(0..4)
                 .map(|a| {
                     (0..40)
-                        .map(|s| (10.0 + f64::from(a * 40 + s) * 3.0, 0.9 + f64::from(s % 10) * 0.009))
+                        .map(|s| {
+                            (
+                                10.0 + f64::from(a * 40 + s) * 3.0,
+                                0.9 + f64::from(s % 10) * 0.009,
+                            )
+                        })
                         .collect()
                 })
                 .collect::<Vec<_>>(),
@@ -844,7 +858,9 @@ mod tests {
             exact_fallback_cap: 0,
             ..QassaConfig::default()
         };
-        let out = Qassa::with_config(&f.model, strict).select(&problem).unwrap();
+        let out = Qassa::with_config(&f.model, strict)
+            .select(&problem)
+            .unwrap();
         let strict_feasible = out.feasible;
         // …but the (default) bounded fallback finds the single solution.
         let out = Qassa::new(&f.model).select(&problem).unwrap();
@@ -861,11 +877,7 @@ mod tests {
         let task = seq_task(3);
         let cands = candidates(
             &f,
-            &[
-                vec![(50.0, 0.99)],
-                vec![(60.0, 0.98)],
-                vec![(70.0, 0.97)],
-            ],
+            &[vec![(50.0, 0.99)], vec![(60.0, 0.98)], vec![(70.0, 0.97)]],
         );
         let problem = SelectionProblem::new(&task)
             .with_candidates(cands)

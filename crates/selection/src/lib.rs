@@ -56,7 +56,7 @@ pub mod local;
 pub mod workload;
 
 pub use aggregate::{AggregationApproach, Aggregator};
-pub use candidate::{ServiceCandidate, SelectionProblem};
+pub use candidate::{SelectionProblem, ServiceCandidate};
 pub use global::{Qassa, QassaConfig, SelectionError, SelectionOutcome};
 pub use kmeans::{kmeans_1d, Clustering};
 pub use local::{LocalRank, QosLevels, RankedCandidate};

@@ -89,9 +89,11 @@ impl LocalRank {
         // Worst possible rank: below the deepest band (missing values).
         let missing_rank = self.bands;
 
-        // Per property: cluster present values and rank candidates.
-        let mut rank_matrix: Vec<Vec<usize>> = vec![Vec::with_capacity(properties.len()); candidates.len()];
-        for &p in properties {
+        // Per property: cluster present values and rank candidates. The
+        // properties are independent, so the K-means runs fan out under
+        // the `parallel` feature; collecting preserves property order, so
+        // the rank matrix (and everything downstream) is deterministic.
+        let per_property = |&p: &PropertyId| -> Vec<usize> {
             let tendency = model.tendency(p);
             // Non-finite values (e.g. an unreachable host's perceived
             // response time) count as missing: unknown or unusable
@@ -99,9 +101,7 @@ impl LocalRank {
             let present: Vec<(usize, f64)> = candidates
                 .iter()
                 .enumerate()
-                .filter_map(|(i, c)| {
-                    c.qos().get(p).filter(|v| v.is_finite()).map(|v| (i, v))
-                })
+                .filter_map(|(i, c)| c.qos().get(p).filter(|v| v.is_finite()).map(|v| (i, v)))
                 .collect();
             let values: Vec<f64> = present.iter().map(|&(_, v)| v).collect();
             let clustering = kmeans_1d(&values, self.bands, self.kmeans_iters);
@@ -110,6 +110,19 @@ impl LocalRank {
             for (j, &(i, _)) in present.iter().enumerate() {
                 per_candidate[i] = ranks[j];
             }
+            per_candidate
+        };
+        #[cfg(feature = "parallel")]
+        let columns: Vec<Vec<usize>> = {
+            use rayon::prelude::*;
+            properties.par_iter().map(per_property).collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let columns: Vec<Vec<usize>> = properties.iter().map(per_property).collect();
+
+        let mut rank_matrix: Vec<Vec<usize>> =
+            vec![Vec::with_capacity(properties.len()); candidates.len()];
+        for per_candidate in &columns {
             for (i, row) in rank_matrix.iter_mut().enumerate() {
                 row.push(per_candidate[i]);
             }
@@ -324,7 +337,12 @@ mod tests {
             ServiceCandidate::new(id, QosVector::new())
         };
         let cfg = LocalRank::default();
-        let levels = cfg.rank(&m, &[full.clone(), empty.clone()], &[rt], &Preferences::default());
+        let levels = cfg.rank(
+            &m,
+            &[full.clone(), empty.clone()],
+            &[rt],
+            &Preferences::default(),
+        );
         let empty_rank = levels
             .iter_best_first()
             .find(|r| r.candidate().id() == empty.id())
@@ -375,7 +393,12 @@ mod tests {
     fn utilities_are_in_unit_interval() {
         let m = QosModel::standard();
         let specs: Vec<(f64, f64)> = (0..25)
-            .map(|i| (10.0 + f64::from(i * 13 % 7) * 30.0, 0.5 + f64::from(i % 5) * 0.1))
+            .map(|i| {
+                (
+                    10.0 + f64::from(i * 13 % 7) * 30.0,
+                    0.5 + f64::from(i % 5) * 0.1,
+                )
+            })
             .collect();
         let cands = candidates(&m, &specs);
         let levels = LocalRank::default().rank(&m, &cands, &props(&m), &Preferences::default());

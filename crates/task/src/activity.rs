@@ -74,7 +74,8 @@ impl Activity {
     ///
     /// Panics on a malformed IRI.
     pub fn with_input(mut self, input: &str) -> Self {
-        self.inputs.push(input.parse().expect("malformed input IRI"));
+        self.inputs
+            .push(input.parse().expect("malformed input IRI"));
         self
     }
 

@@ -265,8 +265,7 @@ fn print_node(node: &TaskNode) -> XmlElement {
         TaskNode::Choice(bs) => {
             let mut el = XmlElement::new("if");
             for (p, c) in bs {
-                let mut branch =
-                    XmlElement::new("branch").with_attr("probability", format!("{p}"));
+                let mut branch = XmlElement::new("branch").with_attr("probability", format!("{p}"));
                 branch.children.push(print_node(c));
                 el.children.push(branch);
             }
@@ -388,10 +387,9 @@ mod tests {
 
     #[test]
     fn rejects_non_branch_in_if() {
-        let err = parse(
-            r#"<process name="t"><if><invoke name="a" function="x#A"/></if></process>"#,
-        )
-        .unwrap_err();
+        let err =
+            parse(r#"<process name="t"><if><invoke name="a" function="x#A"/></if></process>"#)
+                .unwrap_err();
         assert!(err.to_string().contains("branch"));
     }
 
@@ -404,7 +402,10 @@ mod tests {
                </process>"#,
         )
         .unwrap_err();
-        assert!(matches!(err, BpelError::Task(TaskError::DuplicateActivity(_))));
+        assert!(matches!(
+            err,
+            BpelError::Task(TaskError::DuplicateActivity(_))
+        ));
     }
 
     #[test]

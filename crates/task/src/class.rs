@@ -115,9 +115,9 @@ impl TaskClass {
                 el.name
             )));
         }
-        let name = el.attr("name").ok_or_else(|| {
-            BpelError::Structure("<taskclass> requires a name attribute".into())
-        })?;
+        let name = el
+            .attr("name")
+            .ok_or_else(|| BpelError::Structure("<taskclass> requires a name attribute".into()))?;
         let mut class = TaskClass::new(name);
         for child in &el.children {
             class.add_behaviour(bpel::parse_process(child)?);
@@ -169,9 +169,7 @@ impl TaskClassRepository {
 
     /// The class a task (behaviour) name belongs to.
     pub fn class_of(&self, task_name: &str) -> Option<&TaskClass> {
-        self.class_by_task
-            .get(task_name)
-            .map(|&i| &self.classes[i])
+        self.class_by_task.get(task_name).map(|&i| &self.classes[i])
     }
 
     /// A class looked up by its own name.

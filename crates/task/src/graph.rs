@@ -242,7 +242,10 @@ impl BehaviouralGraph {
     pub fn restriction(
         &self,
         keep: &[VertexId],
-    ) -> (BehaviouralGraph, std::collections::HashMap<VertexId, VertexId>) {
+    ) -> (
+        BehaviouralGraph,
+        std::collections::HashMap<VertexId, VertexId>,
+    ) {
         let mut g = Builder::default();
         let mut back = std::collections::HashMap::new();
         let mut fwd: std::collections::HashMap<VertexId, VertexId> =
@@ -276,8 +279,9 @@ impl BehaviouralGraph {
         back.insert(end, self.end);
 
         // Edge u → v iff a path exists avoiding every other anchor.
-        let anchors: Vec<VertexId> =
-            std::iter::once(self.start).chain(kept.iter().copied()).collect();
+        let anchors: Vec<VertexId> = std::iter::once(self.start)
+            .chain(kept.iter().copied())
+            .collect();
         for &u in &anchors {
             for &v in &anchors {
                 if u == v {
@@ -557,16 +561,10 @@ mod tests {
         let c = g.find_activity("c").unwrap();
 
         let (r, _) = g.restriction(&[a, c]);
-        assert!(r.has_edge(
-            r.find_activity("a").unwrap(),
-            r.find_activity("c").unwrap()
-        ));
+        assert!(r.has_edge(r.find_activity("a").unwrap(), r.find_activity("c").unwrap()));
 
         let (r, _) = g.restriction(&[a, b, c]);
-        assert!(!r.has_edge(
-            r.find_activity("a").unwrap(),
-            r.find_activity("c").unwrap()
-        ));
+        assert!(!r.has_edge(r.find_activity("a").unwrap(), r.find_activity("c").unwrap()));
     }
 
     #[test]

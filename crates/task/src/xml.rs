@@ -414,7 +414,8 @@ mod tests {
             .with_attr("name", "t & co")
             .with_child(XmlElement::new("invoke").with_attr("name", "a"))
             .with_child(
-                XmlElement::new("flow").with_child(XmlElement::new("invoke").with_attr("name", "b")),
+                XmlElement::new("flow")
+                    .with_child(XmlElement::new("invoke").with_attr("name", "b")),
             );
         let text = doc.to_xml();
         let parsed = parse(&text).unwrap();

@@ -90,7 +90,10 @@ fn main() {
         report.invocations.len(),
         report.substitutions
     );
-    println!("delivered QoS: {}", env.model().format_vector(&report.delivered));
+    println!(
+        "delivered QoS: {}",
+        env.model().format_vector(&report.delivered)
+    );
 
     println!("\nadaptation trace:");
     for event in env.events() {

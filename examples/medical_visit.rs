@@ -90,7 +90,8 @@ fn main() {
     let report = env.execute(composition).expect("the visit completes");
     println!(
         "\nvisit completed with {} substitution(s); delivered QoS {}",
-        report.substitutions, env.model().format_vector(&report.delivered)
+        report.substitutions,
+        env.model().format_vector(&report.delivered)
     );
     for event in env.events() {
         if let MiddlewareEvent::Substituted { activity, from, to } = event {
@@ -100,11 +101,7 @@ fn main() {
                     .map(|d| d.name().to_owned())
                     .unwrap_or_else(|| format!("{id} (departed)"))
             };
-            println!(
-                "  re-assigned {activity}: {} -> {}",
-                name(from),
-                name(to)
-            );
+            println!("  re-assigned {activity}: {} -> {}", name(from), name(to));
         }
     }
 }

@@ -71,7 +71,10 @@ fn main() {
         .with_qos(price, 0.0)
         .with_qos(av, 0.99);
     let nominal = card_desk.qos().clone();
-    env.deploy(card_desk, SyntheticService::new(nominal).with_crash_after(0));
+    env.deploy(
+        card_desk,
+        SyntheticService::new(nominal).with_crash_after(0),
+    );
 
     // The task class: v1 buys in parallel; v2 buys sequentially (the
     // behavioural fallback).
@@ -119,7 +122,10 @@ fn main() {
         report.substitutions,
         report.behavioural_adaptations
     );
-    println!("delivered QoS: {}", env.model().format_vector(&report.delivered));
+    println!(
+        "delivered QoS: {}",
+        env.model().format_vector(&report.delivered)
+    );
 
     println!("\nexecution timeline (logical, from observed response times):");
     for t in &report.timeline {

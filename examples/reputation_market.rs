@@ -59,7 +59,11 @@ fn main() {
             "  served by {:<12} delivered {}",
             env.registry().get(chosen).unwrap().name(),
             env.model().format_vector(
-                report.invocations.last().and_then(|r| r.qos.as_ref()).unwrap()
+                report
+                    .invocations
+                    .last()
+                    .and_then(|r| r.qos.as_ref())
+                    .unwrap()
             )
         );
     }
@@ -93,9 +97,6 @@ fn main() {
         )
         .unwrap();
     let chosen = comp.outcome().assignment[0].id();
-    println!(
-        "  selected: {}",
-        env.registry().get(chosen).unwrap().name()
-    );
+    println!("  selected: {}", env.registry().get(chosen).unwrap().name());
     assert_eq!(chosen, honest, "reputation must steer selection");
 }

@@ -1,0 +1,225 @@
+//! Dependency-free stand-in for the [`criterion`] benchmark harness.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors the API subset its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`] and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark is calibrated once to pick an
+//! iteration count that makes a sample take roughly
+//! [`TARGET_SAMPLE_TIME`], warmed up, then timed for `sample_size`
+//! samples. The mean / median / min time per iteration is printed to
+//! stdout. No statistical outlier analysis, no HTML reports, no
+//! baseline comparison — read the numbers side by side.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample time the calibrator aims for.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// Opaque to the optimizer: prevents the benchmarked expression from
+/// being folded away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id rendering `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` through to the routine.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; this is a no-op
+    /// kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a closure; handed to benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timings for the report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill one target sample?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Brief warmup so caches and branch predictors settle.
+        let warmup = (iters / 2).max(1);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples — routine never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{label:<40} mean {:>12} median {:>12} min {:>12} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).map(|i| i * i).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran > 3, "bencher should iterate more than once per sample");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(1000).0, "1000");
+        assert_eq!(BenchmarkId::new("probe", 7).0, "probe/7");
+    }
+}

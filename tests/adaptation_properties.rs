@@ -4,9 +4,7 @@
 use std::collections::HashSet;
 
 use proptest::prelude::*;
-use qasom_adaptation::{
-    find_homeomorphism, find_order_embedding, MonitorConfig, QosMonitor,
-};
+use qasom_adaptation::{find_homeomorphism, find_order_embedding, MonitorConfig, QosMonitor};
 use qasom_qos::QosModel;
 use qasom_registry::{ServiceDescription, ServiceRegistry};
 use qasom_task::{Activity, BehaviouralGraph, TaskNode, UserTask, VertexId};
@@ -26,10 +24,7 @@ fn task_from_blocks(blocks: &[usize], prefix: &str) -> UserTask {
                 .map(|_| {
                     let i = counter;
                     counter += 1;
-                    TaskNode::activity(Activity::new(
-                        format!("{prefix}{i}"),
-                        &format!("h#F{i}"),
-                    ))
+                    TaskNode::activity(Activity::new(format!("{prefix}{i}"), &format!("h#F{i}")))
                 })
                 .collect();
             if acts.len() == 1 {

@@ -29,13 +29,15 @@ fn arb_service() -> impl Strategy<Value = ServiceSpec> {
         0.0f64..0.4,
         prop_oneof![Just(None), (0u64..4).prop_map(Some)],
     )
-        .prop_map(|(function, rt_ms, noise, failure_rate, crash_after)| ServiceSpec {
-            function,
-            rt_ms,
-            noise,
-            failure_rate,
-            crash_after,
-        })
+        .prop_map(
+            |(function, rt_ms, noise, failure_rate, crash_after)| ServiceSpec {
+                function,
+                rt_ms,
+                noise,
+                failure_rate,
+                crash_after,
+            },
+        )
 }
 
 fn build_env(services: &[ServiceSpec], seed: u64) -> Environment {

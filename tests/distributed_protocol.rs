@@ -26,9 +26,7 @@ fn distributed_agrees_with_centralised_across_seeds() {
             .services_per_activity(24)
             .build(&m, seed);
         let central = Qassa::new(&m).select(&w.problem()).unwrap();
-        let report = DistributedQassa::new(&m)
-            .run(&w, &setup(6), seed)
-            .unwrap();
+        let report = DistributedQassa::new(&m).run(&w, &setup(6), seed).unwrap();
         assert_eq!(
             report.outcome.feasible, central.feasible,
             "seed {seed}: distributed and centralised disagree on feasibility"
@@ -88,7 +86,10 @@ fn slow_devices_lengthen_the_local_phase() {
     slow.provider_profile = DeviceProfile::new(8.0);
     let t_fast = d.run(&w, &fast, 1).unwrap().local_phase;
     let t_slow = d.run(&w, &slow, 1).unwrap().local_phase;
-    assert!(t_slow > t_fast, "8× slower CPUs must show: {t_slow} vs {t_fast}");
+    assert!(
+        t_slow > t_fast,
+        "8× slower CPUs must show: {t_slow} vs {t_fast}"
+    );
 }
 
 #[test]

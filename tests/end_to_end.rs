@@ -161,7 +161,9 @@ fn failed_payment_is_substituted_by_the_other_till() {
         .iter()
         .filter(|r| r.activity == "pay")
         .collect();
-    assert!(pay_invocations.iter().any(|r| r.service == broken && r.qos.is_none()));
+    assert!(pay_invocations
+        .iter()
+        .any(|r| r.service == broken && r.qos.is_none()));
     assert_eq!(pay_invocations.last().unwrap().service, backup);
 }
 
@@ -242,10 +244,7 @@ fn drifting_service_triggers_proactive_substitution() {
             .with_qos(d.av, 0.99)
             .with_qos(d.price, 0.0);
         let nominal = desc.qos().clone();
-        env.deploy(
-            desc,
-            SyntheticService::new(nominal).with_drift(2, rt, 20.0),
-        )
+        env.deploy(desc, SyntheticService::new(nominal).with_drift(2, rt, 20.0))
     };
     let task = UserTask::new(
         "busy-browsing",

@@ -19,10 +19,7 @@ fn streaming_env() -> Environment {
             .with_qos(rt, 100.0)
             .with_host(host);
         let nominal = desc.qos().clone();
-        env.deploy(
-            desc,
-            qasom_netsim::runtime::SyntheticService::new(nominal),
-        );
+        env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
     }
     env
 }

@@ -13,9 +13,9 @@ fn model() -> QosModel {
 
 fn arb_spec() -> impl Strategy<Value = (WorkloadSpec, u64)> {
     (
-        1usize..5,                   // activities
-        1usize..30,                  // services per activity
-        1usize..5,                   // properties
+        1usize..5,  // activities
+        1usize..30, // services per activity
+        1usize..5,  // properties
         prop_oneof![
             Just(TaskShape::Sequence),
             Just(TaskShape::Mixed),

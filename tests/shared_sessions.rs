@@ -16,8 +16,7 @@ fn shared_market(providers: usize) -> SharedEnvironment {
     let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 21);
     let rt = env.model().property("ResponseTime").unwrap();
     for i in 0..providers {
-        let desc = ServiceDescription::new(format!("s{i}"), "d#A")
-            .with_qos(rt, 40.0 + i as f64);
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
         let nominal = desc.qos().clone();
         env.deploy(desc, SyntheticService::new(nominal).with_noise(0.02));
     }
@@ -25,10 +24,8 @@ fn shared_market(providers: usize) -> SharedEnvironment {
 }
 
 fn request() -> UserRequest {
-    UserRequest::new(
-        UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap(),
-    )
-    .weight("Delay", 1.0)
+    UserRequest::new(UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap())
+        .weight("Delay", 1.0)
 }
 
 #[test]
@@ -41,22 +38,14 @@ fn many_sessions_with_concurrent_churn() {
         let s = shared.clone();
         thread::spawn(move || {
             for round in 0..20 {
-                let victim = s.with(|e| {
-                    e.registry()
-                        .iter()
-                        .map(|(id, _)| id)
-                        .nth(round % 3)
-                });
+                let victim = s.with(|e| e.registry().iter().map(|(id, _)| id).nth(round % 3));
                 if let Some(id) = victim {
                     s.with_mut(|e| e.undeploy(id));
                 }
                 s.with_mut(|e| {
                     let rt = e.model().property("ResponseTime").unwrap();
-                    let desc = ServiceDescription::new(
-                        format!("fresh{round}"),
-                        "d#A",
-                    )
-                    .with_qos(rt, 45.0);
+                    let desc =
+                        ServiceDescription::new(format!("fresh{round}"), "d#A").with_qos(rt, 45.0);
                     let nominal = desc.qos().clone();
                     e.deploy(desc, SyntheticService::new(nominal));
                 });

@@ -21,8 +21,11 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
             prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Par),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Choice),
-            (inner, 1u32..4, 0u32..3)
-                .prop_map(|(b, e, extra)| Shape::Loop(Box::new(b), e, e + extra)),
+            (inner, 1u32..4, 0u32..3).prop_map(|(b, e, extra)| Shape::Loop(
+                Box::new(b),
+                e,
+                e + extra
+            )),
         ]
     })
 }

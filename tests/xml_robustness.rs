@@ -16,7 +16,11 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_element() -> impl Strategy<Value = XmlElement> {
-    let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+    let leaf = (
+        arb_name(),
+        prop::collection::vec((arb_name(), arb_text()), 0..4),
+        arb_text(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut el = XmlElement::new(name);
             // Attribute names must be unique for round-trip equality.
