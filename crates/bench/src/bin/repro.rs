@@ -95,7 +95,7 @@ fn main() {
     }
     if want("loss") {
         bench::print_figure(
-            "Extra — distributed QASSA under message loss (8 providers, 500 ms timeout)",
+            "Extra — fault tolerance under message loss: retries vs no retries (8 providers, 10 seeds)",
             "loss prob",
             &bench::fig_loss(&model),
         );

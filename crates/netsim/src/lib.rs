@@ -56,5 +56,7 @@ mod sim;
 mod time;
 
 pub use link::LinkConfig;
-pub use sim::{DeviceProfile, NetworkStats, NodeBehaviour, NodeContext, NodeId, Simulation};
+pub use sim::{
+    DeviceProfile, EventCapExceeded, NetworkStats, NodeBehaviour, NodeContext, NodeId, Simulation,
+};
 pub use time::{SimDuration, SimTime};

@@ -122,6 +122,28 @@ impl NetworkStats {
     }
 }
 
+/// The event cap was exhausted before the queue drained: the run stopped
+/// with work still pending, so protocol state may be incomplete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventCapExceeded {
+    /// Events processed before the run gave up.
+    pub processed: u64,
+    /// The configured cap ([`Simulation::set_max_events`]).
+    pub max_events: u64,
+}
+
+impl fmt::Display for EventCapExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation event cap exhausted after {} events (max {})",
+            self.processed, self.max_events
+        )
+    }
+}
+
+impl std::error::Error for EventCapExceeded {}
+
 /// Protocol logic attached to a node.
 ///
 /// Handlers run to completion at a simulated instant; side effects (sends,
@@ -148,6 +170,9 @@ enum Effect<M> {
     },
     Timer {
         delay: SimDuration,
+        key: u64,
+    },
+    CancelTimer {
         key: u64,
     },
 }
@@ -228,6 +253,14 @@ impl<M> NodeContext<'_, M> {
             key,
         });
     }
+
+    /// Cancels the earliest still-pending timer with `key` on this node:
+    /// the queued event is discarded unprocessed (it neither advances
+    /// simulated time nor counts towards the processed-event total).
+    /// A cancellation with no matching pending timer is a no-op.
+    pub fn cancel_timer(&mut self, key: u64) {
+        self.effects.push(Effect::CancelTimer { key });
+    }
 }
 
 enum EventKind<M> {
@@ -242,6 +275,9 @@ enum EventKind<M> {
         node: NodeId,
         key: u64,
     },
+    /// Environment dynamics: the default link profile changes (e.g. a
+    /// transient outage clearing, the fleet moving out of interference).
+    LinkChange(LinkConfig),
 }
 
 struct Entry<M> {
@@ -292,6 +328,10 @@ pub struct Simulation<M, B: NodeBehaviour<M>> {
     rng: StdRng,
     stats: NetworkStats,
     max_events: u64,
+    /// Pending timer cancellations: `(node, key)` → how many of the next
+    /// matching timer pops to discard.
+    cancelled: HashMap<(u32, u64), u64>,
+    cap_exhausted: bool,
 }
 
 impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
@@ -307,6 +347,8 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
             rng: StdRng::seed_from_u64(seed),
             stats: NetworkStats::default(),
             max_events: 50_000_000,
+            cancelled: HashMap::new(),
+            cap_exhausted: false,
         }
     }
 
@@ -376,6 +418,13 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
         self.default_link = link;
     }
 
+    /// Schedules a default-link change `delay` from now (transient
+    /// outages, interference clearing, fleet-wide mobility effects).
+    /// Per-pair overrides set via [`Simulation::set_link`] are unaffected.
+    pub fn set_default_link_at(&mut self, delay: SimDuration, link: LinkConfig) {
+        self.push(self.now + delay, EventKind::LinkChange(link));
+    }
+
     /// Overrides the (symmetric) link between two nodes.
     pub fn set_link(&mut self, a: NodeId, b: NodeId, link: LinkConfig) {
         self.links.insert(link_key(a, b), link);
@@ -419,27 +468,72 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
     }
 
     /// Runs until the event queue drains (or the event cap is hit),
-    /// returning the number of processed events.
+    /// returning the number of processed events. Prefer
+    /// [`Simulation::run_checked`] when cap exhaustion must not pass
+    /// silently; this variant reports it only via
+    /// [`Simulation::cap_exhausted`].
     pub fn run(&mut self) -> u64 {
         self.run_until(SimTime::MAX)
     }
 
+    /// Like [`Simulation::run`], but surfaces event-cap exhaustion as an
+    /// error instead of stopping silently with the protocol incomplete.
+    pub fn run_checked(&mut self) -> Result<u64, EventCapExceeded> {
+        self.run_until_checked(SimTime::MAX)
+    }
+
     /// Runs until the queue drains or simulated time would pass `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.cap_exhausted = false;
         let mut processed = 0;
-        while processed < self.max_events {
-            let Some(entry) = self.queue.peek() else {
-                break;
-            };
+        while let Some(entry) = self.queue.peek() {
             if entry.at > deadline {
                 break;
             }
+            if processed >= self.max_events {
+                // Undrained work remains within the deadline: the run is
+                // being cut short, not finishing.
+                self.cap_exhausted = true;
+                break;
+            }
             let entry = self.queue.pop().expect("peeked");
+            if let EventKind::Timer { node, key } = &entry.kind {
+                // A cancelled timer is discarded unprocessed: simulated
+                // time does not advance to its instant and it does not
+                // count towards the processed total.
+                if let Some(pending) = self.cancelled.get_mut(&(node.0, *key)) {
+                    *pending -= 1;
+                    if *pending == 0 {
+                        self.cancelled.remove(&(node.0, *key));
+                    }
+                    continue;
+                }
+            }
             self.now = entry.at;
             processed += 1;
             self.dispatch(entry.kind);
         }
         processed
+    }
+
+    /// Like [`Simulation::run_until`], but surfaces event-cap exhaustion
+    /// as an error.
+    pub fn run_until_checked(&mut self, deadline: SimTime) -> Result<u64, EventCapExceeded> {
+        let processed = self.run_until(deadline);
+        if self.cap_exhausted {
+            Err(EventCapExceeded {
+                processed,
+                max_events: self.max_events,
+            })
+        } else {
+            Ok(processed)
+        }
+    }
+
+    /// Whether the most recent run stopped on the event cap with work
+    /// still pending.
+    pub fn cap_exhausted(&self) -> bool {
+        self.cap_exhausted
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -471,6 +565,9 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
                 if self.is_alive(node) {
                     self.with_behaviour(node, |b, ctx| b.on_timer(ctx, key));
                 }
+            }
+            EventKind::LinkChange(link) => {
+                self.default_link = link;
             }
         }
     }
@@ -525,6 +622,20 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
                 }
                 Effect::Timer { delay, key } => {
                     self.push(self.now + delay, EventKind::Timer { node, key });
+                }
+                Effect::CancelTimer { key } => {
+                    // Only record the cancellation if an uncancelled
+                    // matching timer is actually pending, so a spurious
+                    // cancel can never swallow a future timer.
+                    let pending = self
+                        .queue
+                        .iter()
+                        .filter(|e| matches!(e.kind, EventKind::Timer { node: n, key: k } if n == node && k == key))
+                        .count() as u64;
+                    let already = self.cancelled.get(&(node.0, key)).copied().unwrap_or(0);
+                    if already < pending {
+                        self.cancelled.insert((node.0, key), already + 1);
+                    }
                 }
             }
         }
@@ -704,6 +815,101 @@ mod tests {
         sim.send_external(a, b, 0);
         let processed = sim.run();
         assert_eq!(processed, 500);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_and_is_not_processed() {
+        struct Canceller {
+            fired: Vec<u64>,
+        }
+        impl NodeBehaviour<String> for Canceller {
+            fn on_start(&mut self, ctx: &mut NodeContext<'_, String>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _c: &mut NodeContext<'_, String>, _f: NodeId, _m: String) {}
+            fn on_timer(&mut self, ctx: &mut NodeContext<'_, String>, timer: u64) {
+                self.fired.push(timer);
+                if timer == 1 {
+                    ctx.cancel_timer(2);
+                }
+            }
+        }
+        let mut sim: Simulation<String, Canceller> = Simulation::new(1);
+        let a = sim.add_node(DeviceProfile::default(), Canceller { fired: Vec::new() });
+        let processed = sim.run();
+        assert_eq!(sim.node(a).fired, vec![1]);
+        // Start + timer 1 only: the cancelled timer 2 is not processed and
+        // does not advance simulated time to its instant.
+        assert_eq!(processed, 2);
+        assert_eq!(sim.now().as_millis_f64(), 10.0);
+    }
+
+    #[test]
+    fn spurious_cancel_does_not_swallow_future_timers() {
+        struct Spurious {
+            fired: Vec<u64>,
+        }
+        impl NodeBehaviour<String> for Spurious {
+            fn on_start(&mut self, ctx: &mut NodeContext<'_, String>) {
+                ctx.cancel_timer(7); // nothing pending: must be a no-op
+                ctx.set_timer(SimDuration::from_millis(5), 7);
+            }
+            fn on_message(&mut self, _c: &mut NodeContext<'_, String>, _f: NodeId, _m: String) {}
+            fn on_timer(&mut self, _ctx: &mut NodeContext<'_, String>, timer: u64) {
+                self.fired.push(timer);
+            }
+        }
+        let mut sim: Simulation<String, Spurious> = Simulation::new(1);
+        let a = sim.add_node(DeviceProfile::default(), Spurious { fired: Vec::new() });
+        sim.run();
+        assert_eq!(sim.node(a).fired, vec![7]);
+    }
+
+    #[test]
+    fn run_checked_reports_cap_exhaustion() {
+        struct Forever;
+        impl NodeBehaviour<u32> for Forever {
+            fn on_message(&mut self, ctx: &mut NodeContext<'_, u32>, from: NodeId, m: u32) {
+                ctx.send(from, m + 1);
+            }
+        }
+        let mut sim: Simulation<u32, Forever> = Simulation::new(1);
+        sim.set_max_events(100);
+        let a = sim.add_node(DeviceProfile::default(), Forever);
+        let b = sim.add_node(DeviceProfile::default(), Forever);
+        sim.send_external(a, b, 0);
+        let err = sim.run_checked().expect_err("must hit the cap");
+        assert_eq!(err.max_events, 100);
+        assert_eq!(err.processed, 100);
+        assert!(sim.cap_exhausted());
+    }
+
+    #[test]
+    fn run_checked_is_ok_on_clean_drain() {
+        let (mut sim, a, b) = two_nodes();
+        sim.send_external(a, b, "ping".to_owned());
+        assert!(sim.run_checked().is_ok());
+        assert!(!sim.cap_exhausted());
+    }
+
+    #[test]
+    fn scheduled_link_change_takes_effect() {
+        // Loss 1.0 until t=50 ms, perfect afterwards: a ping at t=0 is
+        // lost, a ping sent after the change gets through.
+        let mut sim = Simulation::new(5);
+        sim.set_default_link(LinkConfig::new(5.0, 0.0).with_loss(1.0));
+        sim.set_default_link_at(SimDuration::from_millis(50), LinkConfig::new(5.0, 0.0));
+        let a = sim.add_node(DeviceProfile::default(), Collector::default());
+        let b = sim.add_node(DeviceProfile::default(), Collector::default());
+        sim.send_external(a, b, "ping".to_owned());
+        sim.run();
+        // The external injection is delivered; the pong was lost.
+        assert_eq!(sim.node(a).received.len(), 0);
+        assert_eq!(sim.stats().dropped, 1);
+        sim.send_external(a, b, "ping".to_owned());
+        sim.run();
+        assert_eq!(sim.node(a).received, vec![(b, "pong".to_owned())]);
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod registry;
 mod service;
 
 pub use discovery::{DiscoveredCandidate, Discovery, DiscoveryQuery, MatchCache, MatchedVia};
-pub use registry::{RegistryEvent, ServiceId, ServiceRegistry};
+pub use registry::{EventLogGap, RegistryEvent, RegistrySnapshot, ServiceId, ServiceRegistry};
 pub use service::{Operation, ServiceDescription};
 
 pub use qasom_qos::QosVector;

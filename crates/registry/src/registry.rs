@@ -141,10 +141,50 @@ pub enum RegistryEvent {
     Deregistered(ServiceId),
 }
 
+/// An observer's cursor points before the oldest retained event: the
+/// intervening events were compacted away, so incremental catch-up is
+/// impossible and the observer must resync from a
+/// [`ServiceRegistry::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLogGap {
+    /// Sequence number of the oldest event still retained.
+    pub oldest_retained: usize,
+    /// Events lost between the observer's cursor and the retained log.
+    pub missed: usize,
+}
+
+impl fmt::Display for EventLogGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event log gap: {} events compacted away (oldest retained seq {})",
+            self.missed, self.oldest_retained
+        )
+    }
+}
+
+impl std::error::Error for EventLogGap {}
+
+/// A consistent view for observers resyncing across an [`EventLogGap`]:
+/// the live services at `cursor`. Replaying events from `cursor` on top
+/// of `live` reconstructs every later registry state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Event cursor the snapshot corresponds to (pass to
+    /// [`ServiceRegistry::events_since`] to continue incrementally).
+    pub cursor: usize,
+    /// Ids of every live service, ascending.
+    pub live: Vec<ServiceId>,
+}
+
 /// The service directory of a pervasive environment.
 ///
 /// Supports dynamic registration/departure and keeps an event log so
-/// observers can catch up on churn (`events_since`).
+/// observers can catch up on churn (`events_since`). The log can be
+/// bounded (`set_event_retention`) or compacted explicitly
+/// (`compact_events`); cursors stay monotone across compaction, and an
+/// observer whose cursor fell behind the retained window gets an
+/// [`EventLogGap`] and resyncs from a [`RegistrySnapshot`].
 ///
 /// # Examples
 ///
@@ -160,7 +200,14 @@ pub enum RegistryEvent {
 #[derive(Debug, Clone, Default)]
 pub struct ServiceRegistry {
     services: Vec<Option<ServiceDescription>>,
+    /// Retained suffix of the event log; `events[0]` has sequence number
+    /// `events_base`. Sequence numbers are monotone and never reused, so
+    /// compaction moves `events_base` forward without disturbing cursors.
     events: Vec<RegistryEvent>,
+    events_base: usize,
+    /// Retention bound: compaction keeps at most this many recent events
+    /// (`None` = unbounded, the historical behaviour).
+    event_retention: Option<usize>,
     alive: usize,
     /// Bound taxonomy: enables the inverted capability index. `None`
     /// keeps the registry purely syntactic (discovery falls back to
@@ -263,7 +310,7 @@ impl ServiceRegistry {
         }
         self.services.push(Some(description));
         self.alive += 1;
-        self.events.push(RegistryEvent::Registered(id));
+        self.record(RegistryEvent::Registered(id));
         id
     }
 
@@ -273,7 +320,7 @@ impl ServiceRegistry {
         let desc = slot.take();
         if let Some(desc) = &desc {
             self.alive -= 1;
-            self.events.push(RegistryEvent::Deregistered(id));
+            self.record(RegistryEvent::Deregistered(id));
             if let Some(ontology) = &self.ontology {
                 self.index.remove(ontology, id, desc);
             }
@@ -325,14 +372,75 @@ impl ServiceRegistry {
     }
 
     /// Total number of events emitted so far (a cursor for
-    /// [`ServiceRegistry::events_since`]).
+    /// [`ServiceRegistry::events_since`]). Monotone: compaction never
+    /// rewinds it.
     pub fn event_cursor(&self) -> usize {
-        self.events.len()
+        self.events_base + self.events.len()
     }
 
-    /// Events emitted at or after `cursor`.
-    pub fn events_since(&self, cursor: usize) -> &[RegistryEvent] {
-        &self.events[cursor.min(self.events.len())..]
+    /// Sequence number of the oldest event still retained. Cursors below
+    /// this fall into a gap.
+    pub fn oldest_retained_event(&self) -> usize {
+        self.events_base
+    }
+
+    /// Bounds the event log: at most `keep` recent events are retained
+    /// from now on (older ones are compacted away immediately and on
+    /// every future emission). Production registries run with a bound so
+    /// sustained churn cannot grow memory without limit.
+    pub fn set_event_retention(&mut self, keep: usize) {
+        self.event_retention = Some(keep);
+        self.enforce_retention();
+    }
+
+    /// Drops retained events with sequence numbers below `cursor`
+    /// (clamped to the emitted range), e.g. once every observer has
+    /// consumed them. Returns how many events were dropped.
+    pub fn compact_events(&mut self, cursor: usize) -> usize {
+        let cut = cursor.clamp(self.events_base, self.event_cursor()) - self.events_base;
+        self.events.drain(..cut);
+        self.events_base += cut;
+        cut
+    }
+
+    /// Events emitted at or after `cursor`, or an [`EventLogGap`] when
+    /// `cursor` predates the oldest retained event (the observer must
+    /// resync via [`ServiceRegistry::snapshot`]). A cursor at or past the
+    /// log head yields an empty slice.
+    pub fn events_since(&self, cursor: usize) -> Result<&[RegistryEvent], EventLogGap> {
+        if cursor < self.events_base {
+            return Err(EventLogGap {
+                oldest_retained: self.events_base,
+                missed: self.events_base - cursor,
+            });
+        }
+        let from = (cursor - self.events_base).min(self.events.len());
+        Ok(&self.events[from..])
+    }
+
+    /// A consistent resync point: the live services as of the current
+    /// event cursor. An observer that hit an [`EventLogGap`] replaces its
+    /// world view with `live` and continues incrementally from `cursor`.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            cursor: self.event_cursor(),
+            live: self.iter().map(|(id, _)| id).collect(),
+        }
+    }
+
+    fn record(&mut self, event: RegistryEvent) {
+        self.events.push(event);
+        self.enforce_retention();
+    }
+
+    fn enforce_retention(&mut self) {
+        if let Some(keep) = self.event_retention {
+            if self.events.len() > keep {
+                let cut = self.events.len() - keep;
+                self.events.drain(..cut);
+                self.events_base += cut;
+            }
+        }
     }
 }
 
@@ -400,9 +508,78 @@ mod tests {
         let a = r.register(svc("a", "d#F"));
         r.deregister(a);
         assert_eq!(
-            r.events_since(cursor),
+            r.events_since(cursor).unwrap(),
             &[RegistryEvent::Registered(a), RegistryEvent::Deregistered(a)]
         );
-        assert!(r.events_since(r.event_cursor()).is_empty());
+        assert!(r.events_since(r.event_cursor()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retention_bounds_the_log_and_keeps_the_cursor_monotone() {
+        let mut r = ServiceRegistry::new();
+        r.set_event_retention(4);
+        for i in 0..10 {
+            r.register(svc(&format!("s{i}"), "d#F"));
+        }
+        // 10 events emitted, only the last 4 retained.
+        assert_eq!(r.event_cursor(), 10);
+        assert_eq!(r.oldest_retained_event(), 6);
+        assert_eq!(r.events_since(6).unwrap().len(), 4);
+        // The cursor keeps counting past compaction.
+        r.register(svc("late", "d#F"));
+        assert_eq!(r.event_cursor(), 11);
+        assert_eq!(r.oldest_retained_event(), 7);
+    }
+
+    #[test]
+    fn stale_cursor_detects_the_gap_and_resyncs_via_snapshot() {
+        let mut r = ServiceRegistry::new();
+        let stale = r.event_cursor();
+        let a = r.register(svc("a", "d#F"));
+        let b = r.register(svc("b", "d#F"));
+        r.deregister(a);
+        r.set_event_retention(1);
+        // The observer's cursor fell behind the retained window…
+        let gap = r.events_since(stale).expect_err("events were compacted");
+        assert_eq!(gap.oldest_retained, 2);
+        assert_eq!(gap.missed, 2);
+        assert!(!gap.to_string().is_empty());
+        // …so it resyncs: the snapshot's live set is the current world,
+        // and its cursor continues incrementally without another gap.
+        let snap = r.snapshot();
+        assert_eq!(snap.live, vec![b]);
+        assert_eq!(snap.cursor, r.event_cursor());
+        let c = r.register(svc("c", "d#F"));
+        assert_eq!(
+            r.events_since(snap.cursor).unwrap(),
+            &[RegistryEvent::Registered(c)]
+        );
+    }
+
+    #[test]
+    fn explicit_compaction_drops_consumed_events() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..6 {
+            r.register(svc(&format!("s{i}"), "d#F"));
+        }
+        let consumed = 4;
+        assert_eq!(r.compact_events(consumed), 4);
+        assert_eq!(r.oldest_retained_event(), 4);
+        assert_eq!(r.events_since(4).unwrap().len(), 2);
+        // Compacting behind the current base or past the head is safe.
+        assert_eq!(r.compact_events(0), 0);
+        assert_eq!(r.compact_events(usize::MAX), 2);
+        assert!(r.events_since(r.event_cursor()).unwrap().is_empty());
+        assert_eq!(r.event_cursor(), 6);
+    }
+
+    #[test]
+    fn unbounded_log_never_gaps() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..100 {
+            let id = r.register(svc(&format!("s{i}"), "d#F"));
+            r.deregister(id);
+        }
+        assert_eq!(r.events_since(0).unwrap().len(), 200);
     }
 }

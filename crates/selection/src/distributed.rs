@@ -1,27 +1,43 @@
 //! Distributed QASSA: local selection on provider nodes, global selection
 //! on the requesting device — the ad hoc variant of the algorithm
-//! (Fig. VI.12 of the original evaluation).
+//! (Fig. VI.12 of the original evaluation), hardened for the lossy links
+//! and provider churn of a physical testbed.
 //!
 //! The protocol, over the [`qasom_netsim`] simulator:
 //!
-//! 1. the coordinator (user device) broadcasts a `SelectRequest`;
+//! 1. the coordinator (user device) broadcasts a `SelectRequest` from its
+//!    own [`NodeBehaviour::on_start`] — the request leg transits real
+//!    links, so it is subject to latency, jitter and loss exactly like
+//!    the digest leg;
 //! 2. every provider node runs the *local selection* phase over the
 //!    candidates it hosts (cost modelled as
 //!    `candidates × properties × per_candidate_cost`, scaled by the
 //!    node's CPU factor) and replies with per-activity ranked digests;
-//! 3. once all replies arrived, the coordinator merges the digests
-//!    ([`QosLevels::merge`]) and runs the *global selection* phase
-//!    locally.
+//!    retransmitted requests are answered from the cached ranking;
+//! 3. providers that have not answered are re-requested with capped
+//!    exponential backoff plus seeded jitter ([`RetryPolicy`]) until the
+//!    reply deadline;
+//! 4. once all expected digests arrived — or the deadline passes — the
+//!    coordinator merges the digests ([`QosLevels::merge`]) and runs the
+//!    *global selection* phase locally over whatever it heard.
 //!
 //! The report separates the local phase (request → last digest, dominated
 //! by the slowest provider + messaging) from the global phase (coordinator
-//! compute), which is exactly the split the original figure plots.
+//! compute), which is exactly the split the original figure plots — and
+//! carries a [`FaultReport`] so callers can tell an *optimal* outcome from
+//! a *best-of-what-answered* one: which providers went missing, how much
+//! of the candidate pool each activity retained, and how many
+//! retransmissions the run spent.
+
+use std::collections::BTreeSet;
 
 use qasom_netsim::{
     DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime, Simulation,
 };
 use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosModel};
 use qasom_task::UserTask;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::workload::Workload;
 use crate::{
@@ -29,10 +45,17 @@ use crate::{
     SelectionProblem, ServiceCandidate,
 };
 
+/// Timer key of the coordinator's reply deadline.
+const DEADLINE_TIMER: u64 = 0;
+/// Timer key of the coordinator's retransmission rounds.
+const RETRY_TIMER: u64 = 1;
+
 /// Protocol messages.
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// Coordinator → providers: run local selection.
+    /// Coordinator → providers: run local selection. Retransmissions are
+    /// byte-identical; providers answer duplicates from their cached
+    /// ranking.
     SelectRequest {
         /// Properties to rank on.
         properties: Vec<PropertyId>,
@@ -46,6 +69,66 @@ pub enum Message {
         /// Per-activity `(activity index, hierarchy, candidates)`.
         digests: Vec<(usize, QosLevels, Vec<ServiceCandidate>)>,
     },
+}
+
+/// Retransmission policy for unanswered providers: capped exponential
+/// backoff with seeded jitter, bounded by the reply deadline.
+///
+/// Round `r` (zero-based) fires `base_delay_ms × 2^r` (capped at
+/// `max_delay_ms`) plus a uniform jitter in `[0, jitter_ms]` after the
+/// previous round; only providers that have not yet answered are
+/// re-requested. Jitter is drawn from a generator seeded by the run seed,
+/// so runs stay deterministic per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retransmission rounds (0 disables retries).
+    pub max_retries: u32,
+    /// Delay before the first retransmission round, in simulated ms.
+    pub base_delay_ms: u64,
+    /// Upper bound on the exponentially growing round delay, in ms.
+    pub max_delay_ms: u64,
+    /// Uniform jitter added to every round delay, in ms.
+    pub jitter_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retransmissions: a lost request or digest permanently shrinks
+    /// the candidate pool (the pre-fault-tolerance behaviour).
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter_ms: 0,
+        }
+    }
+
+    /// Whether any retransmission round may fire.
+    pub fn is_enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The capped exponential delay of round `round`, without jitter.
+    fn backoff_ms(&self, round: u32) -> u64 {
+        let cap = self.max_delay_ms.max(self.base_delay_ms);
+        self.base_delay_ms
+            .saturating_mul(1u64 << round.min(20))
+            .min(cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Eight rounds at 50 ms doubling to a 800 ms cap with ≤ 20 ms of
+    /// jitter — all rounds fit comfortably inside the default 5 s reply
+    /// deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_delay_ms: 50,
+            max_delay_ms: 800,
+            jitter_ms: 20,
+        }
+    }
 }
 
 /// Deployment parameters of a distributed run.
@@ -66,11 +149,20 @@ pub struct DistributedSetup {
     /// proceeding with whatever arrived (provider churn tolerance), in
     /// simulated milliseconds.
     pub reply_timeout_ms: u64,
+    /// Retransmission policy for unanswered providers.
+    pub retry: RetryPolicy,
+    /// Optional transient-network schedule: at `(t_ms, link)` the default
+    /// link switches to `link` (e.g. an outage clearing after t_ms).
+    pub link_after: Option<(u64, LinkConfig)>,
+    /// Optional cap on simulator events (`None` keeps the simulator's
+    /// default); exhausting it surfaces as
+    /// [`SelectionError::ProtocolAborted`](crate::SelectionError).
+    pub max_sim_events: Option<u64>,
 }
 
 impl Default for DistributedSetup {
     /// Ten constrained handhelds on a 5 ms ± 1 ms ad hoc network; 10 µs
-    /// of ranking work per candidate-property.
+    /// of ranking work per candidate-property; default retries on.
     fn default() -> Self {
         DistributedSetup {
             providers: 10,
@@ -79,7 +171,72 @@ impl Default for DistributedSetup {
             coordinator_profile: DeviceProfile::constrained(),
             per_candidate_cost_us: 10,
             reply_timeout_ms: 5_000,
+            retry: RetryPolicy::default(),
+            link_after: None,
+            max_sim_events: None,
         }
+    }
+}
+
+/// Per-activity candidate coverage of a distributed run: how many of the
+/// workload's candidates for this activity actually reached the
+/// coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityCoverage {
+    /// DFS index of the activity.
+    pub activity: usize,
+    /// Candidates received from the providers that answered.
+    pub received: usize,
+    /// Candidates the full workload holds for this activity.
+    pub expected: usize,
+}
+
+/// Degraded-mode section of a [`DistributedReport`]: distinguishes an
+/// outcome computed over the complete candidate pool from a
+/// best-of-what-answered one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Providers the coordinator expected digests from.
+    pub providers_expected: usize,
+    /// Providers whose digest arrived before the reply deadline.
+    pub providers_heard: usize,
+    /// Providers that never answered (their candidates are missing from
+    /// the global phase).
+    pub missing_providers: Vec<NodeId>,
+    /// Retransmitted requests (protocol messages beyond the first round).
+    pub retries_sent: u64,
+    /// Per-activity candidate coverage vs. the full workload.
+    pub activity_coverage: Vec<ActivityCoverage>,
+}
+
+impl FaultReport {
+    /// Whether every activity retained its complete candidate pool.
+    pub fn full_coverage(&self) -> bool {
+        self.activity_coverage
+            .iter()
+            .all(|c| c.received >= c.expected)
+    }
+
+    /// Whether the outcome is degraded: some provider was never heard or
+    /// some activity lost candidates. A degraded outcome is still the
+    /// best composition *of what answered*, not of the full pool.
+    pub fn is_degraded(&self) -> bool {
+        self.providers_heard < self.providers_expected || !self.full_coverage()
+    }
+
+    /// Fraction of the workload's candidates that reached the
+    /// coordinator, in `[0, 1]` (1.0 when the workload is empty).
+    pub fn coverage_ratio(&self) -> f64 {
+        let expected: usize = self.activity_coverage.iter().map(|c| c.expected).sum();
+        if expected == 0 {
+            return 1.0;
+        }
+        let received: usize = self
+            .activity_coverage
+            .iter()
+            .map(|c| c.received.min(c.expected))
+            .sum();
+        received as f64 / expected as f64
     }
 }
 
@@ -92,8 +249,15 @@ pub struct DistributedReport {
     pub local_phase: SimDuration,
     /// Simulated duration of the global phase (coordinator compute).
     pub global_phase: SimDuration,
-    /// Total protocol messages sent.
+    /// Total protocol messages sent (requests, retransmissions, digests —
+    /// nothing is injected outside the link model).
     pub messages: u64,
+    /// Simulator events processed by the run. Cancelled timers are not
+    /// processed, so a clean run's count reflects protocol work only.
+    pub sim_events: u64,
+    /// Fault-tolerance outcome: who answered, what coverage survived,
+    /// what the retries cost.
+    pub fault: FaultReport,
 }
 
 impl DistributedReport {
@@ -109,6 +273,10 @@ struct ProviderState {
     /// `(activity, candidates)` hosted by this provider.
     shard: Vec<(usize, Vec<ServiceCandidate>)>,
     per_candidate_cost_us: u64,
+    /// Ranking computed on the first request; retransmissions are
+    /// answered from this cache (the work is not redone, only the reply
+    /// leg is repeated).
+    digests: Option<Vec<(usize, QosLevels, Vec<ServiceCandidate>)>>,
 }
 
 struct CoordinatorState {
@@ -117,13 +285,23 @@ struct CoordinatorState {
     task: UserTask,
     constraints: ConstraintSet,
     preferences: Preferences,
+    properties: Vec<PropertyId>,
     approach: AggregationApproach,
     expected_replies: usize,
-    received: usize,
+    /// Providers discovered at kickoff (all peers).
+    providers: Vec<NodeId>,
+    /// Providers whose digest was merged (duplicates are ignored).
+    answered: BTreeSet<NodeId>,
     merged: Vec<QosLevels>,
     candidates: Vec<Vec<ServiceCandidate>>,
     per_candidate_cost_us: u64,
     reply_timeout_ms: u64,
+    retry: RetryPolicy,
+    retry_round: u32,
+    retry_pending: bool,
+    deadline_pending: bool,
+    retries_sent: u64,
+    rng: StdRng,
     started_at: SimTime,
     local_done_at: Option<SimTime>,
     global_done_at: Option<SimTime>,
@@ -131,6 +309,50 @@ struct CoordinatorState {
 }
 
 impl CoordinatorState {
+    fn request(&self) -> Message {
+        Message::SelectRequest {
+            properties: self.properties.clone(),
+            preferences: self.preferences.clone(),
+        }
+    }
+
+    /// The absolute instant of the reply deadline.
+    fn deadline_at(&self) -> SimTime {
+        self.started_at + SimDuration::from_millis(self.reply_timeout_ms)
+    }
+
+    /// Schedules the next retransmission round if one remains and it
+    /// would fire before the reply deadline.
+    fn schedule_retry(&mut self, ctx: &mut NodeContext<'_, Message>) {
+        if self.retry_round >= self.retry.max_retries {
+            return;
+        }
+        let jitter_us = if self.retry.jitter_ms == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.retry.jitter_ms * 1_000)
+        };
+        let delay =
+            SimDuration::from_micros(self.retry.backoff_ms(self.retry_round) * 1_000 + jitter_us);
+        if ctx.now() + delay < self.deadline_at() {
+            ctx.set_timer(delay, RETRY_TIMER);
+            self.retry_pending = true;
+        }
+    }
+
+    /// Cancels whichever of the deadline/retry timers are still pending,
+    /// so a completed run leaves no stale events in the queue.
+    fn cancel_timers(&mut self, ctx: &mut NodeContext<'_, Message>) {
+        if self.deadline_pending {
+            ctx.cancel_timer(DEADLINE_TIMER);
+            self.deadline_pending = false;
+        }
+        if self.retry_pending {
+            ctx.cancel_timer(RETRY_TIMER);
+            self.retry_pending = false;
+        }
+    }
+
     /// Runs the global phase over whatever digests arrived.
     fn finish(&mut self, ctx: &mut NodeContext<'_, Message>) {
         self.local_done_at = Some(ctx.now());
@@ -161,17 +383,60 @@ enum Role {
 impl NodeBehaviour<Message> for Role {
     fn on_start(&mut self, ctx: &mut NodeContext<'_, Message>) {
         if let Role::Coordinator(state) = self {
+            // Kickoff happens *inside* the simulation: every request
+            // transits a real link and can be delayed, jittered or lost,
+            // symmetrically with the digest leg.
+            state.started_at = ctx.now();
+            state.providers = ctx.peers().to_vec();
+            let request = state.request();
+            for i in 0..state.providers.len() {
+                ctx.send(state.providers[i], request.clone());
+            }
             // Churn tolerance: proceed with whatever digests arrived once
             // the reply deadline passes.
-            ctx.set_timer(SimDuration::from_millis(state.reply_timeout_ms), 0);
+            ctx.set_timer(
+                SimDuration::from_millis(state.reply_timeout_ms),
+                DEADLINE_TIMER,
+            );
+            state.deadline_pending = true;
+            if state.retry.is_enabled() {
+                state.schedule_retry(ctx);
+            }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeContext<'_, Message>, _timer: u64) {
-        if let Role::Coordinator(state) = self {
-            if state.outcome.is_none() {
-                state.finish(ctx);
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_, Message>, timer: u64) {
+        let Role::Coordinator(state) = self else {
+            return;
+        };
+        match timer {
+            DEADLINE_TIMER => {
+                state.deadline_pending = false;
+                if state.outcome.is_none() {
+                    state.cancel_timers(ctx);
+                    state.finish(ctx);
+                }
             }
+            RETRY_TIMER => {
+                state.retry_pending = false;
+                if state.outcome.is_some() {
+                    return;
+                }
+                let request = state.request();
+                let unanswered: Vec<NodeId> = state
+                    .providers
+                    .iter()
+                    .copied()
+                    .filter(|p| !state.answered.contains(p))
+                    .collect();
+                for &p in &unanswered {
+                    ctx.send(p, request.clone());
+                }
+                state.retries_sent += unanswered.len() as u64;
+                state.retry_round += 1;
+                state.schedule_retry(ctx);
+            }
+            _ => {}
         }
     }
 
@@ -184,30 +449,36 @@ impl NodeBehaviour<Message> for Role {
                     preferences,
                 },
             ) => {
-                let mut digests = Vec::with_capacity(state.shard.len());
-                let mut work_units = 0u64;
-                for (activity, cands) in &state.shard {
-                    let levels = state
-                        .local
-                        .rank(&state.model, cands, &properties, &preferences);
-                    work_units += (cands.len() * properties.len()) as u64;
-                    digests.push((*activity, levels, cands.clone()));
+                if state.digests.is_none() {
+                    let mut digests = Vec::with_capacity(state.shard.len());
+                    let mut work_units = 0u64;
+                    for (activity, cands) in &state.shard {
+                        let levels =
+                            state
+                                .local
+                                .rank(&state.model, cands, &properties, &preferences);
+                        work_units += (cands.len() * properties.len()) as u64;
+                        digests.push((*activity, levels, cands.clone()));
+                    }
+                    ctx.compute(SimDuration::from_micros(
+                        work_units * state.per_candidate_cost_us,
+                    ));
+                    state.digests = Some(digests);
                 }
-                ctx.compute(SimDuration::from_micros(
-                    work_units * state.per_candidate_cost_us,
-                ));
+                let digests = state.digests.clone().expect("cached above");
                 ctx.send(from, Message::LocalDigest { digests });
             }
             (Role::Coordinator(state), Message::LocalDigest { digests }) => {
-                if state.outcome.is_some() {
-                    return; // a digest arriving after the reply deadline
+                if state.outcome.is_some() || !state.answered.insert(from) {
+                    // Late (post-deadline) or duplicate digest.
+                    return;
                 }
                 for (activity, levels, cands) in digests {
                     state.merged[activity].merge(levels);
                     state.candidates[activity].extend(cands);
                 }
-                state.received += 1;
-                if state.received == state.expected_replies {
+                if state.answered.len() == state.expected_replies {
+                    state.cancel_timers(ctx);
                     state.finish(ctx);
                 }
             }
@@ -239,12 +510,14 @@ impl<'a> DistributedQassa<'a> {
     }
 
     /// Runs the protocol for `workload` under `setup`, deterministically
-    /// from `seed`.
+    /// from `seed` (link sampling and retry jitter both derive from it).
     ///
     /// # Errors
     ///
     /// Propagates structural selection errors (e.g. an activity whose
-    /// candidates ended up on no provider).
+    /// candidates reached the coordinator from no provider) and reports
+    /// [`SelectionError::ProtocolAborted`](crate::SelectionError) when the
+    /// simulator exhausts its event cap before the protocol completes.
     ///
     /// # Panics
     ///
@@ -276,6 +549,12 @@ impl<'a> DistributedQassa<'a> {
 
         let mut sim: Simulation<Message, Role> = Simulation::new(seed);
         sim.set_default_link(setup.link);
+        if let Some((at_ms, link)) = setup.link_after {
+            sim.set_default_link_at(SimDuration::from_millis(at_ms), link);
+        }
+        if let Some(cap) = setup.max_sim_events {
+            sim.set_max_events(cap);
+        }
 
         let coordinator = sim.add_node(
             setup.coordinator_profile,
@@ -285,63 +564,88 @@ impl<'a> DistributedQassa<'a> {
                 task: workload.task().clone(),
                 constraints: problem.constraints().clone(),
                 preferences: problem.preferences().clone(),
+                properties: properties.clone(),
                 approach: problem.approach(),
                 expected_replies,
-                received: 0,
+                providers: Vec::new(),
+                answered: BTreeSet::new(),
                 merged: vec![QosLevels::default(); n_activities],
                 candidates: vec![Vec::new(); n_activities],
                 per_candidate_cost_us: setup.per_candidate_cost_us,
                 reply_timeout_ms: setup.reply_timeout_ms,
+                retry: setup.retry,
+                retry_round: 0,
+                retry_pending: false,
+                deadline_pending: false,
+                retries_sent: 0,
+                // Jitter draws must not perturb the link-sampling stream,
+                // so the coordinator carries its own seeded generator.
+                rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
                 started_at: SimTime::ZERO,
                 local_done_at: None,
                 global_done_at: None,
                 outcome: None,
             })),
         );
-        let providers: Vec<NodeId> = shards
-            .into_iter()
-            .map(|shard| {
-                sim.add_node(
-                    setup.provider_profile,
-                    Role::Provider(Box::new(ProviderState {
-                        model: self.model.clone(),
-                        local: self.config.local,
-                        shard,
-                        per_candidate_cost_us: setup.per_candidate_cost_us,
-                    })),
-                )
-            })
-            .collect();
-
-        // Kick off: the coordinator broadcasts the request. Injected from
-        // outside so the broadcast transits real links.
-        for &p in &providers {
-            sim.send_external(
-                coordinator,
-                p,
-                Message::SelectRequest {
-                    properties: properties.clone(),
-                    preferences: problem.preferences().clone(),
-                },
+        for shard in shards {
+            sim.add_node(
+                setup.provider_profile,
+                Role::Provider(Box::new(ProviderState {
+                    model: self.model.clone(),
+                    local: self.config.local,
+                    shard,
+                    per_candidate_cost_us: setup.per_candidate_cost_us,
+                    digests: None,
+                })),
             );
         }
-        // External injection models the local hand-off to the radio; give
-        // each request one coordinator-side link transit by re-sending
-        // through the provider loopback — simpler: requests above arrive
-        // instantly; digests pay the return trip, which dominates.
-        sim.run();
+
+        let run_result = sim.run_checked();
+        let sim_events = match run_result {
+            Ok(processed) => processed,
+            Err(cap) => cap.processed,
+        };
 
         let Role::Coordinator(state) = sim.node(coordinator) else {
             unreachable!("coordinator role is fixed");
         };
-        let outcome = state.outcome.clone().expect("protocol completed")?;
+        let outcome = match &state.outcome {
+            Some(result) => result.clone()?,
+            // The event cap cut the run short before the deadline timer
+            // could close the protocol: surface it instead of panicking.
+            None => {
+                return Err(crate::SelectionError::ProtocolAborted {
+                    processed_events: sim_events,
+                })
+            }
+        };
         let local_done = state.local_done_at.expect("local phase completed");
         let global_done = state.global_done_at.expect("global phase completed");
+        let fault = FaultReport {
+            providers_expected: state.providers.len(),
+            providers_heard: state.answered.len(),
+            missing_providers: state
+                .providers
+                .iter()
+                .copied()
+                .filter(|p| !state.answered.contains(p))
+                .collect(),
+            retries_sent: state.retries_sent,
+            activity_coverage: (0..n_activities)
+                .map(|activity| ActivityCoverage {
+                    activity,
+                    received: state.candidates[activity].len(),
+                    expected: workload.candidates()[activity].len(),
+                })
+                .collect(),
+        };
         Ok(DistributedReport {
             outcome,
             local_phase: local_done.since(state.started_at),
             global_phase: global_done.since(local_done),
             messages: sim.stats().sent,
+            sim_events,
+            fault,
         })
     }
 }
@@ -369,6 +673,8 @@ mod tests {
             .unwrap();
         assert_eq!(report.outcome.feasible, central.feasible);
         assert_eq!(report.outcome.assignment.len(), 3);
+        assert!(!report.fault.is_degraded());
+        assert_eq!(report.fault.retries_sent, 0);
     }
 
     #[test]
@@ -399,6 +705,8 @@ mod tests {
             .unwrap();
         let total: usize = report.outcome.ranked.iter().map(Vec::len).sum();
         assert_eq!(total, 3 * 30);
+        assert!(report.fault.full_coverage());
+        assert_eq!(report.fault.coverage_ratio(), 1.0);
     }
 
     #[test]
@@ -409,7 +717,8 @@ mod tests {
             ..DistributedSetup::default()
         };
         let report = DistributedQassa::new(&m).run(&w, &setup, 3).unwrap();
-        // 7 requests + 7 digests.
+        // 7 requests + 7 digests — the kickoff is a real protocol send,
+        // not an external injection, and no retries fire without loss.
         assert_eq!(report.messages, 14);
     }
 
@@ -421,5 +730,123 @@ mod tests {
         let b = d.run(&w, &DistributedSetup::default(), 9).unwrap();
         assert_eq!(a.local_phase, b.local_phase);
         assert_eq!(a.outcome.assignment, b.outcome.assignment);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.fault, b.fault);
+    }
+
+    #[test]
+    fn request_leg_pays_link_latency() {
+        // With a 40 ms link and negligible compute, the local phase must
+        // include both the request and the digest transits (≥ 80 ms) —
+        // an externally injected kickoff would show only ~40 ms.
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            link: LinkConfig::new(40.0, 0.0),
+            per_candidate_cost_us: 0,
+            ..DistributedSetup::default()
+        };
+        let report = DistributedQassa::new(&m).run(&w, &setup, 4).unwrap();
+        assert!(
+            report.local_phase >= SimDuration::from_millis(80),
+            "local phase {} must cover two 40 ms transits",
+            report.local_phase
+        );
+    }
+
+    #[test]
+    fn event_cap_surfaces_as_protocol_aborted() {
+        // A run whose simulator hits the event cap before the protocol
+        // completes must return a structured error, not panic on a
+        // missing outcome.
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            max_sim_events: Some(3),
+            ..DistributedSetup::default()
+        };
+        let err = DistributedQassa::new(&m)
+            .run(&w, &setup, 5)
+            .expect_err("3 events cannot complete the protocol");
+        assert!(matches!(
+            err,
+            crate::SelectionError::ProtocolAborted {
+                processed_events: 3
+            }
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn dead_network_without_retries_completes_degraded() {
+        // Loss 1.0 and no retries: the deadline closes the protocol with
+        // zero digests; the report (or a structural error for an empty
+        // pool) must say so rather than hanging or panicking.
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            link: LinkConfig::new(5.0, 1.0).with_loss(1.0),
+            retry: RetryPolicy::disabled(),
+            reply_timeout_ms: 100,
+            ..DistributedSetup::default()
+        };
+        match DistributedQassa::new(&m).run(&w, &setup, 5) {
+            Ok(report) => {
+                assert!(report.fault.is_degraded());
+                assert_eq!(report.fault.providers_heard, 0);
+            }
+            Err(e) => assert!(matches!(e, crate::SelectionError::NoCandidates { .. })),
+        }
+    }
+
+    #[test]
+    fn retries_recover_lost_messages() {
+        let (m, w) = small();
+        let lossy = DistributedSetup {
+            providers: 6,
+            link: LinkConfig::new(5.0, 1.0).with_loss(0.3),
+            ..DistributedSetup::default()
+        };
+        let report = DistributedQassa::new(&m).run(&w, &lossy, 11).unwrap();
+        assert!(report.fault.retries_sent > 0, "loss must trigger retries");
+        assert!(
+            report.fault.full_coverage(),
+            "retries must restore coverage"
+        );
+    }
+
+    #[test]
+    fn without_retries_loss_degrades_the_outcome() {
+        let (m, w) = small();
+        let lossy = DistributedSetup {
+            providers: 6,
+            link: LinkConfig::new(5.0, 1.0).with_loss(0.5),
+            reply_timeout_ms: 400,
+            retry: RetryPolicy::disabled(),
+            ..DistributedSetup::default()
+        };
+        match DistributedQassa::new(&m).run(&w, &lossy, 11) {
+            Ok(report) => {
+                assert!(report.fault.is_degraded());
+                assert_eq!(report.fault.retries_sent, 0);
+                assert_eq!(
+                    report.fault.providers_heard + report.fault.missing_providers.len(),
+                    report.fault.providers_expected
+                );
+            }
+            Err(e) => assert!(matches!(e, crate::SelectionError::NoCandidates { .. })),
+        }
+    }
+
+    #[test]
+    fn completed_run_leaves_no_stale_timer_events() {
+        // With no loss the protocol finishes long before the 5 s reply
+        // deadline; the deadline and pending retry timers are cancelled,
+        // so the processed-event count is exactly the protocol's work:
+        // (1 + P) node starts, P request deliveries, P digest deliveries.
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            providers: 7,
+            ..DistributedSetup::default()
+        };
+        let report = DistributedQassa::new(&m).run(&w, &setup, 6).unwrap();
+        assert_eq!(report.sim_events, 1 + 3 * 7);
     }
 }

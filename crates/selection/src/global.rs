@@ -48,6 +48,12 @@ pub enum SelectionError {
         /// Number of candidate sets provided.
         found: usize,
     },
+    /// A distributed run was cut short: the simulator exhausted its event
+    /// cap before the protocol completed, so no outcome was produced.
+    ProtocolAborted {
+        /// Events the simulator processed before giving up.
+        processed_events: u64,
+    },
 }
 
 impl fmt::Display for SelectionError {
@@ -59,6 +65,11 @@ impl fmt::Display for SelectionError {
             SelectionError::ArityMismatch { expected, found } => write!(
                 f,
                 "expected {expected} candidate sets (one per activity), found {found}"
+            ),
+            SelectionError::ProtocolAborted { processed_events } => write!(
+                f,
+                "distributed protocol aborted: simulation event cap exhausted \
+                 after {processed_events} events"
             ),
         }
     }

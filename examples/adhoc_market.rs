@@ -40,6 +40,7 @@ fn main() {
             coordinator_profile: DeviceProfile::constrained(),
             per_candidate_cost_us: 10,
             reply_timeout_ms: 5_000,
+            ..DistributedSetup::default()
         };
         let report = driver
             .run(&workload, &setup, 7)

@@ -14,6 +14,7 @@ fn setup(providers: usize) -> DistributedSetup {
         coordinator_profile: DeviceProfile::constrained(),
         per_candidate_cost_us: 10,
         reply_timeout_ms: 5_000,
+        ..DistributedSetup::default()
     }
 }
 
