@@ -1,0 +1,11 @@
+//! Seeded fixture: every would-be finding is either commented out,
+//! inside a string, or carries an explicit allow marker.
+
+pub const DOC: &str = "Instant::now() and HashMap are only mentioned here";
+
+// A real exception, justified inline:
+pub fn boot_stamp() -> std::time::Instant {
+    std::time::Instant::now() // lint:allow(determinism-wallclock)
+}
+
+/* Instant::now() in a block comment is not a finding. */

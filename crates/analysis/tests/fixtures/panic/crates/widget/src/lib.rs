@@ -1,0 +1,19 @@
+//! Seeded fixture: panicking shortcuts in non-test library code.
+
+pub fn first_even(xs: &[i32]) -> i32 {
+    let found = xs.iter().find(|x| *x % 2 == 0);
+    *found.expect("no even element")
+}
+
+pub fn parse(s: &str) -> i32 {
+    s.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // In-test unwraps are fine and must not be counted.
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(super::parse("4".trim()), "4".parse::<i32>().unwrap());
+    }
+}

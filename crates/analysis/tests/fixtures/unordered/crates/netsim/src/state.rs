@@ -1,0 +1,12 @@
+//! Seeded fixture: iteration-order-randomised collection on a simulated
+//! path.
+
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> HashMap<u32, usize> {
+    let mut out = HashMap::new();
+    for e in events {
+        *out.entry(*e).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Seeded fixture: wall-clock read on a simulated path.
+
+pub fn elapsed_wrongly() -> std::time::Instant {
+    let started = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    started
+}

@@ -1,0 +1,138 @@
+//! End-to-end lint checks: each seeded fixture tree under
+//! `tests/fixtures/` violates exactly one rule, and the real binary
+//! exits non-zero on it; the actual workspace stays clean modulo the
+//! checked-in baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use qasom_analysis::lint::{scan_workspace, violations, Baseline, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Rules the fixture tree violates, via the library API with an empty
+/// baseline.
+fn violated_rules(root: &Path) -> Vec<Rule> {
+    let findings = scan_workspace(root).expect("fixture tree scans");
+    let mut rules: Vec<Rule> = violations(&findings, &Baseline::new())
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+/// Exit status of the real `qasom-lint` binary over `root`.
+fn lint_exit(root: &Path, extra: &[&str]) -> i32 {
+    let status = Command::new(env!("CARGO_BIN_EXE_qasom-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .status()
+        .expect("qasom-lint binary runs");
+    status.code().expect("qasom-lint always exits")
+}
+
+#[test]
+fn wallclock_fixture_fails_the_wallclock_rule() {
+    let root = fixture("wallclock");
+    assert_eq!(violated_rules(&root), vec![Rule::Wallclock]);
+    assert_eq!(lint_exit(&root, &[]), 1);
+}
+
+#[test]
+fn unordered_fixture_fails_the_unordered_rule() {
+    let root = fixture("unordered");
+    assert_eq!(violated_rules(&root), vec![Rule::Unordered]);
+    assert_eq!(lint_exit(&root, &[]), 1);
+}
+
+#[test]
+fn panic_fixture_fails_the_panic_rule_outside_test_code() {
+    let root = fixture("panic");
+    let findings = scan_workspace(&root).expect("fixture tree scans");
+    // One `.expect(` + one `.unwrap()` in library code; the unwraps in
+    // the `#[cfg(test)]` module are exempt.
+    assert_eq!(findings.len(), 2);
+    assert!(findings.iter().all(|f| f.rule == Rule::PanicUnwrap));
+    assert_eq!(lint_exit(&root, &[]), 1);
+}
+
+#[test]
+fn clean_fixture_passes_via_comments_strings_and_allow_markers() {
+    let root = fixture("clean");
+    assert!(scan_workspace(&root)
+        .expect("fixture tree scans")
+        .is_empty());
+    assert_eq!(lint_exit(&root, &[]), 0);
+}
+
+#[test]
+fn panic_fixture_passes_against_its_own_baseline() {
+    // `--write-baseline` then a re-check must come back clean: the
+    // grandfathering loop works end to end.
+    let root = fixture("panic");
+    let baseline = std::env::temp_dir().join("qasom-lint-fixture-baseline.txt");
+    let status = Command::new(env!("CARGO_BIN_EXE_qasom-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--write-baseline")
+        .status()
+        .expect("qasom-lint binary runs");
+    assert!(status.success());
+    let baseline_str = baseline.to_string_lossy().into_owned();
+    assert_eq!(lint_exit(&root, &["--baseline", &baseline_str]), 0);
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn determinism_findings_cannot_be_baselined() {
+    // Writing a baseline over the wallclock fixture records nothing
+    // (determinism rules are never grandfathered), so the re-check
+    // still fails.
+    let root = fixture("wallclock");
+    let baseline = std::env::temp_dir().join("qasom-lint-wallclock-baseline.txt");
+    let status = Command::new(env!("CARGO_BIN_EXE_qasom-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--write-baseline")
+        .status()
+        .expect("qasom-lint binary runs");
+    assert!(status.success());
+    let baseline_str = baseline.to_string_lossy().into_owned();
+    assert_eq!(lint_exit(&root, &["--baseline", &baseline_str]), 1);
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn real_workspace_is_clean_modulo_baseline() {
+    assert_eq!(lint_exit(&workspace_root(), &[]), 0);
+}
+
+#[test]
+fn real_workspace_has_no_determinism_findings_at_all() {
+    // Satellite guarantee: the simulated paths (netsim + the
+    // distributed protocol) carry zero wall-clock or unordered-map
+    // findings — not even allow-marked ones are needed.
+    let findings = scan_workspace(&workspace_root()).expect("workspace scans");
+    let determinism: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule != Rule::PanicUnwrap)
+        .collect();
+    assert!(
+        determinism.is_empty(),
+        "determinism findings: {determinism:?}"
+    );
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use qasom_analysis::Diagnostic;
 use qasom_qos::{ConstraintSet, Preferences, QosModelError, QosVector};
 use qasom_selection::{AggregationApproach, SelectionError, SelectionOutcome};
 use qasom_task::UserTask;
@@ -9,6 +10,9 @@ use qasom_task::UserTask;
 /// Errors of the composition pipeline (discovery + selection).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ComposeError {
+    /// The static analyzer rejected the request before discovery even
+    /// ran (error-level diagnostics; see [`qasom_analysis::Analyzer`]).
+    Rejected(Vec<Diagnostic>),
     /// A QoS name in the request is unknown to the model.
     Qos(QosModelError),
     /// An activity found no candidate service at all.
@@ -23,6 +27,13 @@ pub enum ComposeError {
 impl fmt::Display for ComposeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ComposeError::Rejected(diags) => {
+                write!(f, "request rejected by static analysis:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             ComposeError::Qos(e) => write!(f, "{e}"),
             ComposeError::NoServiceFor { activity } => {
                 write!(
@@ -59,6 +70,7 @@ pub struct ExecutableComposition {
     pub(crate) constraints: ConstraintSet,
     pub(crate) preferences: Preferences,
     pub(crate) approach: AggregationApproach,
+    pub(crate) warnings: Vec<Diagnostic>,
 }
 
 impl ExecutableComposition {
@@ -90,5 +102,11 @@ impl ExecutableComposition {
     /// The QoS the composition promises (aggregated advertised QoS).
     pub fn promised_qos(&self) -> &QosVector {
         &self.outcome.aggregated
+    }
+
+    /// Warning-level diagnostics the static analyzer attached to the
+    /// request (the composition went ahead regardless).
+    pub fn warnings(&self) -> &[Diagnostic] {
+        &self.warnings
     }
 }

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use qasom_adaptation::{MonitorConfig, QosMonitor};
+use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
@@ -173,14 +174,29 @@ impl Environment {
     /// (delivers its advertised QoS exactly; tune via
     /// [`Environment::runtime_mut`]).
     ///
+    /// Ingestion is analyzer-gated: providers publishing inconsistent
+    /// QoS specifications (error-level diagnostics) are rejected with
+    /// [`qasom_registry::qsd::QsdError::Rejected`] instead of being
+    /// admitted and silently mis-ranked; warning-level diagnostics are
+    /// recorded as [`MiddlewareEvent::AnalysisWarning`] events.
+    ///
     /// # Errors
     ///
-    /// Fails on malformed QSD.
+    /// Fails on malformed QSD or analyzer-rejected specifications.
     pub fn load_services(
         &mut self,
         qsd_document: &str,
     ) -> Result<Vec<ServiceId>, qasom_registry::qsd::QsdError> {
-        let descriptions = qasom_registry::qsd::parse(qsd_document, &self.model)?;
+        let (descriptions, warnings) = qasom_registry::qsd::parse_with_diagnostics(
+            qsd_document,
+            &self.model,
+            Some(&self.ontology),
+        )?;
+        for warning in warnings {
+            self.events.push(MiddlewareEvent::AnalysisWarning {
+                diagnostic: warning.to_string(),
+            });
+        }
         Ok(descriptions
             .into_iter()
             .map(|desc| {
@@ -318,24 +334,56 @@ impl Environment {
         !self.discover(activity).is_empty()
     }
 
-    /// Runs the composition pipeline: discovery per activity, then QASSA.
+    /// Runs the static analyzer over a request without composing: the
+    /// full pre-selection validation pass (task structure, QoS
+    /// dimensional analysis, constraint satisfiability, vocabulary
+    /// alignment, ontology sanity).
+    pub fn analyze(&self, request: &UserRequest) -> Vec<qasom_analysis::Diagnostic> {
+        let approach = match request.aggregation_approach() {
+            qasom_selection::AggregationApproach::Pessimistic => ApproachKind::Pessimistic,
+            qasom_selection::AggregationApproach::Optimistic => ApproachKind::Optimistic,
+            qasom_selection::AggregationApproach::MeanValue => ApproachKind::MeanValue,
+        };
+        let spec = RequestSpec {
+            task: request.task(),
+            constraints: request.raw_constraints(),
+            weights: request.raw_weights(),
+            approach,
+        };
+        Analyzer::new(&self.model)
+            .with_ontology(&self.ontology)
+            .check_request(&spec)
+    }
+
+    /// Runs the composition pipeline: static analysis of the request,
+    /// then discovery per activity, then QASSA. Error-level diagnostics
+    /// reject the request before discovery runs
+    /// ([`ComposeError::Rejected`]); warnings are carried on the
+    /// returned composition
+    /// ([`ExecutableComposition::warnings`]).
     ///
     /// # Errors
     ///
-    /// Fails when an activity has no candidate or the request's QoS names
-    /// are unknown.
+    /// Fails when the analyzer rejects the request, an activity has no
+    /// candidate, or the request's QoS names are unknown.
     pub fn compose(
         &mut self,
         request: &UserRequest,
     ) -> Result<ExecutableComposition, ComposeError> {
+        let (errors, warnings) = qasom_analysis::partition(self.analyze(request));
+        if !errors.is_empty() {
+            return Err(ComposeError::Rejected(errors));
+        }
         let constraints = request.constraints(&self.model)?;
         let preferences = request.preferences(&self.model)?;
-        self.compose_task(
+        let mut composition = self.compose_task(
             request.task().clone(),
             constraints,
             preferences,
             request.aggregation_approach(),
-        )
+        )?;
+        composition.warnings = warnings;
+        Ok(composition)
     }
 
     /// Composition from already-resolved QoS parts (also used when
@@ -448,6 +496,7 @@ impl Environment {
             constraints,
             preferences,
             approach,
+            warnings: Vec::new(),
         })
     }
 }
@@ -725,13 +774,69 @@ mod tests {
     }
 
     #[test]
-    fn unknown_constraint_name_is_a_compose_error() {
+    fn unknown_constraint_name_is_rejected_by_analysis() {
         let mut e = env();
         deploy(&mut e, "a1", "d#A", 50.0);
         deploy(&mut e, "b1", "d#B", 50.0);
         let request = UserRequest::new(two_step_task())
             .constraint("Bogus", 1.0, Unit::Dimensionless)
             .unwrap();
-        assert!(matches!(e.compose(&request), Err(ComposeError::Qos(_))));
+        match e.compose(&request) {
+            Err(ComposeError::Rejected(diags)) => {
+                assert!(diags.iter().any(|d| d.code.code() == "QA010"), "{diags:?}");
+            }
+            other => panic!("expected analysis rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyzer_warnings_ride_on_the_composition() {
+        let mut e = env();
+        deploy(&mut e, "a1", "d#A", 50.0);
+        // `misc#X` is not a concept of the `d` ontology: QA020 warning,
+        // but composition still goes ahead (it still resolves by exact
+        // IRI match).
+        let rt = e.model().property("ResponseTime").unwrap();
+        let desc = ServiceDescription::new("x1", "misc#X").with_qos(rt, 10.0);
+        let nominal = desc.qos().clone();
+        e.deploy(desc, SyntheticService::new(nominal));
+        let task = UserTask::new(
+            "t",
+            TaskNode::sequence([
+                TaskNode::activity(Activity::new("first", "d#A")),
+                TaskNode::activity(Activity::new("odd", "misc#X")),
+            ]),
+        )
+        .unwrap();
+        let comp = e.compose(&UserRequest::new(task)).unwrap();
+        assert!(
+            comp.warnings().iter().any(|d| d.code.code() == "QA020"),
+            "{:?}",
+            comp.warnings()
+        );
+    }
+
+    #[test]
+    fn inconsistent_qsd_is_rejected_with_diagnostics() {
+        use qasom_registry::qsd::QsdError;
+        let mut e = env();
+        // Availability is a probability; 1.2 is out of range → QA030.
+        let err = e
+            .load_services(
+                r#"<services>
+                     <service name="liar" function="d#A">
+                       <qos property="Availability" value="1.2"/>
+                     </service>
+                   </services>"#,
+            )
+            .unwrap_err();
+        match err {
+            QsdError::Rejected(diags) => {
+                assert!(diags.iter().any(|d| d.code.code() == "QA030"), "{diags:?}");
+            }
+            other => panic!("expected analyzer rejection, got {other:?}"),
+        }
+        // Nothing was deployed.
+        assert!(e.discover(&Activity::new("x", "d#A")).is_empty());
     }
 }

@@ -54,6 +54,12 @@ pub enum MiddlewareEvent {
         /// Name of the behaviour taking over.
         to: String,
     },
+    /// The static analyzer flagged a non-fatal issue while ingesting
+    /// provider descriptions (see [`qasom_analysis::Analyzer`]).
+    AnalysisWarning {
+        /// The diagnostic, rendered (`QAxxx severity: message (at …)`).
+        diagnostic: String,
+    },
     /// The task completed (successfully or not).
     Completed {
         /// Task name (the behaviour that actually finished).

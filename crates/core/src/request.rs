@@ -84,6 +84,18 @@ impl UserRequest {
         &self.task
     }
 
+    /// The raw (unresolved) global constraints, exactly as phrased by the
+    /// user: `(property name, bound, unit)`. This is what the static
+    /// analyzer validates before resolution.
+    pub fn raw_constraints(&self) -> &[(String, f64, Unit)] {
+        &self.raw_constraints
+    }
+
+    /// The raw (unnormalised) preference weights: `(property name, weight)`.
+    pub fn raw_weights(&self) -> &[(String, f64)] {
+        &self.raw_weights
+    }
+
     /// The chosen aggregation approach.
     pub fn aggregation_approach(&self) -> AggregationApproach {
         self.approach

@@ -9,8 +9,7 @@
 //! number of invocations, with both transient failures (per-invocation
 //! probability) and permanent crashes (after N invocations).
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -185,15 +184,15 @@ impl SyntheticService {
 /// RNG — the "environment side" of the middleware's execution engine.
 #[derive(Debug)]
 pub struct ServiceRuntime<K> {
-    services: HashMap<K, SyntheticService>,
+    services: BTreeMap<K, SyntheticService>,
     rng: StdRng,
 }
 
-impl<K: Eq + Hash + Clone> ServiceRuntime<K> {
+impl<K: Ord + Clone> ServiceRuntime<K> {
     /// Creates an empty runtime with a deterministic seed.
     pub fn new(seed: u64) -> Self {
         ServiceRuntime {
-            services: HashMap::new(),
+            services: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }

@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -321,7 +321,7 @@ struct NodeSlot<B> {
 pub struct Simulation<M, B: NodeBehaviour<M>> {
     nodes: Vec<NodeSlot<B>>,
     default_link: LinkConfig,
-    links: HashMap<(u32, u32), LinkConfig>,
+    links: BTreeMap<(u32, u32), LinkConfig>,
     queue: BinaryHeap<Entry<M>>,
     seq: u64,
     now: SimTime,
@@ -330,7 +330,7 @@ pub struct Simulation<M, B: NodeBehaviour<M>> {
     max_events: u64,
     /// Pending timer cancellations: `(node, key)` → how many of the next
     /// matching timer pops to discard.
-    cancelled: HashMap<(u32, u64), u64>,
+    cancelled: BTreeMap<(u32, u64), u64>,
     cap_exhausted: bool,
 }
 
@@ -340,14 +340,14 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
         Simulation {
             nodes: Vec::new(),
             default_link: LinkConfig::default(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             stats: NetworkStats::default(),
             max_events: 50_000_000,
-            cancelled: HashMap::new(),
+            cancelled: BTreeMap::new(),
             cap_exhausted: false,
         }
     }

@@ -23,6 +23,8 @@
 
 use std::fmt;
 
+use qasom_analysis::{Analyzer, Diagnostic, OperationView, ServiceView};
+use qasom_ontology::Ontology;
 use qasom_qos::{QosModel, QosModelError, Unit};
 use qasom_task::xml::{self, XmlElement, XmlError};
 
@@ -38,6 +40,9 @@ pub enum QsdError {
     /// A QoS property name unknown to the model, or a unit of the wrong
     /// dimension.
     Qos(String),
+    /// The document parsed, but the static analyzer found error-level
+    /// inconsistencies in the advertised QoS specifications.
+    Rejected(Vec<Diagnostic>),
 }
 
 impl fmt::Display for QsdError {
@@ -46,6 +51,13 @@ impl fmt::Display for QsdError {
             QsdError::Xml(e) => write!(f, "{e}"),
             QsdError::Structure(m) => write!(f, "invalid QSD: {m}"),
             QsdError::Qos(m) => write!(f, "invalid QoS in QSD: {m}"),
+            QsdError::Rejected(diags) => {
+                write!(f, "QSD rejected by static analysis:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -82,6 +94,60 @@ pub fn parse(input: &str, model: &QosModel) -> Result<Vec<ServiceDescription>, Q
         .iter()
         .map(|el| parse_service(el, model))
         .collect()
+}
+
+/// Parses a QSD document and runs the static analyzer over every
+/// advertised service (QoS values against the property's feasible range,
+/// self-reported reputation, and — when `ontology` is given — function
+/// IRIs against the domain vocabulary).
+///
+/// Providers publishing *inconsistent* specs (error-level diagnostics)
+/// are rejected wholesale with [`QsdError::Rejected`] instead of being
+/// admitted and silently mis-ranked; warning-level diagnostics are
+/// returned alongside the accepted descriptions.
+///
+/// # Errors
+///
+/// Everything [`parse`] rejects, plus [`QsdError::Rejected`] carrying
+/// the analyzer's error diagnostics.
+pub fn parse_with_diagnostics(
+    input: &str,
+    model: &QosModel,
+    ontology: Option<&Ontology>,
+) -> Result<(Vec<ServiceDescription>, Vec<Diagnostic>), QsdError> {
+    let services = parse(input, model)?;
+    let mut analyzer = Analyzer::new(model);
+    if let Some(onto) = ontology {
+        analyzer = analyzer.with_ontology(onto);
+    }
+    let mut diagnostics = Vec::new();
+    for desc in &services {
+        diagnostics.extend(analyzer.check_service(&service_view(desc)));
+    }
+    let (errors, warnings) = qasom_analysis::partition(diagnostics);
+    if errors.is_empty() {
+        Ok((services, warnings))
+    } else {
+        Err(QsdError::Rejected(errors))
+    }
+}
+
+/// The analyzer's view of a parsed service description.
+fn service_view(desc: &ServiceDescription) -> ServiceView<'_> {
+    ServiceView {
+        name: desc.name(),
+        function: desc.function(),
+        qos: desc.qos(),
+        operations: desc
+            .operations()
+            .iter()
+            .map(|op| OperationView {
+                name: op.name(),
+                function: op.function(),
+                qos: op.qos(),
+            })
+            .collect(),
+    }
 }
 
 fn parse_service(el: &XmlElement, model: &QosModel) -> Result<ServiceDescription, QsdError> {

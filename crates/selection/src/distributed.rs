@@ -10,10 +10,13 @@
 //!    links, so it is subject to latency, jitter and loss exactly like
 //!    the digest leg;
 //! 2. every provider node runs the *local selection* phase over the
-//!    candidates it hosts (cost modelled as
-//!    `candidates × properties × per_candidate_cost`, scaled by the
-//!    node's CPU factor) and replies with per-activity ranked digests;
-//!    retransmitted requests are answered from the cached ranking;
+//!    candidates it hosts — looked up per activity through its own
+//!    capability-indexed shard registry with a memoised
+//!    [`MatchCache`](qasom_registry::MatchCache), not a linear scan —
+//!    (cost modelled as `candidates × properties × per_candidate_cost`,
+//!    scaled by the node's CPU factor) and replies with per-activity
+//!    ranked digests; retransmitted requests are answered from the
+//!    cached ranking;
 //! 3. providers that have not answered are re-requested with capped
 //!    exponential backoff plus seeded jitter ([`RetryPolicy`]) until the
 //!    reply deadline;
@@ -30,12 +33,17 @@
 //! retransmissions the run spent.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use qasom_netsim::{
     DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime, Simulation,
 };
+use qasom_ontology::Ontology;
 use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosModel};
-use qasom_task::UserTask;
+use qasom_registry::{
+    Discovery, DiscoveryQuery, MatchCache, ServiceDescription, ServiceId, ServiceRegistry,
+};
+use qasom_task::{Activity, UserTask};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -270,13 +278,63 @@ impl DistributedReport {
 struct ProviderState {
     model: QosModel,
     local: LocalRank,
-    /// `(activity, candidates)` hosted by this provider.
-    shard: Vec<(usize, Vec<ServiceCandidate>)>,
+    /// `(activity index, abstract activity)` pairs this provider hosts
+    /// candidates for. The candidates themselves live in the provider's
+    /// own capability-indexed [`registry`](Self::registry) and are
+    /// re-discovered (not linearly scanned) on each first request.
+    hosted: Vec<(usize, Activity)>,
+    /// The taxonomy the shard registry is indexed under (shared with the
+    /// workload, so index probes are a single posting-list lookup).
+    ontology: Arc<Ontology>,
+    /// This provider's shard of the service pool, as its own indexed
+    /// registry.
+    registry: ServiceRegistry,
+    /// Shard-local [`ServiceId`] (dense, registration order) → the
+    /// workload-global id the coordinator knows the candidate by.
+    global_ids: Vec<ServiceId>,
+    /// Match-degree memo shared across this provider's queries.
+    cache: MatchCache,
     per_candidate_cost_us: u64,
     /// Ranking computed on the first request; retransmissions are
     /// answered from this cache (the work is not redone, only the reply
     /// leg is repeated).
     digests: Option<Vec<(usize, QosLevels, Vec<ServiceCandidate>)>>,
+}
+
+impl ProviderState {
+    /// Local-selection phase: discover this provider's candidates for
+    /// every hosted activity through the capability index (with memoised
+    /// match degrees), then rank each activity's pool. Returns the
+    /// digests plus the modelled work in candidate×property units.
+    fn rank_shard(
+        &self,
+        properties: &[PropertyId],
+        preferences: &Preferences,
+    ) -> (Vec<(usize, QosLevels, Vec<ServiceCandidate>)>, u64) {
+        let discovery = Discovery::with_cache(&self.ontology, &self.model, &self.cache);
+        let mut digests = Vec::with_capacity(self.hosted.len());
+        let mut work_units = 0u64;
+        for (activity_index, activity) in &self.hosted {
+            let found = discovery.discover(&self.registry, &DiscoveryQuery::new(activity));
+            let cands: Vec<ServiceCandidate> = found
+                .iter()
+                .map(|m| {
+                    let id = self
+                        .global_ids
+                        .get(m.service.index())
+                        .copied()
+                        .unwrap_or(m.service);
+                    ServiceCandidate::new(id, m.effective_qos.clone())
+                })
+                .collect();
+            let levels = self
+                .local
+                .rank(&self.model, &cands, properties, preferences);
+            work_units += (cands.len() * properties.len()) as u64;
+            digests.push((*activity_index, levels, cands));
+        }
+        (digests, work_units)
+    }
 }
 
 struct CoordinatorState {
@@ -450,22 +508,13 @@ impl NodeBehaviour<Message> for Role {
                 },
             ) => {
                 if state.digests.is_none() {
-                    let mut digests = Vec::with_capacity(state.shard.len());
-                    let mut work_units = 0u64;
-                    for (activity, cands) in &state.shard {
-                        let levels =
-                            state
-                                .local
-                                .rank(&state.model, cands, &properties, &preferences);
-                        work_units += (cands.len() * properties.len()) as u64;
-                        digests.push((*activity, levels, cands.clone()));
-                    }
+                    let (digests, work_units) = state.rank_shard(&properties, &preferences);
                     ctx.compute(SimDuration::from_micros(
                         work_units * state.per_candidate_cost_us,
                     ));
                     state.digests = Some(digests);
                 }
-                let digests = state.digests.clone().expect("cached above");
+                let digests = state.digests.clone().unwrap_or_default();
                 ctx.send(from, Message::LocalDigest { digests });
             }
             (Role::Coordinator(state), Message::LocalDigest { digests }) => {
@@ -587,13 +636,52 @@ impl<'a> DistributedQassa<'a> {
                 outcome: None,
             })),
         );
+        let ontology = Arc::clone(workload.ontology());
+        let activities: Vec<Activity> = workload
+            .task()
+            .activities()
+            .map(|r| r.activity().clone())
+            .collect();
         for shard in shards {
+            // Each provider advertises its shard in its own
+            // capability-indexed registry; ranking then goes through
+            // indexed discovery instead of a linear scan of the shard.
+            let mut registry = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+            let mut global_ids = Vec::new();
+            let mut hosted = Vec::with_capacity(shard.len());
+            for (activity, cands) in shard {
+                let act = activities[activity].clone();
+                for c in &cands {
+                    let desc = match workload.registry().get(c.id()) {
+                        Some(d) => d.clone(),
+                        // Candidate without a published description (not
+                        // produced by workload generation, but cheap to
+                        // tolerate): advertise it under the activity's
+                        // own required function.
+                        None => {
+                            let f = act.function();
+                            ServiceDescription::new(
+                                format!("candidate-{activity}-{}", global_ids.len()),
+                                &format!("{}#{}", f.namespace(), f.local_name()),
+                            )
+                            .with_qos_vector(c.qos().clone())
+                        }
+                    };
+                    registry.register(desc);
+                    global_ids.push(c.id());
+                }
+                hosted.push((activity, act));
+            }
             sim.add_node(
                 setup.provider_profile,
                 Role::Provider(Box::new(ProviderState {
                     model: self.model.clone(),
                     local: self.config.local,
-                    shard,
+                    hosted,
+                    ontology: Arc::clone(&ontology),
+                    registry,
+                    global_ids,
+                    cache: MatchCache::new(),
                     per_candidate_cost_us: setup.per_candidate_cost_us,
                     digests: None,
                 })),
@@ -619,8 +707,8 @@ impl<'a> DistributedQassa<'a> {
                 })
             }
         };
-        let local_done = state.local_done_at.expect("local phase completed");
-        let global_done = state.global_done_at.expect("global phase completed");
+        let local_done = state.local_done_at.unwrap_or(state.started_at);
+        let global_done = state.global_done_at.unwrap_or(local_done);
         let fault = FaultReport {
             providers_expected: state.providers.len(),
             providers_heard: state.answered.len(),

@@ -289,14 +289,12 @@ impl<'a> Qassa<'a> {
                         Some((severity.0, severity.1, current.clone(), aggregated.clone()));
                 }
                 // Repair the worst violation with the most improving swap.
-                let worst = violations
-                    .iter()
-                    .max_by(|a, b| {
-                        relative_violation(a, &aggregated)
-                            .partial_cmp(&relative_violation(b, &aggregated))
-                            .expect("finite")
-                    })
-                    .expect("non-empty violations");
+                let Some(worst) = violations.iter().max_by(|a, b| {
+                    relative_violation(a, &aggregated)
+                        .total_cmp(&relative_violation(b, &aggregated))
+                }) else {
+                    break; // violations is non-empty, but widen over panicking
+                };
                 match self.best_swap(&all, &pools, &current, worst.property(), worst.tendency()) {
                     Some((activity, j)) => current[activity] = j,
                     None => break, // unfixable at this level: widen

@@ -88,7 +88,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
     );
 
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     sorted.dedup();
     let k = k.min(sorted.len());
 
@@ -109,14 +109,9 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
             let nearest = centroids
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (v - **a)
-                        .abs()
-                        .partial_cmp(&(v - **b).abs())
-                        .expect("finite")
-                })
+                .min_by(|(_, a), (_, b)| (v - **a).abs().total_cmp(&(v - **b).abs()))
                 .map(|(j, _)| j)
-                .expect("at least one centroid");
+                .unwrap_or(0);
             if assignments[i] != nearest {
                 assignments[i] = nearest;
                 changed = true;
@@ -144,11 +139,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
     used.sort_unstable();
     used.dedup();
     let mut order: Vec<usize> = used.clone();
-    order.sort_by(|&a, &b| {
-        centroids[a]
-            .partial_cmp(&centroids[b])
-            .expect("finite centroids")
-    });
+    order.sort_by(|&a, &b| centroids[a].total_cmp(&centroids[b]));
     let relabel: std::collections::HashMap<usize, usize> = order
         .iter()
         .enumerate()

@@ -145,7 +145,7 @@ impl LocalRank {
                 let (level, class) = if properties.is_empty() {
                     (0, 0)
                 } else {
-                    let worst = *rank_matrix[i].iter().max().expect("non-empty properties");
+                    let worst = rank_matrix[i].iter().max().copied().unwrap_or(0);
                     let class = rank_matrix[i].iter().filter(|&&r| r == worst).count();
                     (worst, class)
                 };
@@ -162,7 +162,7 @@ impl LocalRank {
             a.level
                 .cmp(&b.level)
                 .then(a.class.cmp(&b.class))
-                .then(b.utility.partial_cmp(&a.utility).expect("finite utility"))
+                .then(b.utility.total_cmp(&a.utility))
                 .then(a.candidate.id().cmp(&b.candidate.id()))
         });
 
@@ -231,7 +231,7 @@ impl QosLevels {
             self.levels[r].sort_by(|a, b| {
                 a.class
                     .cmp(&b.class)
-                    .then(b.utility.partial_cmp(&a.utility).expect("finite"))
+                    .then(b.utility.total_cmp(&a.utility))
                     .then(a.candidate.id().cmp(&b.candidate.id()))
             });
         }

@@ -6,10 +6,13 @@
 //! the per-activity bound) or at one standard deviation looser (Fig.
 //! VI.10/VI.11). This module reproduces that methodology deterministically.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use qasom_netsim::dist::Normal;
+use qasom_ontology::{Ontology, OntologyBuilder};
 use qasom_qos::{Constraint, ConstraintSet, Preferences, PropertyId, QosModel, QosVector};
 use qasom_registry::{ServiceDescription, ServiceRegistry};
 use qasom_task::{Activity, LoopBound, TaskNode, UserTask};
@@ -178,7 +181,16 @@ impl WorkloadSpec {
 
         let task = build_task(self.shape, self.activities);
 
-        let mut registry = ServiceRegistry::new();
+        // One capability concept per abstract activity so the registry's
+        // inverted index (and hence provider-side indexed discovery in
+        // the distributed protocol) can be exercised on workloads.
+        let mut taxonomy = OntologyBuilder::new("wl");
+        for a in 0..self.activities {
+            taxonomy.concept(&format!("Activity{a}"));
+        }
+        let ontology = Arc::new(taxonomy.build().expect("generated taxonomy is well-formed"));
+
+        let mut registry = ServiceRegistry::with_ontology(Arc::clone(&ontology));
         let candidates: Vec<Vec<ServiceCandidate>> = (0..self.activities)
             .map(|a| {
                 (0..self.services_per_activity)
@@ -190,8 +202,11 @@ impl WorkloadSpec {
                             qos.set(p.property, v);
                         }
                         let id = registry.register(
-                            ServiceDescription::new(format!("svc-{a}-{s}"), "wl#Activity")
-                                .with_qos_vector(qos.clone()),
+                            ServiceDescription::new(
+                                format!("svc-{a}-{s}"),
+                                &format!("wl#Activity{a}"),
+                            )
+                            .with_qos_vector(qos.clone()),
                         );
                         ServiceCandidate::new(id, qos)
                     })
@@ -209,6 +224,7 @@ impl WorkloadSpec {
             preferences,
             approach: self.approach,
             registry,
+            ontology,
         }
     }
 
@@ -279,7 +295,8 @@ fn profile_for(model: &QosModel, name: &str) -> PropertyProfile {
 }
 
 fn build_task(shape: TaskShape, n: usize) -> UserTask {
-    let act = |i: usize| TaskNode::activity(Activity::new(format!("a{i}"), "wl#Activity"));
+    let act =
+        |i: usize| TaskNode::activity(Activity::new(format!("a{i}"), &format!("wl#Activity{i}")));
     let root = match shape {
         TaskShape::Sequence => TaskNode::sequence((0..n).map(act)),
         TaskShape::Mixed => {
@@ -321,6 +338,7 @@ pub struct Workload {
     preferences: Preferences,
     approach: AggregationApproach,
     registry: ServiceRegistry,
+    ontology: Arc<Ontology>,
 }
 
 impl Workload {
@@ -339,9 +357,17 @@ impl Workload {
         &self.constraints
     }
 
-    /// The registry the candidate services are registered in.
+    /// The registry the candidate services are registered in. It is
+    /// bound to [`Workload::ontology`], so indexed discovery works
+    /// against it out of the box.
     pub fn registry(&self) -> &ServiceRegistry {
         &self.registry
+    }
+
+    /// The per-activity capability taxonomy the workload was generated
+    /// under (one concept per abstract activity).
+    pub fn ontology(&self) -> &Arc<Ontology> {
+        &self.ontology
     }
 
     /// Assembles the [`SelectionProblem`] view of this workload.
@@ -489,6 +515,27 @@ mod tests {
         }
         walk(w.task().root(), &mut has_choice, &mut has_loop);
         assert!(has_choice && has_loop);
+    }
+
+    #[test]
+    fn workload_registry_supports_indexed_discovery() {
+        use qasom_registry::{Discovery, DiscoveryQuery};
+
+        let m = QosModel::standard();
+        let w = WorkloadSpec::evaluation_default()
+            .activities(3)
+            .services_per_activity(10)
+            .build(&m, 7);
+        let discovery = Discovery::new(w.ontology(), &m);
+        for r in w.task().activities() {
+            let indexed = discovery.discover(w.registry(), &DiscoveryQuery::new(r.activity()));
+            assert_eq!(indexed.len(), 10, "each activity has its own concept");
+            let linear = discovery.discover(
+                w.registry(),
+                &DiscoveryQuery::new(r.activity()).linear_scan(true),
+            );
+            assert_eq!(indexed, linear, "index and scan must agree");
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Property-based tests of the static analyzer as a pipeline gate:
+//! whatever request is thrown at the middleware, `analyze` and `compose`
+//! must agree — an analyzer-accepted request flows through discovery and
+//! selection without panicking or being `Rejected`, and every rejection
+//! carries at least one error-level diagnostic.
+
+use proptest::prelude::*;
+use qasom::{ComposeError, Environment, UserRequest};
+use qasom_analysis::{has_errors, Severity};
+use qasom_netsim::runtime::SyntheticService;
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::{QosModel, Unit};
+use qasom_registry::ServiceDescription;
+use qasom_selection::AggregationApproach;
+use qasom_task::{Activity, LoopBound, TaskNode, UserTask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUNCTIONS: usize = 3;
+
+/// A populated environment: `FUNCTIONS` capability concepts with
+/// `services` providers each, QoS drawn from `seed`.
+fn environment(services: usize, seed: u64) -> Environment {
+    let mut onto = OntologyBuilder::new("p");
+    for f in 0..FUNCTIONS {
+        onto.concept(&format!("F{f}"));
+    }
+    let mut env = Environment::new(
+        QosModel::standard(),
+        onto.build().expect("valid ontology"),
+        seed,
+    );
+    let rt = env.model().property("ResponseTime").expect("standard");
+    let av = env.model().property("Availability").expect("standard");
+    let price = env.model().property("Price").expect("standard");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for f in 0..FUNCTIONS {
+        for s in 0..services {
+            let desc = ServiceDescription::new(format!("svc-{f}-{s}"), &format!("p#F{f}"))
+                .with_qos(rt, rng.gen_range(1.0..500.0))
+                .with_qos(av, rng.gen_range(0.5..1.0))
+                .with_qos(price, rng.gen_range(0.1..10.0));
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+    }
+    env
+}
+
+/// A structurally valid task over the environment's function concepts.
+fn build_task(shape: u8, activities: usize) -> UserTask {
+    let act = |i: usize| {
+        TaskNode::activity(Activity::new(
+            format!("a{i}"),
+            &format!("p#F{}", i % FUNCTIONS),
+        ))
+    };
+    let root = match shape % 4 {
+        0 => TaskNode::sequence((0..activities).map(act)),
+        1 if activities >= 3 => TaskNode::sequence([
+            act(0),
+            TaskNode::parallel((1..activities - 1).map(act)),
+            act(activities - 1),
+        ]),
+        2 if activities >= 2 => TaskNode::sequence(
+            std::iter::once(TaskNode::choice([(0.5, act(0)), (0.5, act(1))]))
+                .chain((2..activities).map(act)),
+        ),
+        3 => TaskNode::sequence(
+            std::iter::once(TaskNode::repeat(act(0), LoopBound::new(2.0, 4)))
+                .chain((1..activities).map(act)),
+        ),
+        _ => TaskNode::sequence((0..activities).map(act)),
+    };
+    UserTask::new("prop", root).expect("generated tasks are valid")
+}
+
+/// One random constraint. Mostly well-formed; occasionally (deliberately)
+/// an unknown property or a unit of the wrong dimension, so the analyzer
+/// has something to reject.
+fn random_constraint(rng: &mut StdRng) -> (String, f64, Unit) {
+    match rng.gen_range(0u32..8) {
+        0 => ("NoSuchProperty".to_owned(), 1.0, Unit::Dimensionless),
+        1 => ("ResponseTime".to_owned(), 2.0, Unit::Euro),
+        2 => (
+            "ResponseTime".to_owned(),
+            -rng.gen_range(1.0..100.0),
+            Unit::Milliseconds,
+        ),
+        3..=5 => (
+            "ResponseTime".to_owned(),
+            rng.gen_range(10.0..100_000.0),
+            Unit::Milliseconds,
+        ),
+        6 => (
+            "Availability".to_owned(),
+            rng.gen_range(0.01..1.0),
+            Unit::Ratio,
+        ),
+        _ => ("Price".to_owned(), rng.gen_range(0.5..200.0), Unit::Euro),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The gate property: `compose` never panics, returns `Rejected` iff
+    /// the analyzer reports an error, and a composition only ever
+    /// carries warning-level diagnostics.
+    #[test]
+    fn analyze_and_compose_agree(
+        shape in 0u8..4,
+        activities in 1usize..5,
+        services in 1usize..6,
+        n_constraints in 0usize..4,
+        n_weights in 0usize..3,
+        approach_idx in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let mut env = environment(services, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00dd_b01d_face_cafe);
+
+        let mut request = UserRequest::new(build_task(shape, activities));
+        for _ in 0..n_constraints {
+            let (name, bound, unit) = random_constraint(&mut rng);
+            request = request.constraint(name, bound, unit).expect("deferred validation");
+        }
+        for w in 0..n_weights {
+            let name = ["ResponseTime", "Availability", "Price"][w];
+            request = request.weight(name, rng.gen_range(1.0..10.0));
+        }
+        request = request.approach(match approach_idx {
+            0 => AggregationApproach::Pessimistic,
+            1 => AggregationApproach::Optimistic,
+            _ => AggregationApproach::MeanValue,
+        });
+
+        let accepted = !has_errors(&env.analyze(&request));
+        match env.compose(&request) {
+            Ok(composition) => {
+                prop_assert!(accepted, "composed despite analyzer errors");
+                prop_assert!(
+                    composition.warnings().iter().all(|d| d.severity != Severity::Error),
+                    "error-level diagnostic on a successful composition"
+                );
+                prop_assert_eq!(
+                    composition.outcome().assignment.len(),
+                    composition.task().activity_count()
+                );
+            }
+            Err(ComposeError::Rejected(errors)) => {
+                prop_assert!(!accepted, "rejected an analyzer-accepted request");
+                prop_assert!(
+                    errors.iter().any(|d| d.severity == Severity::Error),
+                    "rejection without an error diagnostic"
+                );
+            }
+            // Downstream structural outcomes are legitimate for accepted
+            // requests; what they must never be is a panic.
+            Err(ComposeError::NoServiceFor { .. }) | Err(ComposeError::Selection(_)) => {}
+            Err(ComposeError::Qos(e)) => {
+                prop_assert!(
+                    !accepted,
+                    "resolution failed ({e}) on an analyzer-accepted request"
+                );
+            }
+        }
+    }
+}
