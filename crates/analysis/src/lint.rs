@@ -111,9 +111,13 @@ impl fmt::Display for Finding {
 }
 
 /// Whether `rel` (workspace-relative, `/`-separated) is on a simulated
-/// path where the determinism rules apply.
+/// path where the determinism rules apply. The observability crate is
+/// in scope: a recorder that read the wall clock would break the
+/// byte-identical same-seed `RunReport` guarantee.
 pub fn determinism_scope(rel: &str) -> bool {
-    rel.starts_with("crates/netsim/src/") || rel == "crates/selection/src/distributed.rs"
+    rel.starts_with("crates/netsim/src/")
+        || rel.starts_with("crates/obs/src/")
+        || rel == "crates/selection/src/distributed.rs"
 }
 
 /// Whether `rel` is library code where [`Rule::PanicUnwrap`] applies:

@@ -3,115 +3,196 @@
 //! ```text
 //! cargo run --release -p qasom-bench --bin repro            # everything
 //! cargo run --release -p qasom-bench --bin repro -- vi5 vi12  # a subset
+//! cargo run --release -p qasom-bench --bin repro -- --json BENCH.json
 //! ```
+//!
+//! With `--json PATH` the regenerated figures are also written as a
+//! [`BenchReport`] (`qasom.bench-report.v1`): the machine-readable
+//! trajectory file the CI stores next to the printed tables. Timing
+//! figures carry machine-local values; the *schema* and series labels
+//! are stable.
 
 use qasom_bench as bench;
+use qasom_obs::report::{BenchReport, Figure, FigureSeries};
 use qasom_qos::QosModel;
 
+/// Prints a figure and collects it into the JSON report.
+fn show(
+    report: &mut BenchReport,
+    key: &str,
+    title: &str,
+    x_name: &str,
+    series: Vec<bench::Series>,
+) {
+    bench::print_figure(title, x_name, &series);
+    report.figures.push(Figure {
+        name: key.to_owned(),
+        series: series
+            .into_iter()
+            .map(|s| FigureSeries {
+                label: s.label,
+                points: s.points,
+            })
+            .collect(),
+    });
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |key: &str| args.is_empty() || args.iter().any(|a| a == key || a == "all");
+    let mut json_path: Option<String> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json_path = it.next();
+            if json_path.is_none() {
+                eprintln!("error: --json requires a path");
+                std::process::exit(2);
+            }
+        } else {
+            keys.push(arg);
+        }
+    }
+    let want = |key: &str| keys.is_empty() || keys.iter().any(|a| a == key || a == "all");
     let model = QosModel::standard();
+    let mut report = BenchReport::new(42);
 
     println!("QASOM evaluation reproduction — simulated substrate");
     println!("(shapes are comparable to the original figures; absolute values are machine-local)");
 
     if want("vi5") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi5a",
             "Fig. VI.5a — selection time vs services/activity (5 activities, 4 constraints)",
             "services",
-            &bench::fig_vi5a(&model),
+            bench::fig_vi5a(&model),
         );
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi5b",
             "Fig. VI.5b — selection time vs #QoS constraints (100 services/activity)",
             "constraints",
-            &bench::fig_vi5b(&model),
+            bench::fig_vi5b(&model),
         );
     }
     if want("vi6") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi6a",
             "Fig. VI.6a — optimality vs services/activity (vs exhaustive optimum)",
             "services",
-            &bench::fig_vi6a(&model),
+            bench::fig_vi6a(&model),
         );
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi6b",
             "Fig. VI.6b — optimality vs #QoS constraints",
             "constraints",
-            &bench::fig_vi6b(&model),
+            bench::fig_vi6b(&model),
         );
     }
     if want("vi7") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi7",
             "Fig. VI.7 — selection time per aggregation approach (choice+loop tasks)",
             "services",
-            &bench::fig_vi7(&model),
+            bench::fig_vi7(&model),
         );
     }
     if want("vi8") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi8",
             "Fig. VI.8 — optimality per aggregation approach",
             "services",
-            &bench::fig_vi8(&model),
+            bench::fig_vi8(&model),
         );
     }
     if want("vi9") {
         println!("\n== Fig. VI.9 — generated QoS follows N(m, σ) ==");
-        let _ = bench::fig_vi9(&model);
+        let series = bench::fig_vi9(&model);
+        report.figures.push(Figure {
+            name: "vi9".to_owned(),
+            series: series
+                .into_iter()
+                .map(|s| FigureSeries {
+                    label: s.label,
+                    points: s.points,
+                })
+                .collect(),
+        });
     }
     if want("vi10") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi10",
             "Fig. VI.10 — selection time with constraints at m vs m+σ",
             "services",
-            &bench::fig_vi10(&model),
+            bench::fig_vi10(&model),
         );
     }
     if want("vi11") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi11",
             "Fig. VI.11 — optimality with constraints at m vs m+σ",
             "services",
-            &bench::fig_vi11(&model),
+            bench::fig_vi11(&model),
         );
     }
     if want("vi12") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi12",
             "Fig. VI.12 — distributed QASSA: simulated phase times vs provider nodes",
             "providers",
-            &bench::fig_vi12(&model),
+            bench::fig_vi12(&model),
         );
     }
     if want("vi13") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "vi13",
             "Fig. VI.13 — abstract BPEL → behavioural graph transformation time",
             "activities",
-            &bench::fig_vi13(),
+            bench::fig_vi13(),
         );
     }
     if want("v_adapt") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "v_adapt",
             "Ch. V — behavioural adaptation (subgraph homeomorphism) time",
             "activities",
-            &bench::fig_v_adapt(),
+            bench::fig_v_adapt(),
         );
     }
     if want("loss") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "loss",
             "Extra — fault tolerance under message loss: retries vs no retries (8 providers, 10 seeds)",
             "loss prob",
-            &bench::fig_loss(&model),
+            bench::fig_loss(&model),
         );
     }
     if want("activities") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "activities",
             "Extra — selection time vs number of activities (100 services each)",
             "activities",
-            &bench::fig_activities(&model),
+            bench::fig_activities(&model),
         );
     }
     if want("scale") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "scale",
             "Scalability — QASSA at large pools (serial vs parallel local phase)",
             "services",
-            &bench::scalability(&model),
+            bench::scalability(&model),
         );
     }
     if want("compare") {
@@ -119,25 +200,44 @@ fn main() {
         bench::compare_selectors(&model);
     }
     if want("ablate") {
-        bench::print_figure(
+        show(
+            &mut report,
+            "ablate_kmeans_k",
             "Ablation — K-means band count k",
             "k",
-            &bench::ablate_kmeans_k(&model),
+            bench::ablate_kmeans_k(&model),
         );
-        bench::print_figure(
+        show(
+            &mut report,
+            "ablate_global",
             "Ablation — global phase repair budget (feasible-rate, tight constraints)",
             "services",
-            &bench::ablate_global_strategy(&model),
+            bench::ablate_global_strategy(&model),
         );
-        bench::print_figure(
+        show(
+            &mut report,
+            "ablate_monitoring",
             "Ablation — proactive vs reactive monitoring (lead on a drifting service)",
             "drift slope",
-            &bench::ablate_monitoring(&model),
+            bench::ablate_monitoring(&model),
         );
-        bench::print_figure(
+        show(
+            &mut report,
+            "ablate_semantics",
             "Ablation — semantic vs syntactic discovery recall",
             "providers",
-            &bench::ablate_semantics(&model),
+            bench::ablate_semantics(&model),
         );
+    }
+
+    if let Some(path) = json_path {
+        let json = report.to_json().to_pretty();
+        match std::fs::write(&path, json + "\n") {
+            Ok(()) => eprintln!("wrote bench report to {path}"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! qasom-cli --services services.xml --classes classes.xml --task shop-v1 \
 //!           [--taxonomy taxonomy.xml] [--constraint Delay=1.5s]... \
-//!           [--weight Delay=2]... [--seed 42] [--verbose]
+//!           [--weight Delay=2]... [--seed 42] [--verbose] [--report FILE]
+//! qasom-cli report [--seed 42] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -14,21 +15,76 @@
 //!   (functions not listed match syntactically).
 //! * `--constraint NAME=VALUE[UNIT]` e.g. `Delay=1.5s`, `TotalPrice=30EUR`.
 //! * `--weight NAME=W` preference weights.
+//! * `--report FILE` write the seed-stamped [`RunReport`] JSON of this
+//!   run to `FILE` (`-` for stdout).
+//!
+//! The `report` subcommand runs the builtin deterministic end-to-end
+//! scenario ([`qasom::demo`]) and prints its `RunReport` JSON: identical
+//! seeds produce byte-identical output.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use qasom::{Environment, UserRequest};
+use qasom::{demo, Environment, EventLog, UserRequest};
+use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
+use qasom_obs::{MemoryRecorder, Recorder};
 use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
 use qasom_qos::{QosModel, Unit};
 use qasom_task::xml::{self, XmlElement};
 
 fn main() -> ExitCode {
-    match run() {
+    let outcome = if std::env::args().nth(1).as_deref() == Some("report") {
+        run_report_subcommand()
+    } else {
+        run()
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `qasom-cli report [--seed N] [--out FILE]`: the builtin deterministic
+/// scenario, exported as pretty-printed `RunReport` JSON.
+fn run_report_subcommand() -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let raw = value("--seed")?;
+                seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!("usage: qasom-cli report [--seed N] [--out FILE]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try report --help)")),
+        }
+    }
+    let report = demo::demo_run_report(seed);
+    write_report(&report, out.as_deref())
+}
+
+/// Writes a report as pretty JSON to `path` (`None` or `"-"` → stdout).
+fn write_report(report: &RunReport, path: Option<&str>) -> Result<(), String> {
+    let json = report.to_pretty_string();
+    match path {
+        None | Some("-") => {
+            println!("{json}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote run report to {path}");
+            Ok(())
         }
     }
 }
@@ -42,6 +98,7 @@ struct Args {
     weights: Vec<(String, f64)>,
     seed: u64,
     verbose: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
         weights: Vec::new(),
         seed: 42,
         verbose: false,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,11 +138,13 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
             }
             "--verbose" => args.verbose = true,
+            "--report" => args.report = Some(value("--report")?),
             "--help" | "-h" => {
                 println!(
                     "usage: qasom-cli --services FILE --classes FILE --task NAME\n\
                      \x20      [--taxonomy FILE] [--constraint NAME=VALUE[UNIT]]...\n\
-                     \x20      [--weight NAME=W]... [--seed N] [--verbose]"
+                     \x20      [--weight NAME=W]... [--seed N] [--verbose] [--report FILE]\n\
+                     \x20      qasom-cli report [--seed N] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -171,6 +231,10 @@ fn run() -> Result<(), String> {
     };
 
     let mut env = Environment::new(QosModel::standard(), ontology, args.seed);
+    let recorder = Arc::new(MemoryRecorder::new());
+    env.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let log = EventLog::new();
+    env.subscribe(Arc::new(log.clone()));
     let ids = env
         .load_services(&services_doc)
         .map_err(|e| e.to_string())?;
@@ -219,6 +283,14 @@ fn run() -> Result<(), String> {
         );
     }
 
+    let compose_section = ComposeSection {
+        task: args.task.clone(),
+        feasible: composition.outcome().feasible,
+        levels_explored: composition.outcome().levels_explored as u64,
+        utility: composition.outcome().utility,
+        analyzer_warnings: composition.warnings().len() as u64,
+    };
+
     let report = env.execute(composition).map_err(|e| e.to_string())?;
     println!(
         "executed via {:?}: {} invocation(s), {} substitution(s), {} behavioural adaptation(s)",
@@ -233,9 +305,31 @@ fn run() -> Result<(), String> {
     );
     if args.verbose {
         println!("\nevent trace:");
-        for event in env.events() {
+        for event in log.events() {
             println!("  {event:?}");
         }
+    }
+    if let Some(path) = &args.report {
+        let mut run_report = env.run_report(&args.task);
+        run_report.compose = Some(compose_section);
+        run_report.execution = Some(ExecutionSection {
+            success: report.success,
+            invocations: report.invocations.len() as u64,
+            failures: report
+                .invocations
+                .iter()
+                .filter(|r| r.qos.is_none())
+                .count() as u64,
+            substitutions: report.substitutions as u64,
+            behavioural_adaptations: report.behavioural_adaptations as u64,
+            violations: report.violations.len() as u64,
+            delivered: report
+                .delivered
+                .iter()
+                .map(|(p, v)| (env.model().def(p).name().to_owned(), v))
+                .collect(),
+        });
+        write_report(&run_report, Some(path))?;
     }
     Ok(())
 }

@@ -1,0 +1,208 @@
+//! The builtin seeded end-to-end scenario behind `qasom-cli report`,
+//! the golden report tests and the CI observability job.
+//!
+//! One deterministic run exercises every pipeline stage the
+//! [`RunReport`] covers: QoS-aware discovery (indexed queries, match
+//! cache), QASSA selection, execution with a forced substitution, and a
+//! distributed QASSA run over the network simulator. The report is a
+//! pure function of the seed — identical seeds must produce
+//! byte-identical JSON.
+
+use std::sync::Arc;
+
+use qasom_netsim::runtime::SyntheticService;
+use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
+use qasom_obs::{MemoryRecorder, Recorder};
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::{QosModel, Unit};
+use qasom_registry::ServiceDescription;
+use qasom_selection::distributed::{DistributedQassa, DistributedSetup};
+use qasom_selection::workload::WorkloadSpec;
+use qasom_task::{Activity, TaskNode, UserTask};
+
+use crate::{Environment, EnvironmentConfig, EventLog, ExecutionReport, UserRequest};
+
+/// Name of the scenario label stamped into the demo report.
+pub const DEMO_SCENARIO: &str = "builtin-demo";
+
+/// Builds the demo environment: a three-concept shopping ontology, nine
+/// services with spread QoS (the best `Pay` provider crashes on first
+/// invocation, forcing one substitution), an attached
+/// [`MemoryRecorder`] and [`EventLog`].
+fn demo_environment(seed: u64, recorder: Arc<MemoryRecorder>, log: &EventLog) -> Environment {
+    let mut onto = OntologyBuilder::new("shop");
+    onto.concept("Locate");
+    onto.concept("Guide");
+    onto.concept("Pay");
+    let mut env = EnvironmentConfig::builder()
+        .seed(seed)
+        .recorder(recorder as Arc<dyn Recorder>)
+        .sink(Arc::new(log.clone()))
+        .build(
+            QosModel::standard(),
+            onto.build().expect("demo ontology is well-formed"),
+        );
+
+    let rt = env
+        .model()
+        .property("ResponseTime")
+        .expect("standard model has ResponseTime");
+    let av = env
+        .model()
+        .property("Availability")
+        .expect("standard model has Availability");
+    let services: &[(&str, &str, f64)] = &[
+        ("locate-kiosk", "shop#Locate", 40.0),
+        ("locate-phone", "shop#Locate", 90.0),
+        ("locate-cloud", "shop#Locate", 250.0),
+        ("guide-map", "shop#Guide", 60.0),
+        ("guide-audio", "shop#Guide", 120.0),
+        ("guide-avatar", "shop#Guide", 400.0),
+        ("pay-nfc", "shop#Pay", 30.0),
+        ("pay-card", "shop#Pay", 80.0),
+        ("pay-gateway", "shop#Pay", 300.0),
+    ];
+    for &(name, function, rt_ms) in services {
+        let desc = ServiceDescription::new(name, function)
+            .with_qos(rt, rt_ms)
+            .with_qos(av, 0.99);
+        let nominal = desc.qos().clone();
+        // The top-ranked payment provider dies on first contact so the
+        // execution engine demonstrably substitutes (deterministically).
+        let behaviour = if name == "pay-nfc" {
+            SyntheticService::new(nominal).with_crash_after(0)
+        } else {
+            SyntheticService::new(nominal)
+        };
+        env.deploy(desc, behaviour);
+    }
+    env
+}
+
+fn demo_task() -> UserTask {
+    UserTask::new(
+        "shopping-trip",
+        TaskNode::sequence([
+            TaskNode::activity(Activity::new("locate", "shop#Locate")),
+            TaskNode::activity(Activity::new("guide", "shop#Guide")),
+            TaskNode::activity(Activity::new("pay", "shop#Pay")),
+        ]),
+    )
+    .expect("demo task is well-formed")
+}
+
+fn execution_section(env: &Environment, report: &ExecutionReport) -> ExecutionSection {
+    let model = env.model();
+    ExecutionSection {
+        success: report.success,
+        invocations: report.invocations.len() as u64,
+        failures: report
+            .invocations
+            .iter()
+            .filter(|r| r.qos.is_none())
+            .count() as u64,
+        substitutions: report.substitutions as u64,
+        behavioural_adaptations: report.behavioural_adaptations as u64,
+        violations: report.violations.len() as u64,
+        delivered: report
+            .delivered
+            .iter()
+            .map(|(p, v)| (model.def(p).name().to_owned(), v))
+            .collect(),
+    }
+}
+
+/// Runs the builtin scenario and assembles the full [`RunReport`].
+///
+/// The report covers every section: compose + execution from the
+/// centralized pipeline, discovery/selection/metrics from the attached
+/// recorder, and a distributed QASSA run (same seed) over the network
+/// simulator.
+///
+/// # Panics
+///
+/// Panics only if the builtin scenario itself is broken (it is fixed at
+/// compile time and covered by tests).
+pub fn demo_run_report(seed: u64) -> RunReport {
+    let recorder = Arc::new(MemoryRecorder::new());
+    let log = EventLog::new();
+    let mut env = demo_environment(seed, Arc::clone(&recorder), &log);
+
+    let request = UserRequest::new(demo_task())
+        .constraint("ResponseTime", 1.0, Unit::Seconds)
+        .expect("ResponseTime is a standard property")
+        .weight("ResponseTime", 0.7)
+        .weight("Availability", 0.3);
+    let composition = env.compose(&request).expect("demo composition succeeds");
+    let compose = ComposeSection {
+        task: composition.task().name().to_owned(),
+        feasible: composition.outcome().feasible,
+        levels_explored: composition.outcome().levels_explored as u64,
+        utility: composition.outcome().utility,
+        analyzer_warnings: composition.warnings().len() as u64,
+    };
+    let executed = env.execute(composition).expect("demo execution succeeds");
+    let execution = execution_section(&env, &executed);
+
+    // The distributed leg: the same seed drives a synthetic workload
+    // sharded over seven simulated providers, flushing protocol counts
+    // and RTTs into the same recorder.
+    let model = env.model().clone();
+    let workload = WorkloadSpec::evaluation_default()
+        .activities(3)
+        .services_per_activity(12)
+        .build(&model, seed);
+    let setup = DistributedSetup {
+        providers: 7,
+        ..DistributedSetup::default()
+    };
+    let distributed = DistributedQassa::new(&model)
+        .run_recorded(&workload, &setup, seed, Some(recorder.as_ref()))
+        .expect("demo distributed run succeeds");
+
+    let mut report = env.run_report(DEMO_SCENARIO);
+    report.compose = Some(compose);
+    report.execution = Some(execution);
+    report.distributed = Some(distributed.to_section());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_report_covers_every_section() {
+        let report = demo_run_report(42);
+        assert_eq!(report.seed, 42);
+        assert_eq!(report.scenario, DEMO_SCENARIO);
+        let compose = report.compose.as_ref().expect("compose section");
+        assert!(compose.feasible);
+        let execution = report.execution.as_ref().expect("execution section");
+        assert!(execution.success);
+        // pay-nfc crashes once: at least one failure and a substitution.
+        assert!(execution.failures >= 1);
+        assert!(execution.substitutions >= 1);
+        let discovery = report.discovery.as_ref().expect("discovery section");
+        assert!(discovery.indexed_queries >= 3);
+        let selection = report.selection.as_ref().expect("selection section");
+        assert!(selection.runs >= 1);
+        let distributed = report.distributed.as_ref().expect("distributed section");
+        assert_eq!(distributed.providers, 7);
+        assert!(distributed.net.sent > 0);
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let a = demo_run_report(7).to_compact_string();
+        let b = demo_run_report(7).to_compact_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = demo_run_report(7).to_compact_string();
+        let b = demo_run_report(8).to_compact_string();
+        assert_ne!(a, b);
+    }
+}

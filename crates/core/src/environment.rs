@@ -6,19 +6,29 @@ use std::sync::Arc;
 use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
+use qasom_obs::report::{DiscoverySection, RunReport, SelectionSection};
+use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
 use qasom_registry::{
-    Discovery, DiscoveryQuery, MatchCache, ServiceDescription, ServiceId, ServiceRegistry,
+    CacheStats, Discovery, DiscoveryQuery, MatchCache, ServiceDescription, ServiceId,
+    ServiceRegistry,
 };
 use qasom_selection::{Qassa, QassaConfig, SelectionProblem, ServiceCandidate};
 use qasom_task::{Activity, TaskClass, TaskClassRepository};
 
-use crate::{ComposeError, ExecutableComposition, MiddlewareEvent, UserRequest};
+use crate::{ComposeError, EventSink, ExecutableComposition, MiddlewareEvent, UserRequest};
 
 /// Tunables of a middleware instance.
 #[derive(Debug, Clone, Copy)]
 pub struct EnvironmentConfig {
+    /// Seed of the synthetic service runtime (and the stamp carried by
+    /// exported [`RunReport`]s).
+    pub seed: u64,
+    /// How many [`MiddlewareEvent`]s the environment retains for the
+    /// deprecated pull API ([`Environment::events`]). Subscribed sinks
+    /// always see every event regardless of this cap.
+    pub retention: usize,
     /// QASSA parameters.
     pub qassa: QassaConfig,
     /// Monitoring parameters.
@@ -36,12 +46,130 @@ pub struct EnvironmentConfig {
 impl Default for EnvironmentConfig {
     fn default() -> Self {
         EnvironmentConfig {
+            seed: 0,
+            retention: usize::MAX,
             qassa: QassaConfig::default(),
             monitor: MonitorConfig::default(),
             max_attempts_per_activity: 5,
             max_behavioural_adaptations: 2,
             sla_tolerance: 0.2,
         }
+    }
+}
+
+impl EnvironmentConfig {
+    /// A typed builder over the configuration plus the non-`Copy`
+    /// attachments (recorder, event sinks), ending in
+    /// [`EnvironmentBuilder::build`]:
+    ///
+    /// ```
+    /// use qasom::{Environment, EnvironmentConfig};
+    /// use qasom_ontology::OntologyBuilder;
+    /// use qasom_qos::QosModel;
+    ///
+    /// let env: Environment = EnvironmentConfig::builder()
+    ///     .seed(42)
+    ///     .retention(1024)
+    ///     .build(QosModel::standard(), OntologyBuilder::new("d").build().unwrap());
+    /// assert_eq!(env.config().seed, 42);
+    /// ```
+    pub fn builder() -> EnvironmentBuilder {
+        EnvironmentBuilder::new()
+    }
+}
+
+/// Builder for [`Environment`]: every [`EnvironmentConfig`] field plus
+/// the observability attachments ([`Recorder`], [`EventSink`]s) that a
+/// `Copy` config cannot carry. Created by [`EnvironmentConfig::builder`].
+#[derive(Debug, Default)]
+pub struct EnvironmentBuilder {
+    config: EnvironmentConfig,
+    recorder: Option<Arc<dyn Recorder>>,
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl EnvironmentBuilder {
+    /// A builder over the default configuration.
+    pub fn new() -> Self {
+        EnvironmentBuilder {
+            config: EnvironmentConfig::default(),
+            recorder: None,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Seed of the synthetic service runtime.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Cap on the retained event buffer (oldest events are dropped
+    /// first once the cap is reached).
+    #[must_use]
+    pub fn retention(mut self, retention: usize) -> Self {
+        self.config.retention = retention;
+        self
+    }
+
+    /// QASSA parameters.
+    #[must_use]
+    pub fn qassa(mut self, qassa: QassaConfig) -> Self {
+        self.config.qassa = qassa;
+        self
+    }
+
+    /// Monitoring parameters.
+    #[must_use]
+    pub fn monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.config.monitor = monitor;
+        self
+    }
+
+    /// Invocation attempts per activity before behavioural adaptation.
+    #[must_use]
+    pub fn max_attempts_per_activity(mut self, attempts: usize) -> Self {
+        self.config.max_attempts_per_activity = attempts;
+        self
+    }
+
+    /// Behavioural-adaptation budget per execution.
+    #[must_use]
+    pub fn max_behavioural_adaptations(mut self, budget: usize) -> Self {
+        self.config.max_behavioural_adaptations = budget;
+        self
+    }
+
+    /// SLA tolerance (fraction; `0.2` = 20 %).
+    #[must_use]
+    pub fn sla_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.sla_tolerance = tolerance;
+        self
+    }
+
+    /// Attaches a [`Recorder`]: discovery, selection and event counters
+    /// flow into it (see [`Environment::run_report`]).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Subscribes an [`EventSink`] from the start (equivalent to calling
+    /// [`Environment::subscribe`] right after construction).
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builds the environment over a QoS model and a domain ontology.
+    pub fn build(self, model: QosModel, ontology: Ontology) -> Environment {
+        let mut env = Environment::with_config(model, ontology, self.config.seed, self.config);
+        env.recorder = self.recorder;
+        env.sinks = self.sinks;
+        env
     }
 }
 
@@ -62,6 +190,8 @@ pub struct Environment {
     pub(crate) monitor: QosMonitor,
     pub(crate) events: Vec<MiddlewareEvent>,
     pub(crate) config: EnvironmentConfig,
+    recorder: Option<Arc<dyn Recorder>>,
+    sinks: Vec<Arc<dyn EventSink>>,
 }
 
 impl Environment {
@@ -80,6 +210,9 @@ impl Environment {
     ) -> Self {
         let end_to_end = EndToEnd::standard(&model);
         let ontology = Arc::new(ontology);
+        // The explicit seed argument wins over the one carried by the
+        // config, so pre-builder call sites keep their exact behaviour.
+        let config = EnvironmentConfig { seed, ..config };
         Environment {
             model,
             // The registry is bound to the domain ontology so it maintains
@@ -95,6 +228,8 @@ impl Environment {
             monitor: QosMonitor::with_config(config.monitor),
             events: Vec::new(),
             config,
+            recorder: None,
+            sinks: Vec::new(),
         }
     }
 
@@ -123,14 +258,108 @@ impl Environment {
         &self.monitor
     }
 
-    /// The event trace so far.
+    /// The configuration in force.
+    pub fn config(&self) -> &EnvironmentConfig {
+        &self.config
+    }
+
+    /// The retained event trace (bounded by
+    /// [`EnvironmentConfig::retention`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "subscribe an EventLog via Environment::subscribe and read it instead"
+    )]
     pub fn events(&self) -> &[MiddlewareEvent] {
         &self.events
     }
 
-    /// Drains and returns the event trace.
+    /// Drains and returns the retained event trace.
+    #[deprecated(
+        since = "0.2.0",
+        note = "subscribe an EventLog via Environment::subscribe and take() from it instead"
+    )]
     pub fn take_events(&mut self) -> Vec<MiddlewareEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Subscribes a sink to the event stream: it sees every subsequent
+    /// [`MiddlewareEvent`] synchronously, in emission order. The
+    /// standard sink is [`crate::EventLog`].
+    pub fn subscribe(&mut self, sink: Arc<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Attaches (or replaces) the metrics recorder. Pipeline counters —
+    /// discovery index/cache behaviour, QASSA phase statistics, per-type
+    /// event counts — flow into it from now on.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Routes one event to the recorder (per-type counter), every
+    /// subscribed sink, and the bounded retained buffer — the single
+    /// emission path for the whole pipeline.
+    pub(crate) fn emit(&mut self, event: MiddlewareEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.incr(event.counter_key(), 1);
+        }
+        for sink in &self.sinks {
+            sink.on_event(&event);
+        }
+        if self.config.retention == 0 {
+            return;
+        }
+        if self.events.len() >= self.config.retention {
+            let excess = self.events.len() + 1 - self.config.retention;
+            self.events.drain(..excess);
+        }
+        self.events.push(event);
+    }
+
+    /// Hit/miss statistics of the semantic match cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.match_cache.stats()
+    }
+
+    /// Assembles a [`RunReport`] from the recorder's current snapshot:
+    /// the discovery and selection sections are derived from the
+    /// pipeline counters, the match-cache statistics are folded in, and
+    /// the full [`qasom_obs::MetricsSnapshot`] rides along. Compose/execution/
+    /// distributed sections are left for the caller to fill from the
+    /// corresponding reports. Without a recorder the report carries an
+    /// empty snapshot and no derived sections.
+    pub fn run_report(&self, scenario: &str) -> RunReport {
+        let mut report = RunReport::new(self.config.seed, scenario);
+        let Some(snapshot) = self.recorder.as_ref().and_then(|r| r.snapshot()) else {
+            return report;
+        };
+        let cache = self.match_cache.stats();
+        report.discovery = Some(DiscoverySection {
+            indexed_queries: snapshot.counter(keys::DISCOVERY_INDEXED),
+            linear_queries: snapshot.counter(keys::DISCOVERY_LINEAR),
+            services_evaluated: snapshot.counter(keys::DISCOVERY_EVALUATED),
+            candidates: snapshot.counter(keys::DISCOVERY_CANDIDATES),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        });
+        report.selection = Some(SelectionSection {
+            runs: snapshot.counter(keys::SELECTION_RUNS),
+            local_ranks: snapshot.counter(keys::SELECTION_LOCAL_RANKS),
+            local_levels: snapshot.counter(keys::SELECTION_LOCAL_LEVELS),
+            local_candidates: snapshot.counter(keys::SELECTION_LOCAL_CANDIDATES),
+            levels_explored: snapshot.counter(keys::SELECTION_LEVELS_EXPLORED),
+            utility_evaluations: snapshot.counter(keys::SELECTION_UTILITY_EVALS),
+            repair_swaps: snapshot.counter(keys::SELECTION_REPAIR_SWAPS),
+            pruned_candidates: snapshot.counter(keys::SELECTION_PRUNED),
+            exact_fallbacks: snapshot.counter(keys::SELECTION_EXACT_FALLBACKS),
+        });
+        report.metrics = snapshot;
+        report
     }
 
     /// Publishes a service: registers the description and deploys its
@@ -193,7 +422,7 @@ impl Environment {
             Some(&self.ontology),
         )?;
         for warning in warnings {
-            self.events.push(MiddlewareEvent::AnalysisWarning {
+            self.emit(MiddlewareEvent::AnalysisWarning {
                 diagnostic: warning.to_string(),
             });
         }
@@ -310,7 +539,10 @@ impl Environment {
     /// node's infrastructure QoS is known, the candidate's QoS is the
     /// user-perceived one (service QoS degraded by the path).
     pub fn discover(&self, activity: &Activity) -> Vec<ServiceCandidate> {
-        let discovery = Discovery::with_cache(&self.ontology, &self.model, &self.match_cache);
+        let mut discovery = Discovery::with_cache(&self.ontology, &self.model, &self.match_cache);
+        if let Some(rec) = &self.recorder {
+            discovery = discovery.with_recorder(rec.as_ref());
+        }
         discovery
             .discover(
                 &self.registry,
@@ -478,13 +710,16 @@ impl Environment {
             .with_constraints(constraints.clone())
             .with_preferences(preferences.clone())
             .with_approach(approach);
-        let qassa = Qassa::with_config(&self.model, self.config.qassa);
+        let mut qassa = Qassa::with_config(&self.model, self.config.qassa);
+        if let Some(rec) = &self.recorder {
+            qassa = qassa.with_recorder(rec.as_ref());
+        }
         #[cfg(feature = "parallel")]
         let outcome = qassa.select_parallel(&problem)?;
         #[cfg(not(feature = "parallel"))]
         let outcome = qassa.select(&problem)?;
 
-        self.events.push(MiddlewareEvent::Composed {
+        self.emit(MiddlewareEvent::Composed {
             task: task.name().to_owned(),
             feasible: outcome.feasible,
             levels_explored: outcome.levels_explored,
@@ -540,6 +775,8 @@ mod tests {
     #[test]
     fn compose_selects_discovered_services() {
         let mut e = env();
+        let log = crate::EventLog::new();
+        e.subscribe(Arc::new(log.clone()));
         deploy(&mut e, "a1", "d#A", 50.0);
         deploy(&mut e, "a2", "d#A", 500.0);
         deploy(&mut e, "b1", "d#B", 60.0);
@@ -550,9 +787,85 @@ mod tests {
         assert!(comp.outcome().feasible);
         assert_eq!(comp.outcome().assignment.len(), 2);
         assert!(matches!(
-            e.events()[0],
+            log.events()[0],
             MiddlewareEvent::Composed { feasible: true, .. }
         ));
+    }
+
+    #[test]
+    fn builder_configures_recorder_sinks_and_retention() {
+        use qasom_obs::MemoryRecorder;
+
+        let mut b = OntologyBuilder::new("d");
+        b.concept("A");
+        b.concept("B");
+        let recorder = Arc::new(MemoryRecorder::new());
+        let log = crate::EventLog::new();
+        let mut e = EnvironmentConfig::builder()
+            .seed(7)
+            .retention(1)
+            .recorder(Arc::clone(&recorder) as Arc<dyn qasom_obs::Recorder>)
+            .sink(Arc::new(log.clone()))
+            .build(QosModel::standard(), b.build().unwrap());
+        assert_eq!(e.config().seed, 7);
+        deploy(&mut e, "a1", "d#A", 50.0);
+        deploy(&mut e, "b1", "d#B", 60.0);
+        let comp = e.compose(&UserRequest::new(two_step_task())).unwrap();
+        let report = e.execute(comp).unwrap();
+        assert!(report.success);
+
+        // The sink saw the full stream: Composed, 2 × Invoked, Completed.
+        assert_eq!(log.len(), 4);
+        // The retained buffer is capped at one (the most recent event).
+        #[allow(deprecated)]
+        let retained = e.events();
+        assert_eq!(retained.len(), 1);
+        assert!(matches!(retained[0], MiddlewareEvent::Completed { .. }));
+
+        // The recorder counted per-type events and the pipeline phases.
+        let snap = recorder.snapshot().unwrap();
+        assert_eq!(snap.counter(qasom_obs::keys::EVENT_COMPOSED), 1);
+        assert_eq!(snap.counter(qasom_obs::keys::EVENT_INVOKED), 2);
+        assert_eq!(snap.counter(qasom_obs::keys::EVENT_COMPLETED), 1);
+        assert_eq!(snap.counter(qasom_obs::keys::SELECTION_RUNS), 1);
+        assert!(snap.counter(qasom_obs::keys::DISCOVERY_INDEXED) >= 2);
+
+        // And the derived report sections reflect those counters.
+        let rr = e.run_report("unit");
+        assert_eq!(rr.seed, 7);
+        let selection = rr.selection.expect("selection section");
+        assert_eq!(selection.runs, 1);
+        let discovery = rr.discovery.expect("discovery section");
+        assert!(discovery.indexed_queries >= 2);
+    }
+
+    #[test]
+    fn recorder_does_not_change_composition_outcomes() {
+        use qasom_obs::MemoryRecorder;
+
+        let run = |recorded: bool| {
+            let mut e = env();
+            if recorded {
+                e.set_recorder(Arc::new(MemoryRecorder::new()));
+            }
+            deploy(&mut e, "a1", "d#A", 50.0);
+            deploy(&mut e, "a2", "d#A", 500.0);
+            deploy(&mut e, "b1", "d#B", 60.0);
+            let request = UserRequest::new(two_step_task())
+                .constraint("ResponseTime", 1.0, Unit::Seconds)
+                .unwrap();
+            let comp = e.compose(&request).unwrap();
+            (
+                comp.outcome().feasible,
+                comp.outcome().levels_explored,
+                comp.outcome()
+                    .assignment
+                    .iter()
+                    .map(|c| c.id())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

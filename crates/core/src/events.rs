@@ -1,5 +1,9 @@
-//! Observability events emitted by the middleware.
+//! Observability events emitted by the middleware, and the subscriber
+//! API that consumes them.
 
+use std::sync::{Arc, Mutex};
+
+use qasom_obs::keys;
 use qasom_registry::ServiceId;
 
 /// Events the middleware emits while composing and executing, in order.
@@ -67,4 +71,136 @@ pub enum MiddlewareEvent {
         /// Whether every activity was eventually served.
         success: bool,
     },
+}
+
+impl MiddlewareEvent {
+    /// The metric counter this event variant maps onto (see
+    /// [`qasom_obs::keys`]): every emission bumps the matching
+    /// `events.*` counter on the environment's recorder.
+    pub fn counter_key(&self) -> &'static str {
+        match self {
+            MiddlewareEvent::Composed { .. } => keys::EVENT_COMPOSED,
+            MiddlewareEvent::Invoked { .. } => keys::EVENT_INVOKED,
+            MiddlewareEvent::InvocationFailed { .. } => keys::EVENT_INVOCATION_FAILED,
+            MiddlewareEvent::ViolationDetected { .. } => keys::EVENT_VIOLATION,
+            MiddlewareEvent::Substituted { .. } => keys::EVENT_SUBSTITUTED,
+            MiddlewareEvent::BehaviouralAdaptation { .. } => keys::EVENT_BEHAVIOURAL,
+            MiddlewareEvent::AnalysisWarning { .. } => keys::EVENT_ANALYSIS_WARNING,
+            MiddlewareEvent::Completed { .. } => keys::EVENT_COMPLETED,
+        }
+    }
+}
+
+/// A subscriber notified of every [`MiddlewareEvent`] as it is emitted,
+/// in emission order. Sinks observe; they cannot alter the pipeline, so
+/// subscribing never changes middleware behaviour.
+///
+/// Implementations must be `Send + Sync`: per-activity discovery can
+/// run on a thread pool, and the environment itself must stay movable
+/// across threads.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    /// Called once per event, synchronously, in emission order.
+    fn on_event(&self, event: &MiddlewareEvent);
+}
+
+/// The standard [`EventSink`]: an in-memory, thread-safe event log.
+///
+/// The handle is cheaply cloneable (`Arc` inside); clones share the
+/// same buffer, so keep one half and hand the other to
+/// [`Environment::subscribe`](crate::Environment::subscribe):
+///
+/// ```
+/// use qasom::{Environment, EventLog};
+/// use qasom_ontology::OntologyBuilder;
+/// use qasom_qos::QosModel;
+///
+/// let mut env = Environment::new(
+///     QosModel::standard(),
+///     OntologyBuilder::new("d").build().unwrap(),
+///     7,
+/// );
+/// let log = EventLog::new();
+/// env.subscribe(std::sync::Arc::new(log.clone()));
+/// // ... compose / execute ...
+/// assert!(log.events().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Arc<Mutex<Vec<MiddlewareEvent>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<MiddlewareEvent>> {
+        // Each mutation is a single push, so a poisoned buffer is still
+        // coherent — recover instead of propagating the panic.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A snapshot of every event received so far, in order.
+    pub fn events(&self) -> Vec<MiddlewareEvent> {
+        self.lock().clone()
+    }
+
+    /// Drains and returns the buffered events.
+    pub fn take(&self) -> Vec<MiddlewareEvent> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Discards the buffered events.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl EventSink for EventLog {
+    fn on_event(&self, event: &MiddlewareEvent) {
+        self.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_clones_share_the_buffer() {
+        let log = EventLog::new();
+        let sink: Arc<dyn EventSink> = Arc::new(log.clone());
+        sink.on_event(&MiddlewareEvent::Completed {
+            task: "t".into(),
+            success: true,
+        });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.take().len(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn every_variant_has_a_counter_key() {
+        let composed = MiddlewareEvent::Composed {
+            task: "t".into(),
+            feasible: true,
+            levels_explored: 1,
+        };
+        assert_eq!(composed.counter_key(), keys::EVENT_COMPOSED);
+        let warn = MiddlewareEvent::AnalysisWarning {
+            diagnostic: "QA020".into(),
+        };
+        assert_eq!(warn.counter_key(), keys::EVENT_ANALYSIS_WARNING);
+    }
 }

@@ -335,7 +335,7 @@ impl Environment {
                             .unwrap_or_default();
                         cm.rebind(idx, service, advertised_qos);
                         substitutions += 1;
-                        self.events.push(MiddlewareEvent::Substituted {
+                        self.emit(MiddlewareEvent::Substituted {
                             activity: name.clone(),
                             from,
                             to: service,
@@ -349,7 +349,7 @@ impl Environment {
                             self.monitor.observe(service, &qos);
                             self.monitor.reset_failures(service);
                             self.record_delivery(service, Some(&qos));
-                            self.events.push(MiddlewareEvent::Invoked {
+                            self.emit(MiddlewareEvent::Invoked {
                                 activity: name.clone(),
                                 service,
                             });
@@ -374,7 +374,7 @@ impl Environment {
                         _ => {
                             self.monitor.observe_failure(service);
                             self.record_delivery(service, None);
-                            self.events.push(MiddlewareEvent::InvocationFailed {
+                            self.emit(MiddlewareEvent::InvocationFailed {
                                 activity: name.clone(),
                                 service,
                             });
@@ -408,7 +408,7 @@ impl Environment {
                     })
                     .collect()
             };
-            self.events.push(MiddlewareEvent::Completed {
+            self.emit(MiddlewareEvent::Completed {
                 task: task.name().to_owned(),
                 success: true,
             });
@@ -462,7 +462,7 @@ impl Environment {
             return 0;
         }
         for v in &violations {
-            self.events.push(MiddlewareEvent::ViolationDetected {
+            self.emit(MiddlewareEvent::ViolationDetected {
                 property: model.def(v.constraint.property()).name().to_owned(),
                 proactive: v.proactive,
             });
@@ -486,7 +486,7 @@ impl Environment {
         if let Some(plan) = planner.plan(cm, &self.monitor, &masked) {
             if upcoming.contains(&plan.activity) {
                 cm.rebind(plan.activity, plan.to.id(), plan.to.qos().clone());
-                self.events.push(MiddlewareEvent::Substituted {
+                self.emit(MiddlewareEvent::Substituted {
                     activity: names[plan.activity].clone(),
                     from: plan.from,
                     to: plan.to.id(),
@@ -529,7 +529,7 @@ impl Environment {
             return Ok(false);
         };
         *adaptations += 1;
-        self.events.push(MiddlewareEvent::BehaviouralAdaptation {
+        self.emit(MiddlewareEvent::BehaviouralAdaptation {
             from: task.name().to_owned(),
             to: plan.behaviour.name().to_owned(),
         });

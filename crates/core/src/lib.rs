@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod composition;
+pub mod demo;
 mod environment;
 mod events;
 mod execution;
@@ -60,8 +61,8 @@ mod request;
 mod shared;
 
 pub use composition::{ComposeError, ExecutableComposition};
-pub use environment::{Environment, EnvironmentConfig};
-pub use events::MiddlewareEvent;
+pub use environment::{Environment, EnvironmentBuilder, EnvironmentConfig};
+pub use events::{EventLog, EventSink, MiddlewareEvent};
 pub use execution::{ExecutionError, ExecutionReport, InvocationRecord, TimelineEntry};
 pub use request::UserRequest;
 pub use shared::{ServeError, SharedEnvironment};

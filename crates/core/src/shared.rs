@@ -166,6 +166,8 @@ mod tests {
     #[test]
     fn concurrent_sessions_all_complete() {
         let shared = shared();
+        let log = crate::EventLog::new();
+        shared.with_mut(|e| e.subscribe(std::sync::Arc::new(log.clone())));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = shared.clone();
@@ -175,13 +177,12 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap());
         }
-        // All eight sessions' invocations are visible in the shared state.
-        let invoked = shared.with(|e| {
-            e.events()
-                .iter()
-                .filter(|ev| matches!(ev, crate::MiddlewareEvent::Invoked { .. }))
-                .count()
-        });
+        // All eight sessions' invocations are visible to the shared sink.
+        let invoked = log
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev, crate::MiddlewareEvent::Invoked { .. }))
+            .count();
         assert_eq!(invoked, 8);
     }
 

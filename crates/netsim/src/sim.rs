@@ -109,6 +109,8 @@ pub struct NetworkStats {
     pub dropped: u64,
     /// Sum of transit latencies of delivered messages (µs).
     pub latency_total_us: u64,
+    /// Timers cancelled before firing (deadline/retry hygiene).
+    pub timers_cancelled: u64,
 }
 
 impl NetworkStats {
@@ -635,6 +637,7 @@ impl<M, B: NodeBehaviour<M>> Simulation<M, B> {
                     let already = self.cancelled.get(&(node.0, key)).copied().unwrap_or(0);
                     if already < pending {
                         self.cancelled.insert((node.0, key), already + 1);
+                        self.stats.timers_cancelled += 1;
                     }
                 }
             }
@@ -843,6 +846,7 @@ mod tests {
         // does not advance simulated time to its instant.
         assert_eq!(processed, 2);
         assert_eq!(sim.now().as_millis_f64(), 10.0);
+        assert_eq!(sim.stats().timers_cancelled, 1);
     }
 
     #[test]
@@ -864,6 +868,7 @@ mod tests {
         let a = sim.add_node(DeviceProfile::default(), Spurious { fired: Vec::new() });
         sim.run();
         assert_eq!(sim.node(a).fired, vec![7]);
+        assert_eq!(sim.stats().timers_cancelled, 0);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Canonical metric names.
+//!
+//! Producers (`qasom-registry`, `qasom-selection`, `qasom`) and the
+//! report assembly agree on these constants so a renamed counter is a
+//! compile error, not a silently empty report field.
+
+/// Discovery queries answered via the inverted capability index.
+pub const DISCOVERY_INDEXED: &str = "discovery.indexed_queries";
+/// Discovery queries that fell back to the linear registry scan.
+pub const DISCOVERY_LINEAR: &str = "discovery.linear_queries";
+/// Service descriptions evaluated (signature + QoS) across all queries.
+pub const DISCOVERY_EVALUATED: &str = "discovery.services_evaluated";
+/// Candidates that survived discovery filtering.
+pub const DISCOVERY_CANDIDATES: &str = "discovery.candidates";
+
+/// QASSA selections performed (global phase entered).
+pub const SELECTION_RUNS: &str = "selection.runs";
+/// QASSA local-phase rankings performed (one per activity).
+pub const SELECTION_LOCAL_RANKS: &str = "selection.local.ranks";
+/// QoS levels (clusters) produced by the local phase.
+pub const SELECTION_LOCAL_LEVELS: &str = "selection.local.levels";
+/// Candidates ranked by the local phase.
+pub const SELECTION_LOCAL_CANDIDATES: &str = "selection.local.candidates";
+/// QoS levels the global phase actually explored.
+pub const SELECTION_LEVELS_EXPLORED: &str = "selection.global.levels_explored";
+/// Full-assignment utility/constraint evaluations in the global phase.
+pub const SELECTION_UTILITY_EVALS: &str = "selection.global.utility_evaluations";
+/// Repair swaps attempted while patching near-feasible assignments.
+pub const SELECTION_REPAIR_SWAPS: &str = "selection.global.repair_swaps";
+/// Candidates pruned (never admitted to the winning level prefix).
+pub const SELECTION_PRUNED: &str = "selection.global.pruned_candidates";
+/// Exhaustive-scan fallbacks taken after the level-wise search failed.
+pub const SELECTION_EXACT_FALLBACKS: &str = "selection.global.exact_fallbacks";
+
+/// Protocol messages sent during a distributed run.
+pub const DISTRIBUTED_MESSAGES: &str = "distributed.messages";
+/// Retransmissions the coordinator issued.
+pub const DISTRIBUTED_RETRIES: &str = "distributed.retries";
+/// Providers whose digest reached the coordinator.
+pub const DISTRIBUTED_PROVIDERS_HEARD: &str = "distributed.providers_heard";
+/// Histogram of provider round-trip times in simulated milliseconds.
+pub const DISTRIBUTED_RTT_MS: &str = "distributed.rtt_ms";
+
+/// Messages dropped by simulated links.
+pub const NETSIM_DROPPED: &str = "netsim.dropped";
+/// Messages delivered by simulated links.
+pub const NETSIM_DELIVERED: &str = "netsim.delivered";
+/// Timers cancelled before firing (deadline/retry hygiene).
+pub const NETSIM_TIMERS_CANCELLED: &str = "netsim.timers_cancelled";
+
+/// Compositions produced.
+pub const EVENT_COMPOSED: &str = "events.composed";
+/// Successful activity invocations.
+pub const EVENT_INVOKED: &str = "events.invoked";
+/// Failed activity invocations.
+pub const EVENT_INVOCATION_FAILED: &str = "events.invocation_failed";
+/// Observed or predicted constraint violations.
+pub const EVENT_VIOLATION: &str = "events.violation_detected";
+/// Service substitutions.
+pub const EVENT_SUBSTITUTED: &str = "events.substituted";
+/// Behavioural adaptations (task-class behaviour switches).
+pub const EVENT_BEHAVIOURAL: &str = "events.behavioural_adaptation";
+/// Non-fatal analyzer diagnostics surfaced during ingestion.
+pub const EVENT_ANALYSIS_WARNING: &str = "events.analysis_warning";
+/// Completed executions (successful or not).
+pub const EVENT_COMPLETED: &str = "events.completed";
+
+/// Span covering one QASSA selection (logical clock: activities done).
+pub const SPAN_SELECT: &str = "qassa.select";
+/// Span covering a distributed run's local phase (simulated µs).
+pub const SPAN_DISTRIBUTED_LOCAL: &str = "distributed.local_phase";
+/// Span covering a distributed run's global phase (simulated µs).
+pub const SPAN_DISTRIBUTED_GLOBAL: &str = "distributed.global_phase";

@@ -1,0 +1,42 @@
+//! # qasom-obs — deterministic observability for the QASOM middleware
+//!
+//! The thesis evaluates QASOM through per-phase timings and
+//! protocol-level counts (selection latency, distributed message and
+//! coverage figures). This crate is the instrumentation seam that makes
+//! those quantities visible in the reproduction without ever touching a
+//! wall clock: every span is keyed on *logical or simulated* time
+//! supplied by the caller, so the `qasom-lint` determinism rules apply
+//! to this crate unchanged.
+//!
+//! Three layers:
+//!
+//! * [`Recorder`] — the trait the pipeline is instrumented against.
+//!   Producers hold an `Option<&dyn Recorder>`; the disabled path is a
+//!   single branch on `None` and allocates nothing. [`NoopRecorder`]
+//!   exists for callers that want a value rather than an option.
+//! * [`MemoryRecorder`] — an in-memory implementation backed by ordered
+//!   maps (`BTreeMap`), so a [`MetricsSnapshot`] always serialises with
+//!   a stable field order regardless of emission interleaving.
+//! * [`report`] — the one serialisable schema every consumer parses:
+//!   [`report::RunReport`] unifies the composition pipeline metrics,
+//!   the distributed protocol counters (previously only in
+//!   `DistributedReport`/`FaultReport`) and the bench figure series.
+//!
+//! Serialisation is hand-rolled ([`JsonValue`]) because the workspace
+//! is offline and vendors no serde: objects keep insertion order,
+//! floats render via Rust's shortest-roundtrip formatter, and the same
+//! seed therefore yields a byte-identical report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+pub mod keys;
+mod recorder;
+pub mod report;
+
+pub use json::{key_paths, JsonValue};
+pub use recorder::{
+    Histogram, MemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder, SpanRecord,
+    DEFAULT_BUCKETS_MS,
+};

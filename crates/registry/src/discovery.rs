@@ -18,8 +18,10 @@
 //!   against ([`DiscoveryQuery::linear_scan`]).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
+use qasom_obs::{keys, Recorder};
 use qasom_ontology::{Iri, MatchDegree, Ontology};
 use qasom_qos::{ConstraintSet, QosModel, QosVector};
 use qasom_task::Activity;
@@ -149,6 +151,31 @@ impl<'a> DiscoveryQuery<'a> {
 #[derive(Debug, Default)]
 pub struct MatchCache {
     inner: RwLock<MatchCacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Lifetime hit/miss totals of a [`MatchCache`] (monotone; totals are
+/// order-independent, so they stay deterministic under the parallel
+/// discovery fan-out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to compute (including stamp-mismatch flushes).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, 0 when the cache was never asked.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -174,12 +201,31 @@ impl MatchCache {
         self.len() == 0
     }
 
+    /// Lifetime hit/miss totals (the basis of the report's
+    /// `cache_hit_ratio`).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
     fn get(&self, stamp: u64, required: &Iri, offered: &Iri) -> Option<MatchDegree> {
         let state = self.inner.read().unwrap_or_else(|p| p.into_inner());
-        if state.stamp != stamp {
-            return None;
-        }
-        state.degrees.get(required)?.get(offered).copied()
+        let found = if state.stamp == stamp {
+            state
+                .degrees
+                .get(required)
+                .and_then(|m| m.get(offered))
+                .copied()
+        } else {
+            None
+        };
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     fn put(&self, stamp: u64, required: &Iri, offered: &Iri, degree: MatchDegree) {
@@ -212,6 +258,7 @@ pub struct Discovery<'a> {
     ontology: &'a Ontology,
     model: &'a QosModel,
     cache: Option<&'a MatchCache>,
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a> Discovery<'a> {
@@ -221,6 +268,7 @@ impl<'a> Discovery<'a> {
             ontology,
             model,
             cache: None,
+            recorder: None,
         }
     }
 
@@ -232,7 +280,17 @@ impl<'a> Discovery<'a> {
             ontology,
             model,
             cache: Some(cache),
+            recorder: None,
         }
+    }
+
+    /// Routes per-query counters (indexed-vs-linear path taken, services
+    /// evaluated, candidates produced) through `recorder`. Observation
+    /// only: results are identical with or without one.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The QoS model used to interpret constraints.
@@ -347,13 +405,26 @@ impl<'a> Discovery<'a> {
         let indexed = !query.force_linear
             && query.min_degree >= MatchDegree::PlugIn
             && self.index_usable(registry);
-        let mut out = if indexed {
-            let candidates = self.candidate_ids(registry, query.activity.function());
-            self.evaluate_ids(registry, query, candidates)
+        let ids = if indexed {
+            self.candidate_ids(registry, query.activity.function())
         } else {
-            self.evaluate_ids(registry, query, registry.iter().map(|(id, _)| id).collect())
+            registry.iter().map(|(id, _)| id).collect()
         };
+        let evaluated = ids.len() as u64;
+        let mut out = self.evaluate_ids(registry, query, ids);
         out.sort_by(|a, b| b.degree.cmp(&a.degree).then(a.service.cmp(&b.service)));
+        if let Some(rec) = self.recorder {
+            rec.incr(
+                if indexed {
+                    keys::DISCOVERY_INDEXED
+                } else {
+                    keys::DISCOVERY_LINEAR
+                },
+                1,
+            );
+            rec.incr(keys::DISCOVERY_EVALUATED, evaluated);
+            rec.incr(keys::DISCOVERY_CANDIDATES, out.len() as u64);
+        }
         out
     }
 
@@ -751,5 +822,48 @@ mod tests {
         assert_eq!(d2.match_functions(&req, &off), MatchDegree::Fail);
         // And the flush means the first engine recomputes correctly too.
         assert_eq!(d.match_functions(&req, &off), MatchDegree::PlugIn);
+    }
+
+    #[test]
+    fn match_cache_tracks_hits_and_misses() {
+        let (o, m) = setup();
+        let cache = MatchCache::new();
+        let d = Discovery::with_cache(&o, &m, &cache);
+        let req: Iri = "shop#Pay".parse().unwrap();
+        let off: Iri = "shop#PayByCard".parse().unwrap();
+        assert_eq!(cache.stats(), CacheStats::default());
+        d.match_functions(&req, &off); // cold: miss + compute + put
+        d.match_functions(&req, &off); // warm: hit
+        d.match_functions(&req, &off); // warm: hit
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 2, misses: 1 });
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_counts_paths_without_changing_results() {
+        use qasom_obs::MemoryRecorder;
+        let (o, m) = setup();
+        let onto = Arc::new(o);
+        let mut r = ServiceRegistry::with_ontology(Arc::clone(&onto));
+        r.register(ServiceDescription::new("visa", "shop#PayByCard"));
+        r.register(ServiceDescription::new("cash", "shop#PayCash"));
+        r.register(ServiceDescription::new("browse", "shop#Browse"));
+        let a = Activity::new("pay", "shop#Pay");
+        let plain = Discovery::new(&onto, &m);
+        let rec = MemoryRecorder::new();
+        let observed = plain.with_recorder(&rec);
+
+        let query = DiscoveryQuery::new(&a);
+        assert_eq!(observed.discover(&r, &query), plain.discover(&r, &query));
+        observed.discover(&r, &query.linear_scan(true));
+
+        let snap = rec.snapshot().expect("memory recorder snapshots");
+        assert_eq!(snap.counter(keys::DISCOVERY_INDEXED), 1);
+        assert_eq!(snap.counter(keys::DISCOVERY_LINEAR), 1);
+        // Indexed path touched only the 2 Pay descendants; linear
+        // scanned all 3 live services.
+        assert_eq!(snap.counter(keys::DISCOVERY_EVALUATED), 2 + 3);
+        assert_eq!(snap.counter(keys::DISCOVERY_CANDIDATES), 2 + 2);
     }
 }

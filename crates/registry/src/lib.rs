@@ -54,7 +54,9 @@ pub mod qsd;
 mod registry;
 mod service;
 
-pub use discovery::{DiscoveredCandidate, Discovery, DiscoveryQuery, MatchCache, MatchedVia};
+pub use discovery::{
+    CacheStats, DiscoveredCandidate, Discovery, DiscoveryQuery, MatchCache, MatchedVia,
+};
 pub use registry::{EventLogGap, RegistryEvent, RegistrySnapshot, ServiceId, ServiceRegistry};
 pub use service::{Operation, ServiceDescription};
 

@@ -36,8 +36,11 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use qasom_netsim::{
-    DeviceProfile, LinkConfig, NodeBehaviour, NodeContext, NodeId, SimDuration, SimTime, Simulation,
+    DeviceProfile, LinkConfig, NetworkStats, NodeBehaviour, NodeContext, NodeId, SimDuration,
+    SimTime, Simulation,
 };
+use qasom_obs::report::{CoverageEntry, DistributedSection, NetsimSection, ProviderRtt};
+use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosModel};
 use qasom_registry::{
@@ -263,6 +266,13 @@ pub struct DistributedReport {
     /// Simulator events processed by the run. Cancelled timers are not
     /// processed, so a clean run's count reflects protocol work only.
     pub sim_events: u64,
+    /// Per-provider first-digest round-trip times (request send →
+    /// digest arrival) on the simulated clock, ascending node id.
+    pub provider_rtt_us: Vec<(u32, u64)>,
+    /// Network totals of the run (sends, drops, cancelled timers, …).
+    pub net: NetworkStats,
+    /// Final simulated clock of the run, microseconds.
+    pub sim_time_us: u64,
     /// Fault-tolerance outcome: who answered, what coverage survived,
     /// what the retries cost.
     pub fault: FaultReport,
@@ -272,6 +282,73 @@ impl DistributedReport {
     /// Total simulated selection latency.
     pub fn total(&self) -> SimDuration {
         self.local_phase + self.global_phase
+    }
+
+    /// The serialisable face of this report: the unified
+    /// [`DistributedSection`] of a
+    /// [`RunReport`](qasom_obs::report::RunReport), folding in the
+    /// fault report and network totals.
+    pub fn to_section(&self) -> DistributedSection {
+        DistributedSection {
+            providers: self.fault.providers_expected as u64,
+            providers_heard: self.fault.providers_heard as u64,
+            messages: self.messages,
+            sim_events: self.sim_events,
+            retries: self.fault.retries_sent,
+            coverage_ratio: self.fault.coverage_ratio(),
+            degraded: self.fault.is_degraded(),
+            feasible: self.outcome.feasible,
+            utility: self.outcome.utility,
+            local_phase_us: self.local_phase.as_micros(),
+            global_phase_us: self.global_phase.as_micros(),
+            provider_rtt: self
+                .provider_rtt_us
+                .iter()
+                .map(|&(node, rtt_us)| ProviderRtt { node, rtt_us })
+                .collect(),
+            coverage: self
+                .fault
+                .activity_coverage
+                .iter()
+                .filter(|c| c.received < c.expected)
+                .map(|c| CoverageEntry {
+                    activity: format!("#{}", c.activity),
+                    candidates_heard: c.received as u64,
+                    candidates_total: c.expected as u64,
+                })
+                .collect(),
+            net: NetsimSection {
+                sent: self.net.sent,
+                delivered: self.net.delivered,
+                dropped: self.net.dropped,
+                timers_cancelled: self.net.timers_cancelled,
+                sim_time_us: self.sim_time_us,
+            },
+        }
+    }
+
+    /// Flushes this report's counters, RTT histogram and phase spans
+    /// (on the simulated clock) to `recorder`.
+    pub fn record(&self, recorder: &dyn Recorder) {
+        recorder.incr(keys::DISTRIBUTED_MESSAGES, self.messages);
+        recorder.incr(keys::DISTRIBUTED_RETRIES, self.fault.retries_sent);
+        recorder.incr(
+            keys::DISTRIBUTED_PROVIDERS_HEARD,
+            self.fault.providers_heard as u64,
+        );
+        recorder.incr(keys::NETSIM_DELIVERED, self.net.delivered);
+        recorder.incr(keys::NETSIM_DROPPED, self.net.dropped);
+        recorder.incr(keys::NETSIM_TIMERS_CANCELLED, self.net.timers_cancelled);
+        for &(_, rtt_us) in &self.provider_rtt_us {
+            recorder.observe(keys::DISTRIBUTED_RTT_MS, rtt_us as f64 / 1_000.0);
+        }
+        let local_us = self.local_phase.as_micros();
+        recorder.span(keys::SPAN_DISTRIBUTED_LOCAL, 0, local_us);
+        recorder.span(
+            keys::SPAN_DISTRIBUTED_GLOBAL,
+            local_us,
+            local_us + self.global_phase.as_micros(),
+        );
     }
 }
 
@@ -350,6 +427,9 @@ struct CoordinatorState {
     providers: Vec<NodeId>,
     /// Providers whose digest was merged (duplicates are ignored).
     answered: BTreeSet<NodeId>,
+    /// First-digest arrival instants, in answer order — the basis of the
+    /// report's per-provider round-trip times.
+    digest_arrivals: Vec<(NodeId, SimTime)>,
     merged: Vec<QosLevels>,
     candidates: Vec<Vec<ServiceCandidate>>,
     per_candidate_cost_us: u64,
@@ -522,6 +602,7 @@ impl NodeBehaviour<Message> for Role {
                     // Late (post-deadline) or duplicate digest.
                     return;
                 }
+                state.digest_arrivals.push((from, ctx.now()));
                 for (activity, levels, cands) in digests {
                     state.merged[activity].merge(levels);
                     state.candidates[activity].extend(cands);
@@ -577,6 +658,28 @@ impl<'a> DistributedQassa<'a> {
         setup: &DistributedSetup,
         seed: u64,
     ) -> Result<DistributedReport, crate::SelectionError> {
+        self.run_recorded(workload, setup, seed, None)
+    }
+
+    /// [`DistributedQassa::run`] with an optional [`Recorder`]: protocol
+    /// counters, the per-provider RTT histogram and the phase spans (on
+    /// the simulated clock) are flushed after the run completes, so
+    /// instrumentation can never perturb protocol counts or timing.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedQassa::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setup.providers == 0`.
+    pub fn run_recorded(
+        &self,
+        workload: &Workload,
+        setup: &DistributedSetup,
+        seed: u64,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<DistributedReport, crate::SelectionError> {
         assert!(setup.providers > 0, "at least one provider is required");
         let n_activities = workload.task().activity_count();
 
@@ -618,6 +721,7 @@ impl<'a> DistributedQassa<'a> {
                 expected_replies,
                 providers: Vec::new(),
                 answered: BTreeSet::new(),
+                digest_arrivals: Vec::new(),
                 merged: vec![QosLevels::default(); n_activities],
                 candidates: vec![Vec::new(); n_activities],
                 per_candidate_cost_us: setup.per_candidate_cost_us,
@@ -727,14 +831,30 @@ impl<'a> DistributedQassa<'a> {
                 })
                 .collect(),
         };
-        Ok(DistributedReport {
+        let mut provider_rtt_us: Vec<(u32, u64)> = state
+            .digest_arrivals
+            .iter()
+            .map(|&(node, at)| {
+                let rtt = at.since(state.started_at).as_micros();
+                (u32::try_from(node.as_u64()).unwrap_or(u32::MAX), rtt)
+            })
+            .collect();
+        provider_rtt_us.sort_unstable();
+        let report = DistributedReport {
             outcome,
             local_phase: local_done.since(state.started_at),
             global_phase: global_done.since(local_done),
             messages: sim.stats().sent,
             sim_events,
+            provider_rtt_us,
+            net: sim.stats(),
+            sim_time_us: sim.now().as_micros(),
             fault,
-        })
+        };
+        if let Some(rec) = recorder {
+            report.record(rec);
+        }
+        Ok(report)
     }
 }
 
@@ -921,6 +1041,82 @@ mod tests {
             }
             Err(e) => assert!(matches!(e, crate::SelectionError::NoCandidates { .. })),
         }
+    }
+
+    #[test]
+    fn provider_rtts_cover_every_answering_provider() {
+        let (m, w) = small();
+        let setup = DistributedSetup {
+            providers: 7,
+            ..DistributedSetup::default()
+        };
+        let report = DistributedQassa::new(&m).run(&w, &setup, 3).unwrap();
+        assert_eq!(report.provider_rtt_us.len(), 7);
+        // Node ids are ascending and every RTT covers at least the two
+        // link transits of the request/digest legs.
+        for window in report.provider_rtt_us.windows(2) {
+            assert!(window[0].0 < window[1].0);
+        }
+        for &(_, rtt) in &report.provider_rtt_us {
+            assert!(rtt > 0);
+        }
+        // Clean run: both protocol timers were cancelled, and the
+        // network totals agree with the message count.
+        assert_eq!(report.net.timers_cancelled, 2);
+        assert_eq!(report.net.sent, report.messages);
+        assert!(report.sim_time_us > 0);
+    }
+
+    #[test]
+    fn recorder_never_changes_protocol_counts() {
+        use qasom_obs::{keys, MemoryRecorder};
+        let (m, w) = small();
+        let lossy = DistributedSetup {
+            providers: 6,
+            link: LinkConfig::new(5.0, 1.0).with_loss(0.3),
+            ..DistributedSetup::default()
+        };
+        let d = DistributedQassa::new(&m);
+        let plain = d.run(&w, &lossy, 11).unwrap();
+        let rec = MemoryRecorder::new();
+        let recorded = d.run_recorded(&w, &lossy, 11, Some(&rec)).unwrap();
+        assert_eq!(plain.messages, recorded.messages);
+        assert_eq!(plain.sim_events, recorded.sim_events);
+        assert_eq!(plain.local_phase, recorded.local_phase);
+        assert_eq!(plain.fault, recorded.fault);
+        assert_eq!(plain.provider_rtt_us, recorded.provider_rtt_us);
+        assert_eq!(plain.outcome.assignment, recorded.outcome.assignment);
+        let snap = rec.snapshot().expect("memory recorder snapshots");
+        assert_eq!(snap.counter(keys::DISTRIBUTED_MESSAGES), plain.messages);
+        assert_eq!(
+            snap.counter(keys::DISTRIBUTED_RETRIES),
+            plain.fault.retries_sent
+        );
+        assert_eq!(
+            snap.histograms[keys::DISTRIBUTED_RTT_MS].count(),
+            plain.provider_rtt_us.len() as u64
+        );
+        assert_eq!(snap.spans.len(), 2);
+    }
+
+    #[test]
+    fn report_section_mirrors_the_report() {
+        let (m, w) = small();
+        let report = DistributedQassa::new(&m)
+            .run(&w, &DistributedSetup::default(), 2)
+            .unwrap();
+        let section = report.to_section();
+        assert_eq!(section.providers, 10);
+        assert_eq!(section.messages, report.messages);
+        assert_eq!(section.coverage_ratio, 1.0);
+        assert!(!section.degraded);
+        assert!(section.coverage.is_empty());
+        assert_eq!(section.net.sent, report.messages);
+        // The section serialises deterministically.
+        assert_eq!(
+            section.to_json().to_compact(),
+            report.to_section().to_json().to_compact()
+        );
     }
 
     #[test]

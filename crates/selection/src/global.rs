@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use qasom_obs::{keys, Recorder};
 use qasom_qos::utility::utility;
 use qasom_qos::{Normalizer, Preferences, PropertyId, QosVector, Tendency};
 
@@ -114,6 +115,18 @@ pub struct SelectionOutcome {
 pub struct Qassa<'a> {
     model: &'a qasom_qos::QosModel,
     config: QassaConfig,
+    recorder: Option<&'a dyn Recorder>,
+}
+
+/// Work counters of one global-phase run, flushed to the recorder (if
+/// any) once the run finishes — instrumentation never touches the
+/// search itself.
+#[derive(Debug, Default, Clone, Copy)]
+struct GlobalTally {
+    utility_evals: u64,
+    repair_swaps: u64,
+    pruned: u64,
+    exact_fallback: bool,
 }
 
 impl<'a> Qassa<'a> {
@@ -122,12 +135,26 @@ impl<'a> Qassa<'a> {
         Qassa {
             model,
             config: QassaConfig::default(),
+            recorder: None,
         }
     }
 
     /// Creates a selector with an explicit configuration.
     pub fn with_config(model: &'a qasom_qos::QosModel, config: QassaConfig) -> Self {
-        Qassa { model, config }
+        Qassa {
+            model,
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Routes per-run counters (utility evaluations, repair swaps,
+    /// levels explored, exact fallbacks) through `recorder`. Observation
+    /// only: outcomes are identical with or without one.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The active configuration.
@@ -207,6 +234,7 @@ impl<'a> Qassa<'a> {
         problem: &SelectionProblem<'_>,
     ) -> Result<SelectionOutcome, SelectionError> {
         let levels = self.local_phase(problem)?;
+        self.record_local(&levels);
         self.select_with_levels(problem, &levels)
     }
 
@@ -221,7 +249,25 @@ impl<'a> Qassa<'a> {
         problem: &SelectionProblem<'_>,
     ) -> Result<SelectionOutcome, SelectionError> {
         let levels = self.local_phase_parallel(problem)?;
+        self.record_local(&levels);
         self.select_with_levels(problem, &levels)
+    }
+
+    /// Flushes local-phase totals (activities ranked, clusters produced,
+    /// candidates ranked) after the fan-out has joined, so emission
+    /// order stays deterministic even under the `parallel` feature.
+    fn record_local(&self, levels: &[QosLevels]) {
+        if let Some(rec) = self.recorder {
+            rec.incr(keys::SELECTION_LOCAL_RANKS, levels.len() as u64);
+            rec.incr(
+                keys::SELECTION_LOCAL_LEVELS,
+                levels.iter().map(|l| l.level_count() as u64).sum(),
+            );
+            rec.incr(
+                keys::SELECTION_LOCAL_CANDIDATES,
+                levels.iter().map(|l| l.total() as u64).sum(),
+            );
+        }
     }
 
     /// Runs the global phase over precomputed local hierarchies
@@ -234,6 +280,32 @@ impl<'a> Qassa<'a> {
         &self,
         problem: &SelectionProblem<'_>,
         levels: &[QosLevels],
+    ) -> Result<SelectionOutcome, SelectionError> {
+        let mut tally = GlobalTally::default();
+        let result = self.global_phase(problem, levels, &mut tally);
+        if let Some(rec) = self.recorder {
+            rec.incr(keys::SELECTION_RUNS, 1);
+            rec.incr(keys::SELECTION_UTILITY_EVALS, tally.utility_evals);
+            rec.incr(keys::SELECTION_REPAIR_SWAPS, tally.repair_swaps);
+            rec.incr(keys::SELECTION_PRUNED, tally.pruned);
+            if tally.exact_fallback {
+                rec.incr(keys::SELECTION_EXACT_FALLBACKS, 1);
+            }
+            if let Ok(out) = &result {
+                rec.incr(keys::SELECTION_LEVELS_EXPLORED, out.levels_explored as u64);
+            }
+            // A span on the run's own logical clock: one tick per full
+            // assignment evaluated.
+            rec.span(keys::SPAN_SELECT, 0, tally.utility_evals);
+        }
+        result
+    }
+
+    fn global_phase(
+        &self,
+        problem: &SelectionProblem<'_>,
+        levels: &[QosLevels],
+        tally: &mut GlobalTally,
     ) -> Result<SelectionOutcome, SelectionError> {
         self.validate(problem)?;
         let properties = problem.properties();
@@ -263,12 +335,20 @@ impl<'a> Qassa<'a> {
             for _ in 0..=self.config.max_repairs_per_level {
                 let aggregated =
                     self.aggregate_assignment(problem, &aggregator, &all, &current, &properties);
+                tally.utility_evals += 1;
                 let violations: Vec<_> = problem
                     .constraints()
                     .violations(&aggregated)
                     .copied()
                     .collect();
                 if violations.is_empty() {
+                    // Candidates outside every admitted prefix were
+                    // pruned: the search never had to look at them.
+                    tally.pruned = all
+                        .iter()
+                        .zip(&pools)
+                        .map(|(cands, &used)| (cands.len() - used) as u64)
+                        .sum();
                     return Ok(self.outcome(
                         problem,
                         &all,
@@ -296,7 +376,10 @@ impl<'a> Qassa<'a> {
                     break; // violations is non-empty, but widen over panicking
                 };
                 match self.best_swap(&all, &pools, &current, worst.property(), worst.tendency()) {
-                    Some((activity, j)) => current[activity] = j,
+                    Some((activity, j)) => {
+                        tally.repair_swaps += 1;
+                        current[activity] = j;
+                    }
                     None => break, // unfixable at this level: widen
                 }
             }
@@ -306,6 +389,8 @@ impl<'a> Qassa<'a> {
         // problems, scan the whole space exactly before giving up.
         let combinations: u128 = all.iter().map(|c| c.len() as u128).product();
         if combinations <= self.config.exact_fallback_cap {
+            tally.exact_fallback = true;
+            tally.utility_evals += u64::try_from(combinations).unwrap_or(u64::MAX);
             if let Some(current) =
                 self.exact_scan(problem, &aggregator, &all, &properties, &normalizer)
             {
@@ -878,6 +963,42 @@ mod tests {
         // Sanity: the strict configuration genuinely needed help or got
         // lucky via level ordering; either way the fallback never hurts.
         let _ = strict_feasible;
+    }
+
+    #[test]
+    fn recorder_observes_without_changing_outcomes() {
+        use qasom_obs::MemoryRecorder;
+        let f = fx();
+        let task = seq_task(2);
+        let build = || {
+            candidates(
+                &f,
+                &[
+                    vec![(10.0, 0.7), (100.0, 0.99)],
+                    vec![(10.0, 0.7), (100.0, 0.99)],
+                ],
+            )
+        };
+        let problem = SelectionProblem::new(&task)
+            .with_candidates(build())
+            .with_constraints(constraints(&f, 120.0, 0.69));
+        let plain = Qassa::new(&f.model).select(&problem).unwrap();
+        let rec = MemoryRecorder::new();
+        let observed = Qassa::new(&f.model)
+            .with_recorder(&rec)
+            .select(&problem)
+            .unwrap();
+        assert_eq!(plain, observed);
+        let snap = rec.snapshot().expect("memory recorder snapshots");
+        assert_eq!(snap.counter(keys::SELECTION_RUNS), 1);
+        assert_eq!(snap.counter(keys::SELECTION_LOCAL_RANKS), 2);
+        assert_eq!(snap.counter(keys::SELECTION_LOCAL_CANDIDATES), 4);
+        assert!(snap.counter(keys::SELECTION_UTILITY_EVALS) >= 1);
+        // This fixture needs repair swaps to mix fast and available
+        // services (see repairs_find_constraint_compatible_mix).
+        assert!(snap.counter(keys::SELECTION_REPAIR_SWAPS) >= 1);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, keys::SPAN_SELECT);
     }
 
     #[test]

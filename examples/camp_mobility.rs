@@ -8,7 +8,7 @@
 //! cargo run --release --example camp_mobility
 //! ```
 
-use qasom::{Environment, UserRequest};
+use qasom::{EnvironmentConfig, UserRequest};
 use qasom_netsim::mobility::{Position, RadioProfile, RandomWaypoint};
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, Unit};
@@ -33,7 +33,9 @@ const PEERS_QSD: &str = r#"
 fn main() {
     let mut onto = OntologyBuilder::new("camp");
     onto.concept("Streaming");
-    let mut env = Environment::new(QosModel::standard(), onto.build().unwrap(), 31);
+    let mut env = EnvironmentConfig::builder()
+        .seed(31)
+        .build(QosModel::standard(), onto.build().unwrap());
     env.load_services(PEERS_QSD).expect("valid QSD");
 
     // Node 0 is Bob; nodes 1–3 host the peers. Peers stand still, Bob

@@ -9,7 +9,9 @@
 //! cargo run --example holiday_streaming
 //! ```
 
-use qasom::{Environment, MiddlewareEvent, UserRequest};
+use std::sync::Arc;
+
+use qasom::{EnvironmentConfig, EventLog, MiddlewareEvent, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, Unit};
@@ -24,7 +26,11 @@ fn main() {
     b.subconcept("VideoStreaming", streaming);
     let ontology = b.build().expect("well-formed ontology");
 
-    let mut env = Environment::new(QosModel::standard(), ontology, 2024);
+    let log = EventLog::new();
+    let mut env = EnvironmentConfig::builder()
+        .seed(2024)
+        .sink(Arc::new(log.clone()))
+        .build(QosModel::standard(), ontology);
     let rt = env.model().property("ResponseTime").unwrap();
     let av = env.model().property("Availability").unwrap();
     let enc = env.model().property("EncodingQuality").unwrap();
@@ -96,7 +102,7 @@ fn main() {
     );
 
     println!("\nadaptation trace:");
-    for event in env.events() {
+    for event in &log.events() {
         match event {
             MiddlewareEvent::ViolationDetected {
                 property,

@@ -9,7 +9,9 @@
 //! cargo run --example medical_visit
 //! ```
 
-use qasom::{Environment, MiddlewareEvent, UserRequest};
+use std::sync::Arc;
+
+use qasom::{Environment, EnvironmentConfig, EventLog, MiddlewareEvent, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, Unit};
@@ -27,7 +29,11 @@ fn main() {
     b.concept("Payment");
     let ontology = b.build().expect("well-formed ontology");
 
-    let mut env = Environment::new(QosModel::standard(), ontology, 99);
+    let log = EventLog::new();
+    let mut env = EnvironmentConfig::builder()
+        .seed(99)
+        .sink(Arc::new(log.clone()))
+        .build(QosModel::standard(), ontology);
     let rt = env.model().property("ResponseTime").unwrap();
     let av = env.model().property("Availability").unwrap();
 
@@ -93,7 +99,7 @@ fn main() {
         report.substitutions,
         env.model().format_vector(&report.delivered)
     );
-    for event in env.events() {
+    for event in &log.events() {
         if let MiddlewareEvent::Substituted { activity, from, to } = event {
             let name = |id: &qasom_registry::ServiceId| {
                 env.registry()

@@ -10,7 +10,9 @@
 //! cargo run --example pervasive_shopping
 //! ```
 
-use qasom::{Environment, MiddlewareEvent, UserRequest};
+use std::sync::Arc;
+
+use qasom::{EnvironmentConfig, EventLog, MiddlewareEvent, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, Unit};
@@ -40,7 +42,11 @@ fn main() {
     b.subconcept("PayCash", pay);
     let ontology = b.build().expect("well-formed ontology");
 
-    let mut env = Environment::new(QosModel::standard(), ontology, 7);
+    let log = EventLog::new();
+    let mut env = EnvironmentConfig::builder()
+        .seed(7)
+        .sink(Arc::new(log.clone()))
+        .build(QosModel::standard(), ontology);
     let rt = env.model().property("ResponseTime").unwrap();
     let price = env.model().property("Price").unwrap();
     let av = env.model().property("Availability").unwrap();
@@ -136,7 +142,7 @@ fn main() {
     }
 
     println!("\nadaptation-relevant events:");
-    for event in env.events() {
+    for event in &log.events() {
         match event {
             MiddlewareEvent::InvocationFailed { .. }
             | MiddlewareEvent::Substituted { .. }

@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use qasom::{Environment, UserRequest};
+use std::sync::Arc;
+
+use qasom::{EnvironmentConfig, EventLog, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, Unit};
@@ -19,8 +21,13 @@ fn main() {
     onto.concept("Echo");
     let ontology = onto.build().expect("well-formed ontology");
 
-    // 2. A pervasive environment with two competing providers.
-    let mut env = Environment::new(model, ontology, 42);
+    // 2. A pervasive environment with two competing providers, plus an
+    //    event log subscribed to the middleware's event stream.
+    let log = EventLog::new();
+    let mut env = EnvironmentConfig::builder()
+        .seed(42)
+        .sink(Arc::new(log.clone()))
+        .build(model, ontology);
     let rt = env.model().property("ResponseTime").unwrap();
     let av = env.model().property("Availability").unwrap();
     for (name, time) in [("echo-fast", 40.0), ("echo-slow", 400.0)] {
@@ -59,7 +66,7 @@ fn main() {
         env.model().format_vector(&report.delivered)
     );
     println!("\nmiddleware trace:");
-    for event in env.events() {
+    for event in log.events() {
         println!("  {event:?}");
     }
 }

@@ -5,7 +5,7 @@
 //! never panics, and every success report is internally consistent.
 
 use proptest::prelude::*;
-use qasom::{Environment, ExecutionError, MiddlewareEvent, UserRequest};
+use qasom::{Environment, EventLog, ExecutionError, MiddlewareEvent, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::{QosModel, QosVector, Unit};
@@ -40,12 +40,14 @@ fn arb_service() -> impl Strategy<Value = ServiceSpec> {
         )
 }
 
-fn build_env(services: &[ServiceSpec], seed: u64) -> Environment {
+fn build_env(services: &[ServiceSpec], seed: u64) -> (Environment, EventLog) {
     let mut b = OntologyBuilder::new("c");
     for f in 0..3 {
         b.concept(&format!("F{f}"));
     }
     let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), seed);
+    let log = EventLog::new();
+    env.subscribe(std::sync::Arc::new(log.clone()));
     let rt = env.model().property("ResponseTime").unwrap();
     let av = env.model().property("Availability").unwrap();
     for (i, s) in services.iter().enumerate() {
@@ -61,7 +63,7 @@ fn build_env(services: &[ServiceSpec], seed: u64) -> Environment {
         }
         env.deploy(desc, synthetic);
     }
-    env
+    (env, log)
 }
 
 fn three_step_task() -> UserTask {
@@ -84,7 +86,7 @@ proptest! {
         services in prop::collection::vec(arb_service(), 1..12),
         seed in any::<u64>(),
     ) {
-        let mut env = build_env(&services, seed);
+        let (mut env, log) = build_env(&services, seed);
 
         // A fallback behaviour that only needs F0 — behavioural
         // adaptation has somewhere to go when F1/F2 are unservable.
@@ -116,7 +118,7 @@ proptest! {
                     }
                     // The event trace ends with a completion.
                     let completed = matches!(
-                        env.events().last(),
+                        log.events().last(),
                         Some(MiddlewareEvent::Completed { .. })
                     );
                     prop_assert!(completed, "trace must end with Completed");
@@ -132,7 +134,7 @@ proptest! {
         services in prop::collection::vec(arb_service(), 3..10),
         seed in any::<u64>(),
     ) {
-        let mut env = build_env(&services, seed);
+        let (mut env, _log) = build_env(&services, seed);
         let request = UserRequest::new(three_step_task());
         if let Ok(comp) = env.compose(&request) {
             let _ = env.execute(comp);

@@ -1,7 +1,9 @@
 //! End-to-end scenarios through the whole middleware stack:
 //! request → discovery → QASSA → execution → monitoring → adaptation.
 
-use qasom::{Environment, ExecutionError, MiddlewareEvent, UserRequest};
+use std::sync::Arc;
+
+use qasom::{Environment, EventLog, ExecutionError, MiddlewareEvent, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::{Ontology, OntologyBuilder};
 use qasom_qos::{QosModel, Unit};
@@ -170,6 +172,8 @@ fn failed_payment_is_substituted_by_the_other_till() {
 #[test]
 fn behavioural_adaptation_switches_to_alternative_shopping() {
     let mut env = Environment::new(QosModel::standard(), shop_ontology(), 5);
+    let log = EventLog::new();
+    env.subscribe(Arc::new(log.clone()));
     let d = Deployer::new(&env);
     d.deploy(&mut env, "kiosk", "shop#Browse", 60.0, 0.0);
     d.deploy(&mut env, "fnac", "shop#BuyBook", 150.0, 18.0);
@@ -206,7 +210,7 @@ fn behavioural_adaptation_switches_to_alternative_shopping() {
         .filter(|r| r.qos.is_some() && (r.activity == "browse" || r.activity == "browse2"))
         .count();
     assert_eq!(browse_count, 1);
-    assert!(env
+    assert!(log
         .events()
         .iter()
         .any(|e| matches!(e, MiddlewareEvent::BehaviouralAdaptation { .. })));
@@ -234,6 +238,8 @@ fn execution_abandons_when_no_strategy_remains() {
 #[test]
 fn drifting_service_triggers_proactive_substitution() {
     let mut env = Environment::new(QosModel::standard(), shop_ontology(), 8);
+    let log = EventLog::new();
+    env.subscribe(Arc::new(log.clone()));
     let d = Deployer::new(&env);
     let rt = d.rt;
     d.deploy(&mut env, "kiosk", "shop#Browse", 60.0, 0.0);
@@ -268,7 +274,7 @@ fn drifting_service_triggers_proactive_substitution() {
         .invocations
         .iter()
         .any(|r| r.service != drifting && r.qos.is_some()));
-    assert!(env
+    assert!(log
         .events()
         .iter()
         .any(|e| matches!(e, MiddlewareEvent::ViolationDetected { .. })));
@@ -277,9 +283,11 @@ fn drifting_service_triggers_proactive_substitution() {
 #[test]
 fn events_trace_the_full_lifecycle() {
     let (mut env, _) = full_environment(9);
+    let log = EventLog::new();
+    env.subscribe(Arc::new(log.clone()));
     let comp = env.compose(&shopping_request()).unwrap();
     let _ = env.execute(comp).unwrap();
-    let events = env.take_events();
+    let events = log.take();
     assert!(matches!(events[0], MiddlewareEvent::Composed { .. }));
     assert!(matches!(
         events.last().unwrap(),
@@ -290,8 +298,25 @@ fn events_trace_the_full_lifecycle() {
         .filter(|e| matches!(e, MiddlewareEvent::Invoked { .. }))
         .count();
     assert_eq!(invoked, 4);
-    // Draining empties the trace.
-    assert!(env.events().is_empty());
+    // Draining empties the sink's buffer.
+    assert!(log.is_empty());
+}
+
+/// The pre-subscriber pull API still works during the deprecation
+/// window and agrees with what a sink observes.
+#[test]
+fn deprecated_event_buffer_mirrors_the_sink_stream() {
+    let (mut env, _) = full_environment(9);
+    let log = EventLog::new();
+    env.subscribe(Arc::new(log.clone()));
+    let comp = env.compose(&shopping_request()).unwrap();
+    let _ = env.execute(comp).unwrap();
+    #[allow(deprecated)]
+    let retained = env.take_events();
+    assert_eq!(retained, log.events());
+    #[allow(deprecated)]
+    let empty = env.events().is_empty();
+    assert!(empty, "take_events drains the retained buffer");
 }
 
 #[test]
