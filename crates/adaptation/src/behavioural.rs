@@ -100,10 +100,12 @@ impl<'a> BehaviouralAdapter<'a> {
             match (pv.kind(), hv.kind()) {
                 (VertexKind::Start, VertexKind::Start) => true,
                 (VertexKind::End, VertexKind::End) => true,
-                (VertexKind::Activity, VertexKind::Activity) => self.activities_compatible(
-                    pv.activity().expect("activity vertex"),
-                    hv.activity().expect("activity vertex"),
-                ),
+                (VertexKind::Activity, VertexKind::Activity) => {
+                    match (pv.activity(), hv.activity()) {
+                        (Some(p), Some(h)) => self.activities_compatible(p, h),
+                        _ => false,
+                    }
+                }
                 _ => false,
             }
         };
@@ -112,19 +114,9 @@ impl<'a> BehaviouralAdapter<'a> {
 
         let mut map = HashMap::new();
         for p in pattern.activity_vertices() {
-            let old_name = pattern
-                .vertex(p)
-                .activity()
-                .expect("activity vertex")
-                .name()
-                .to_owned();
+            let old_name = pattern.vertex(p).activity()?.name().to_owned();
             let image = *embedding.get(&p)?;
-            let new_name = host
-                .vertex(image)
-                .activity()
-                .expect("activity maps to activity")
-                .name()
-                .to_owned();
+            let new_name = host.vertex(image).activity()?.name().to_owned();
             map.insert(old_name, new_name);
         }
         Some(map)

@@ -143,15 +143,13 @@ pub fn find_homeomorphism(
         state.host_used[h.index()] = true;
     }
 
-    state.assign(0).then(|| {
-        let paths = state
-            .routed
-            .take()
-            .expect("assign succeeded with routed paths");
-        Homeomorphism {
-            vertex_map: state.vertex_map.clone(),
-            paths,
-        }
+    if !state.assign(0) {
+        return None;
+    }
+    let paths = state.routed.take()?;
+    Some(Homeomorphism {
+        vertex_map: state.vertex_map.clone(),
+        paths,
     })
 }
 

@@ -65,7 +65,9 @@ impl<'a> Substitution<'a> {
             .max_by(|a, b| {
                 let va = violation_magnitude(a, &aggregate);
                 let vb = violation_magnitude(b, &aggregate);
-                va.partial_cmp(&vb).expect("finite")
+                // total_cmp: a NaN magnitude (corrupt advertised QoS)
+                // must not panic the adaptation loop mid-violation.
+                va.total_cmp(&vb)
             });
         // A healthy composition needs no substitution.
         violated?;
@@ -237,6 +239,28 @@ mod tests {
         assert!(Substitution::new(&f.model)
             .plan(&comp, &m, &f.alternates)
             .is_none());
+    }
+
+    #[test]
+    fn nan_qos_does_not_panic_the_planner() {
+        // A corrupt provider advertisement (NaN response time) reaching
+        // the violation ranking used to panic via
+        // `partial_cmp().expect("finite")`; the planner must instead
+        // keep ranking (total_cmp) and still produce a plan from the
+        // healthy alternate.
+        let (f, comp) = fx([90.0, f64::NAN]);
+        let mut m = QosMonitor::with_config(MonitorConfig::default());
+        for _ in 0..3 {
+            m.observe(f.ids[0], &qv(f.rt, 300.0));
+            // The violated composition believes a NaN value too.
+            m.observe(f.ids[1], &qv(f.rt, f64::NAN));
+        }
+        let plan = Substitution::new(&f.model).plan(&comp, &m, &f.alternates);
+        // No particular plan is promised for poisoned inputs — only that
+        // the adaptation loop survives to report one or none.
+        if let Some(p) = plan {
+            assert!(f.ids.contains(&p.to.id()));
+        }
     }
 
     #[test]

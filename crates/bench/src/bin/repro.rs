@@ -186,6 +186,15 @@ fn main() {
             bench::fig_activities(&model),
         );
     }
+    if want("serving") {
+        show(
+            &mut report,
+            "serving",
+            "Serving — concurrent sessions: serial-lock vs read-concurrent compose",
+            "threads",
+            bench::fig_serving(),
+        );
+    }
     if want("scale") {
         show(
             &mut report,

@@ -5,6 +5,7 @@
 //!           [--taxonomy taxonomy.xml] [--constraint Delay=1.5s]... \
 //!           [--weight Delay=2]... [--seed 42] [--verbose] [--report FILE]
 //! qasom-cli report [--seed 42] [--out FILE]
+//! qasom-cli stress [--seed 42] [--sessions 12] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -21,23 +22,31 @@
 //! The `report` subcommand runs the builtin deterministic end-to-end
 //! scenario ([`qasom::demo`]) and prints its `RunReport` JSON: identical
 //! seeds produce byte-identical output.
+//!
+//! The `stress` subcommand runs a fixed, single-threaded serving
+//! scenario over a [`qasom::SharedEnvironment`] (sessions interleaved
+//! with provider churn) and prints the resulting `RunReport`, serving
+//! counters included — the determinism oracle CI `cmp`s across repeats.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use qasom::{demo, Environment, EventLog, UserRequest};
+use qasom::{demo, Environment, EventLog, SharedEnvironment, UserRequest};
+use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
 use qasom_obs::{MemoryRecorder, Recorder};
 use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
 use qasom_qos::{QosModel, Unit};
+use qasom_registry::ServiceDescription;
 use qasom_task::xml::{self, XmlElement};
+use qasom_task::{Activity, TaskNode, UserTask};
 
 fn main() -> ExitCode {
-    let outcome = if std::env::args().nth(1).as_deref() == Some("report") {
-        run_report_subcommand()
-    } else {
-        run()
+    let outcome = match std::env::args().nth(1).as_deref() {
+        Some("report") => run_report_subcommand(),
+        Some("stress") => run_stress_subcommand(),
+        _ => run(),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -71,6 +80,88 @@ fn run_report_subcommand() -> Result<(), String> {
     }
     let report = demo::demo_run_report(seed);
     write_report(&report, out.as_deref())
+}
+
+/// `qasom-cli stress [--seed N] [--sessions N] [--out FILE]`: a fixed,
+/// single-threaded interleaving of serving sessions and provider churn
+/// over a `SharedEnvironment`, exported as pretty-printed `RunReport`
+/// JSON — byte-identical for identical arguments.
+fn run_stress_subcommand() -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut sessions = 12usize;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let raw = value("--seed")?;
+                seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
+            }
+            "--sessions" => {
+                let raw = value("--sessions")?;
+                sessions = raw
+                    .parse()
+                    .map_err(|_| format!("bad session count {raw:?}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!("usage: qasom-cli stress [--seed N] [--sessions N] [--out FILE]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try stress --help)")),
+        }
+    }
+    let report = stress_run_report(seed, sessions)?;
+    write_report(&report, out.as_deref())
+}
+
+/// The scripted serving scenario behind `qasom-cli stress`: six stable
+/// providers, a provider toggled every third round, one serve per round.
+fn stress_run_report(seed: u64, sessions: usize) -> Result<RunReport, String> {
+    let mut builder = OntologyBuilder::new("d");
+    builder.concept("A");
+    let ontology = builder.build().map_err(|e| e.to_string())?;
+    let mut env = Environment::new(QosModel::standard(), ontology, seed);
+    let recorder = Arc::new(MemoryRecorder::new());
+    env.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let rt = env
+        .model()
+        .property("ResponseTime")
+        .ok_or("the standard model defines ResponseTime")?;
+    for i in 0..6 {
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, SyntheticService::new(nominal));
+    }
+    let shared = SharedEnvironment::new(env);
+
+    let task = UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A")))
+        .map_err(|e| e.to_string())?;
+    let request = UserRequest::new(task).weight("Delay", 1.0);
+    for round in 0..sessions {
+        if round % 3 == 0 {
+            shared.with_mut(|e| {
+                let existing = e
+                    .registry()
+                    .iter()
+                    .find(|(_, d)| d.name() == "burst")
+                    .map(|(id, _)| id);
+                match existing {
+                    Some(id) => {
+                        e.undeploy(id);
+                    }
+                    None => {
+                        let desc = ServiceDescription::new("burst", "d#A").with_qos(rt, 10.0);
+                        let nominal = desc.qos().clone();
+                        e.deploy(desc, SyntheticService::new(nominal));
+                    }
+                }
+            });
+        }
+        shared.serve(&request).map_err(|e| e.to_string())?;
+    }
+    Ok(shared.with(|e| e.run_report("stress")))
 }
 
 /// Writes a report as pretty JSON to `path` (`None` or `"-"` → stdout).
@@ -144,7 +235,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: qasom-cli --services FILE --classes FILE --task NAME\n\
                      \x20      [--taxonomy FILE] [--constraint NAME=VALUE[UNIT]]...\n\
                      \x20      [--weight NAME=W]... [--seed N] [--verbose] [--report FILE]\n\
-                     \x20      qasom-cli report [--seed N] [--out FILE]"
+                     \x20      qasom-cli report [--seed N] [--out FILE]\n\
+                     \x20      qasom-cli stress [--seed N] [--sessions N] [--out FILE]"
                 );
                 std::process::exit(0);
             }

@@ -1,12 +1,12 @@
 //! The middleware instance: environment state + composition pipeline.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
-use qasom_obs::report::{DiscoverySection, RunReport, SelectionSection};
+use qasom_obs::report::{DiscoverySection, RunReport, SelectionSection, ServingSection};
 use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
@@ -180,7 +180,11 @@ impl EnvironmentBuilder {
 pub struct Environment {
     model: QosModel,
     ontology: Arc<Ontology>,
-    registry: ServiceRegistry,
+    // Behind an `Arc` so readers can take a copy-on-write snapshot
+    // ([`Environment::registry_snapshot`]) that stays valid across
+    // subsequent churn: `deploy`/`undeploy` mutate through
+    // `Arc::make_mut`, cloning only while a snapshot is outstanding.
+    registry: Arc<ServiceRegistry>,
     match_cache: MatchCache,
     runtime: ServiceRuntime<ServiceId>,
     tasks: TaskClassRepository,
@@ -188,7 +192,10 @@ pub struct Environment {
     end_to_end: EndToEnd,
     slas: HashMap<ServiceId, qasom_qos::Sla>,
     pub(crate) monitor: QosMonitor,
-    pub(crate) events: Vec<MiddlewareEvent>,
+    // Interior mutability so `emit` (and hence the whole composition
+    // pipeline) works through `&self`: that is what lets
+    // `SharedEnvironment` run compose/select under the read lock.
+    events: Mutex<Vec<MiddlewareEvent>>,
     pub(crate) config: EnvironmentConfig,
     recorder: Option<Arc<dyn Recorder>>,
     sinks: Vec<Arc<dyn EventSink>>,
@@ -217,7 +224,7 @@ impl Environment {
             model,
             // The registry is bound to the domain ontology so it maintains
             // the inverted capability index discovery probes.
-            registry: ServiceRegistry::with_ontology(Arc::clone(&ontology)),
+            registry: Arc::new(ServiceRegistry::with_ontology(Arc::clone(&ontology))),
             ontology,
             match_cache: MatchCache::new(),
             runtime: ServiceRuntime::new(seed),
@@ -226,7 +233,7 @@ impl Environment {
             end_to_end,
             slas: HashMap::new(),
             monitor: QosMonitor::with_config(config.monitor),
-            events: Vec::new(),
+            events: Mutex::new(Vec::new()),
             config,
             recorder: None,
             sinks: Vec::new(),
@@ -248,6 +255,29 @@ impl Environment {
         &self.registry
     }
 
+    /// A cheap copy-on-write snapshot of the service directory (with its
+    /// capability index): the returned handle pins the provider
+    /// population of this instant even while churn continues —
+    /// subsequent [`Environment::deploy`]/[`Environment::undeploy`]
+    /// clone-on-write instead of mutating the snapshot in place. Pair
+    /// with [`Environment::epoch`] to tag results with the registry
+    /// state that produced them.
+    pub fn registry_snapshot(&self) -> Arc<ServiceRegistry> {
+        if let Some(rec) = &self.recorder {
+            rec.incr(keys::SERVING_SNAPSHOTS, 1);
+        }
+        Arc::clone(&self.registry)
+    }
+
+    /// The registry epoch: the monotone event cursor every
+    /// registration/departure advances. Two compositions computed at
+    /// the same epoch saw the identical provider population, so the
+    /// epoch is what concurrent sessions use to compare results
+    /// against a single-threaded replay.
+    pub fn epoch(&self) -> u64 {
+        self.registry.event_cursor() as u64
+    }
+
     /// The task-class repository.
     pub fn task_repository(&self) -> &TaskClassRepository {
         &self.tasks
@@ -263,14 +293,20 @@ impl Environment {
         &self.config
     }
 
-    /// The retained event trace (bounded by
+    /// The retained event buffer, poison-recovering: every mutation is
+    /// a single push/drain, so a poisoned buffer is still coherent.
+    fn retained(&self) -> std::sync::MutexGuard<'_, Vec<MiddlewareEvent>> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// A snapshot of the retained event trace (bounded by
     /// [`EnvironmentConfig::retention`]).
     #[deprecated(
         since = "0.2.0",
         note = "subscribe an EventLog via Environment::subscribe and read it instead"
     )]
-    pub fn events(&self) -> &[MiddlewareEvent] {
-        &self.events
+    pub fn events(&self) -> Vec<MiddlewareEvent> {
+        self.retained().clone()
     }
 
     /// Drains and returns the retained event trace.
@@ -279,7 +315,7 @@ impl Environment {
         note = "subscribe an EventLog via Environment::subscribe and take() from it instead"
     )]
     pub fn take_events(&mut self) -> Vec<MiddlewareEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut *self.retained())
     }
 
     /// Subscribes a sink to the event stream: it sees every subsequent
@@ -303,8 +339,11 @@ impl Environment {
 
     /// Routes one event to the recorder (per-type counter), every
     /// subscribed sink, and the bounded retained buffer — the single
-    /// emission path for the whole pipeline.
-    pub(crate) fn emit(&mut self, event: MiddlewareEvent) {
+    /// emission path for the whole pipeline. Takes `&self` (the buffer
+    /// has interior mutability) so composition can emit under a shared
+    /// reference — the requirement for serving compositions from many
+    /// sessions concurrently.
+    pub(crate) fn emit(&self, event: MiddlewareEvent) {
         if let Some(rec) = &self.recorder {
             rec.incr(event.counter_key(), 1);
         }
@@ -314,11 +353,12 @@ impl Environment {
         if self.config.retention == 0 {
             return;
         }
-        if self.events.len() >= self.config.retention {
-            let excess = self.events.len() + 1 - self.config.retention;
-            self.events.drain(..excess);
+        let mut events = self.retained();
+        if events.len() >= self.config.retention {
+            let excess = events.len() + 1 - self.config.retention;
+            events.drain(..excess);
         }
-        self.events.push(event);
+        events.push(event);
     }
 
     /// Hit/miss statistics of the semantic match cache.
@@ -347,6 +387,12 @@ impl Environment {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         });
+        report.serving = Some(ServingSection {
+            sessions: snapshot.counter(keys::SERVING_SESSIONS),
+            read_locks: snapshot.counter(keys::SERVING_READ_LOCKS),
+            write_locks: snapshot.counter(keys::SERVING_WRITE_LOCKS),
+            snapshot_refreshes: snapshot.counter(keys::SERVING_SNAPSHOTS),
+        });
         report.selection = Some(SelectionSection {
             runs: snapshot.counter(keys::SELECTION_RUNS),
             local_ranks: snapshot.counter(keys::SELECTION_LOCAL_RANKS),
@@ -369,14 +415,14 @@ impl Environment {
         description: ServiceDescription,
         behaviour: SyntheticService,
     ) -> ServiceId {
-        let id = self.registry.register(description);
+        let id = Arc::make_mut(&mut self.registry).register(description);
         self.runtime.deploy(id, behaviour);
         id
     }
 
     /// Removes a service (provider departure / churn).
     pub fn undeploy(&mut self, id: ServiceId) {
-        self.registry.deregister(id);
+        Arc::make_mut(&mut self.registry).deregister(id);
         self.runtime.undeploy(&id);
     }
 
@@ -524,7 +570,7 @@ impl Environment {
             if sla.checks() == 0 {
                 continue;
             }
-            if let Some(desc) = self.registry.get_mut(id) {
+            if let Some(desc) = Arc::make_mut(&mut self.registry).get_mut(id) {
                 desc.qos_mut().set(reputation, 5.0 * sla.compliance());
                 updated += 1;
             }
@@ -598,10 +644,7 @@ impl Environment {
     ///
     /// Fails when the analyzer rejects the request, an activity has no
     /// candidate, or the request's QoS names are unknown.
-    pub fn compose(
-        &mut self,
-        request: &UserRequest,
-    ) -> Result<ExecutableComposition, ComposeError> {
+    pub fn compose(&self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
         let (errors, warnings) = qasom_analysis::partition(self.analyze(request));
         if !errors.is_empty() {
             return Err(ComposeError::Rejected(errors));
@@ -621,7 +664,7 @@ impl Environment {
     /// Composition from already-resolved QoS parts (also used when
     /// behavioural adaptation re-composes an alternative behaviour).
     pub(crate) fn compose_task(
-        &mut self,
+        &self,
         task: qasom_task::UserTask,
         constraints: qasom_qos::ConstraintSet,
         preferences: qasom_qos::Preferences,
@@ -639,7 +682,7 @@ impl Environment {
     ///
     /// Same conditions as [`Environment::compose`].
     pub fn recompose(
-        &mut self,
+        &self,
         composition: &ExecutableComposition,
     ) -> Result<ExecutableComposition, ComposeError> {
         self.compose_task_with(
@@ -652,7 +695,7 @@ impl Environment {
     }
 
     fn compose_task_with(
-        &mut self,
+        &self,
         task: qasom_task::UserTask,
         constraints: qasom_qos::ConstraintSet,
         preferences: qasom_qos::Preferences,
@@ -801,11 +844,13 @@ mod tests {
         b.concept("B");
         let recorder = Arc::new(MemoryRecorder::new());
         let log = crate::EventLog::new();
+        let bounded = crate::EventLog::bounded(1);
         let mut e = EnvironmentConfig::builder()
             .seed(7)
             .retention(1)
             .recorder(Arc::clone(&recorder) as Arc<dyn qasom_obs::Recorder>)
             .sink(Arc::new(log.clone()))
+            .sink(Arc::new(bounded.clone()))
             .build(QosModel::standard(), b.build().unwrap());
         assert_eq!(e.config().seed, 7);
         deploy(&mut e, "a1", "d#A", 50.0);
@@ -816,9 +861,8 @@ mod tests {
 
         // The sink saw the full stream: Composed, 2 × Invoked, Completed.
         assert_eq!(log.len(), 4);
-        // The retained buffer is capped at one (the most recent event).
-        #[allow(deprecated)]
-        let retained = e.events();
+        // The bounded sink retains only the most recent event.
+        let retained = bounded.events();
         assert_eq!(retained.len(), 1);
         assert!(matches!(retained[0], MiddlewareEvent::Completed { .. }));
 

@@ -124,21 +124,46 @@ pub trait EventSink: Send + Sync + std::fmt::Debug {
 /// // ... compose / execute ...
 /// assert!(log.events().is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EventLog {
-    inner: Arc<Mutex<Vec<MiddlewareEvent>>>,
+    inner: Arc<LogInner>,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    /// `usize::MAX` means unbounded; clones share the same cap.
+    capacity: usize,
+    events: Mutex<Vec<MiddlewareEvent>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::bounded(usize::MAX)
+    }
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty, unbounded log.
     pub fn new() -> Self {
         EventLog::default()
+    }
+
+    /// An empty log retaining at most `capacity` events: once full, the
+    /// oldest event is dropped for each new one — the subscriber-side
+    /// replacement for the retired pull API's retention cap.
+    pub fn bounded(capacity: usize) -> Self {
+        EventLog {
+            inner: Arc::new(LogInner {
+                capacity,
+                events: Mutex::new(Vec::new()),
+            }),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Vec<MiddlewareEvent>> {
         // Each mutation is a single push, so a poisoned buffer is still
         // coherent — recover instead of propagating the panic.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.events.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// A snapshot of every event received so far, in order.
@@ -169,7 +194,15 @@ impl EventLog {
 
 impl EventSink for EventLog {
     fn on_event(&self, event: &MiddlewareEvent) {
-        self.lock().push(event.clone());
+        if self.inner.capacity == 0 {
+            return;
+        }
+        let mut events = self.lock();
+        if events.len() >= self.inner.capacity {
+            let excess = events.len() + 1 - self.inner.capacity;
+            events.drain(..excess);
+        }
+        events.push(event.clone());
     }
 }
 
@@ -188,6 +221,28 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log.take().len(), 1);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest_events() {
+        let log = EventLog::bounded(2);
+        for i in 0..4 {
+            log.on_event(&MiddlewareEvent::Completed {
+                task: format!("t{i}"),
+                success: true,
+            });
+        }
+        let kept = log.events();
+        assert_eq!(kept.len(), 2);
+        assert!(matches!(&kept[0], MiddlewareEvent::Completed { task, .. } if task == "t2"));
+        assert!(matches!(&kept[1], MiddlewareEvent::Completed { task, .. } if task == "t3"));
+
+        let none = EventLog::bounded(0);
+        none.on_event(&MiddlewareEvent::Completed {
+            task: "t".into(),
+            success: true,
+        });
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -343,9 +343,11 @@ impl Environment {
                     }
                     tried.insert(service);
 
-                    match self.invoke(service) {
-                        Some(outcome) if outcome.is_success() => {
-                            let qos = outcome.qos().expect("success has QoS").clone();
+                    // A successful outcome always carries delivered QoS
+                    // (`qos()` is `Some` iff `is_success()`), so matching
+                    // on the QoS itself covers both checks at once.
+                    match self.invoke(service).and_then(|o| o.qos().cloned()) {
+                        Some(qos) => {
                             self.monitor.observe(service, &qos);
                             self.monitor.reset_failures(service);
                             self.record_delivery(service, Some(&qos));
@@ -371,7 +373,7 @@ impl Environment {
                             );
                             break;
                         }
-                        _ => {
+                        None => {
                             self.monitor.observe_failure(service);
                             self.record_delivery(service, None);
                             self.emit(MiddlewareEvent::InvocationFailed {

@@ -2,6 +2,8 @@
 
 use std::sync::{Arc, RwLock};
 
+use qasom_obs::keys;
+
 use crate::{
     ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport, UserRequest,
 };
@@ -11,16 +13,29 @@ use crate::{
 /// A deployed middleware instance serves many user sessions at once:
 /// composition requests and executions arrive from different threads while
 /// providers keep registering and departing. `SharedEnvironment` wraps the
-/// single-threaded [`Environment`] in an `Arc<RwLock<…>>`. A poisoned
-/// lock (a panic inside a session) is recovered rather than propagated —
-/// the environment's state stays consistent because every mutating
-/// operation is applied transactionally under the write lock:
+/// [`Environment`] in an `Arc<RwLock<…>>`. A poisoned lock (a panic inside
+/// a session) is recovered rather than propagated — the environment's
+/// state stays consistent because every mutating operation is applied
+/// transactionally under the write lock.
 ///
-/// * read-only queries ([`SharedEnvironment::with`]) run concurrently;
-/// * mutating operations (compose, execute, deploy) serialise on the
-///   write lock — executions mutate the shared monitor, SLA records and
-///   the synthetic runtime, so they are transactions over the
-///   environment's state.
+/// The lock discipline splits the serving pipeline by what it touches:
+///
+/// * **read lock (concurrent):** queries ([`SharedEnvironment::with`])
+///   and the full composition pipeline — analysis, discovery and QASSA
+///   selection ([`SharedEnvironment::compose`]) — which only read the
+///   registry/ontology/QoS model and use interior-mutable, concurrency-
+///   safe structures (`MatchCache`, event buffer, recorder) for their
+///   side channels. Any number of sessions compose simultaneously.
+/// * **write lock (exclusive):** provider churn and execution
+///   ([`SharedEnvironment::with_mut`], [`SharedEnvironment::execute`]) —
+///   executions mutate the QoS monitor, SLA records and the synthetic
+///   runtime, so they are transactions over the environment's state.
+///
+/// [`SharedEnvironment::serve`] composes under the read lock, then
+/// executes under the write lock. Churn may slip between the two phases;
+/// that is safe because execution re-validates liveness at binding time
+/// (dynamic binding substitutes departed services), exactly as it already
+/// must for services failing mid-execution.
 ///
 /// # Examples
 ///
@@ -52,15 +67,26 @@ impl SharedEnvironment {
         }
     }
 
-    /// Runs a read-only query under the shared lock.
+    /// Runs a read-only query under the shared lock. Since the whole
+    /// composition pipeline works through `&Environment`, sessions may
+    /// compose inside the closure — e.g. to read the composition and the
+    /// [`Environment::epoch`] that produced it atomically.
     pub fn with<R>(&self, f: impl FnOnce(&Environment) -> R) -> R {
-        f(&self.read())
+        let env = self.read();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_READ_LOCKS, 1);
+        }
+        f(&env)
     }
 
     /// Runs a mutating operation under the exclusive lock (deployments,
     /// fault injection, task-class registration, …).
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Environment) -> R) -> R {
-        f(&mut self.write())
+        let mut env = self.write();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
+        f(&mut env)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Environment> {
@@ -75,16 +101,45 @@ impl SharedEnvironment {
             .unwrap_or_else(|poison| poison.into_inner())
     }
 
-    /// Composes a request (exclusive: composition emits events).
+    /// Composes a request under the **read** lock: any number of
+    /// sessions run discovery + selection concurrently, and provider
+    /// churn (which needs the write lock) waits rather than being
+    /// interleaved mid-pipeline.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Environment::compose`].
     pub fn compose(&self, request: &UserRequest) -> Result<ExecutableComposition, ComposeError> {
-        self.write().compose(request)
+        let env = self.read();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_READ_LOCKS, 1);
+        }
+        env.compose(request)
     }
 
-    /// Executes a composition as one transaction over the environment.
+    /// Composes a request and returns it together with the registry
+    /// epoch ([`Environment::epoch`]) it was computed against, read
+    /// atomically under one read-lock acquisition. Sessions use the
+    /// epoch to compare concurrent results against a deterministic
+    /// single-threaded replay of the same registry state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Environment::compose`].
+    pub fn compose_with_epoch(
+        &self,
+        request: &UserRequest,
+    ) -> Result<(u64, ExecutableComposition), ComposeError> {
+        let env = self.read();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_READ_LOCKS, 1);
+        }
+        let composition = env.compose(request)?;
+        Ok((env.epoch(), composition))
+    }
+
+    /// Executes a composition as one transaction over the environment
+    /// (write lock: execution mutates the monitor, SLAs and runtime).
     ///
     /// # Errors
     ///
@@ -93,18 +148,37 @@ impl SharedEnvironment {
         &self,
         composition: ExecutableComposition,
     ) -> Result<ExecutionReport, ExecutionError> {
-        self.write().execute(composition)
+        let mut env = self.write();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
+        env.execute(composition)
     }
 
-    /// Composes and executes in one exclusive section, so no churn can
-    /// slip between selection and binding.
+    /// One full session: composes under the read lock (concurrently
+    /// with other sessions), then executes under the write lock.
+    ///
+    /// A provider may depart between the two phases; execution handles
+    /// that exactly like a mid-execution departure — dynamic binding
+    /// re-checks liveness and substitutes from the ranked alternates —
+    /// so the relaxation never returns a binding to a dead service.
     ///
     /// # Errors
     ///
     /// Propagates composition and execution errors.
     pub fn serve(&self, request: &UserRequest) -> Result<ExecutionReport, ServeError> {
+        let composition = {
+            let env = self.read();
+            if let Some(rec) = env.recorder() {
+                rec.incr(keys::SERVING_SESSIONS, 1);
+                rec.incr(keys::SERVING_READ_LOCKS, 1);
+            }
+            env.compose(request).map_err(ServeError::Compose)?
+        };
         let mut env = self.write();
-        let composition = env.compose(request).map_err(ServeError::Compose)?;
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
         env.execute(composition).map_err(ServeError::Execute)
     }
 }
@@ -203,5 +277,70 @@ mod tests {
         let id = shared.with(|e| e.registry().iter().next().unwrap().0);
         shared.with_mut(|e| e.undeploy(id));
         assert!(shared.with(|e| e.registry().get(id).is_none()));
+    }
+
+    /// Proof that `compose` takes only the read lock: one thread holds a
+    /// read guard (via `with`) for the entire duration of another
+    /// thread's `compose`. If `compose` needed the write lock it could
+    /// never finish while the guard is held, and the bounded wait below
+    /// would fail the test instead of deadlocking.
+    #[test]
+    fn compose_overlaps_a_held_read_lock() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let shared = shared();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+
+        let holder = {
+            let s = shared.clone();
+            std::thread::spawn(move || {
+                s.with(|_| {
+                    entered_tx.send(()).unwrap();
+                    // Keep the read guard until the composer reports back.
+                    done_rx
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("compose must complete while this read guard is held");
+                })
+            })
+        };
+
+        entered_rx.recv().unwrap();
+        let composed = shared.compose(&request());
+        done_tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert!(composed.is_ok());
+    }
+
+    #[test]
+    fn compose_with_epoch_tracks_churn() {
+        let shared = shared();
+        let (before, _) = shared.compose_with_epoch(&request()).unwrap();
+        let id = shared.with(|e| e.registry().iter().next().unwrap().0);
+        shared.with_mut(|e| e.undeploy(id));
+        let (after, _) = shared.compose_with_epoch(&request()).unwrap();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn serving_counters_record_lock_traffic() {
+        use qasom_obs::{MemoryRecorder, Recorder};
+        let shared = shared();
+        let recorder = std::sync::Arc::new(MemoryRecorder::new());
+        shared.with_mut(|e| {
+            e.set_recorder(std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn Recorder>)
+        });
+        for _ in 0..3 {
+            shared.serve(&request()).unwrap();
+        }
+        let _ = shared.compose(&request()).unwrap();
+        let snap = recorder.snapshot().unwrap();
+        assert_eq!(snap.counter(keys::SERVING_SESSIONS), 3);
+        // 3 serves (read each) + 1 compose.
+        assert_eq!(snap.counter(keys::SERVING_READ_LOCKS), 4);
+        // 3 serves (write each); the set_recorder with_mut predates the
+        // recorder, so it is not counted.
+        assert_eq!(snap.counter(keys::SERVING_WRITE_LOCKS), 3);
     }
 }

@@ -65,6 +65,15 @@ pub const EVENT_ANALYSIS_WARNING: &str = "events.analysis_warning";
 /// Completed executions (successful or not).
 pub const EVENT_COMPLETED: &str = "events.completed";
 
+/// Sessions served through `SharedEnvironment::serve`.
+pub const SERVING_SESSIONS: &str = "serving.sessions";
+/// Read-lock acquisitions by the serving layer (compose/query phase).
+pub const SERVING_READ_LOCKS: &str = "serving.read_locks";
+/// Write-lock acquisitions by the serving layer (execute/churn phase).
+pub const SERVING_WRITE_LOCKS: &str = "serving.write_locks";
+/// Registry snapshots handed out (`Environment::registry_snapshot`).
+pub const SERVING_SNAPSHOTS: &str = "serving.snapshot_refreshes";
+
 /// Span covering one QASSA selection (logical clock: activities done).
 pub const SPAN_SELECT: &str = "qassa.select";
 /// Span covering a distributed run's local phase (simulated µs).

@@ -304,6 +304,32 @@ impl ExecutionSection {
     }
 }
 
+/// Serving-layer totals: how sessions moved through the
+/// `SharedEnvironment` lock split (compose under read, execute under
+/// write).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServingSection {
+    /// Sessions served (`serve` calls).
+    pub sessions: u64,
+    /// Read-lock acquisitions (concurrent compose/query phase).
+    pub read_locks: u64,
+    /// Write-lock acquisitions (execution / churn phase).
+    pub write_locks: u64,
+    /// Registry snapshots handed out to sessions.
+    pub snapshot_refreshes: u64,
+}
+
+impl ServingSection {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("sessions", self.sessions)
+            .field("read_locks", self.read_locks)
+            .field("write_locks", self.write_locks)
+            .field("snapshot_refreshes", self.snapshot_refreshes)
+    }
+}
+
 /// The unified, seed-stamped run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -324,6 +350,9 @@ pub struct RunReport {
     pub selection: Option<SelectionSection>,
     /// Distributed-protocol totals, when the run was distributed.
     pub distributed: Option<DistributedSection>,
+    /// Serving-layer totals, when the run went through
+    /// `SharedEnvironment`.
+    pub serving: Option<ServingSection>,
     /// Raw metric snapshot (counters / histograms / spans).
     pub metrics: MetricsSnapshot,
 }
@@ -340,6 +369,7 @@ impl RunReport {
             discovery: None,
             selection: None,
             distributed: None,
+            serving: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -374,6 +404,10 @@ impl RunReport {
             .field(
                 "distributed",
                 opt(self.distributed.as_ref().map(DistributedSection::to_json)),
+            )
+            .field(
+                "serving",
+                opt(self.serving.as_ref().map(ServingSection::to_json)),
             )
             .field("metrics", self.metrics.to_json())
     }
@@ -481,6 +515,7 @@ mod tests {
         full.discovery = Some(DiscoverySection::default());
         full.selection = Some(SelectionSection::default());
         full.distributed = Some(DistributedSection::default());
+        full.serving = Some(ServingSection::default());
         let top = |r: &RunReport| match r.to_json() {
             JsonValue::Object(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             _ => Vec::new(),

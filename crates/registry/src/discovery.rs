@@ -148,11 +148,39 @@ impl<'a> DiscoveryQuery<'a> {
 /// ([`Ontology::stamp`]) its entries were computed under and silently
 /// flushes when consulted under a different one, so stale degrees can
 /// never leak across an ontology swap.
+///
+/// Internally the memo is split into [`CACHE_SHARDS`] lock-sharded maps
+/// keyed by an FNV-1a hash of the *required* IRI (stable across runs, so
+/// shard assignment is deterministic), which keeps concurrent sessions
+/// composing under the serving layer's read lock from serialising on a
+/// single cache lock.
 #[derive(Debug, Default)]
 pub struct MatchCache {
-    inner: RwLock<MatchCacheState>,
+    shards: [RwLock<MatchCacheState>; CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Number of independent lock shards in a [`MatchCache`].
+pub const CACHE_SHARDS: usize = 8;
+
+/// Deterministic FNV-1a over the IRI's rendered bytes. Deliberately not
+/// `std`'s `RandomState`, whose per-process random keys would make shard
+/// assignment (and any contention pattern) nondeterministic.
+fn shard_of(iri: &Iri) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    };
+    for byte in iri.namespace().bytes() {
+        step(byte);
+    }
+    step(b'#');
+    for byte in iri.local_name().bytes() {
+        step(byte);
+    }
+    (hash % CACHE_SHARDS as u64) as usize
 }
 
 /// Lifetime hit/miss totals of a [`MatchCache`] (monotone; totals are
@@ -192,8 +220,13 @@ impl MatchCache {
 
     /// Entries currently memoised (diagnostics).
     pub fn len(&self) -> usize {
-        let state = self.inner.read().unwrap_or_else(|p| p.into_inner());
-        state.degrees.values().map(HashMap::len).sum()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.read().unwrap_or_else(|p| p.into_inner());
+                state.degrees.values().map(HashMap::len).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Whether the cache holds no entry.
@@ -211,7 +244,9 @@ impl MatchCache {
     }
 
     fn get(&self, stamp: u64, required: &Iri, offered: &Iri) -> Option<MatchDegree> {
-        let state = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        let state = self.shards[shard_of(required)]
+            .read()
+            .unwrap_or_else(|p| p.into_inner());
         let found = if state.stamp == stamp {
             state
                 .degrees
@@ -229,10 +264,14 @@ impl MatchCache {
     }
 
     fn put(&self, stamp: u64, required: &Iri, offered: &Iri, degree: MatchDegree) {
-        let mut state = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        let mut state = self.shards[shard_of(required)]
+            .write()
+            .unwrap_or_else(|p| p.into_inner());
         if state.stamp != stamp {
             // Computed under a different ontology than the cached
-            // entries: flush and adopt the new stamp.
+            // entries: flush this shard and adopt the new stamp (each
+            // shard tracks its own stamp, so the others flush lazily the
+            // next time they are written under the new ontology).
             state.degrees.clear();
             state.stamp = stamp;
         }

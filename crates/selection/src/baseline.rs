@@ -228,9 +228,11 @@ impl<'a> Baselines<'a> {
                 cands
                     .iter()
                     .max_by(|a, b| {
-                        utility(a.qos(), &normalizer, &prefs)
-                            .partial_cmp(&utility(b.qos(), &normalizer, &prefs))
-                            .expect("finite utility")
+                        utility(a.qos(), &normalizer, &prefs).total_cmp(&utility(
+                            b.qos(),
+                            &normalizer,
+                            &prefs,
+                        ))
                     })
                     .expect("validated non-empty")
                     .clone()
@@ -313,9 +315,11 @@ impl<'a> Baselines<'a> {
                 let normalizer = Normalizer::fit(self.model, cands.iter().map(|c| c.qos()));
                 let best_of = |pool: &mut dyn Iterator<Item = &ServiceCandidate>| {
                     pool.max_by(|a, b| {
-                        utility(a.qos(), &normalizer, &prefs)
-                            .partial_cmp(&utility(b.qos(), &normalizer, &prefs))
-                            .expect("finite utility")
+                        utility(a.qos(), &normalizer, &prefs).total_cmp(&utility(
+                            b.qos(),
+                            &normalizer,
+                            &prefs,
+                        ))
                     })
                     .cloned()
                 };
@@ -379,7 +383,7 @@ impl<'a> Baselines<'a> {
             .collect();
 
         for _ in 0..config.generations {
-            population.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+            population.sort_by(|a, b| b.0.total_cmp(&a.0));
             let mut next: Vec<(f64, Vec<usize>)> =
                 population[..config.elite.min(population.len())].to_vec();
             while next.len() < population.len() {
@@ -414,7 +418,7 @@ impl<'a> Baselines<'a> {
             }
             population = next;
         }
-        population.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fitness"));
+        population.sort_by(|a, b| b.0.total_cmp(&a.0));
         let best = population.into_iter().next().expect("non-empty population");
         let assignment: Vec<ServiceCandidate> = best
             .1

@@ -117,7 +117,7 @@ proptest! {
         approach_idx in 0u8..3,
         seed in any::<u64>(),
     ) {
-        let mut env = environment(services, seed);
+        let env = environment(services, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x00dd_b01d_face_cafe);
 
         let mut request = UserRequest::new(build_task(shape, activities));

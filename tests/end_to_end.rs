@@ -123,7 +123,7 @@ fn shopping_happy_path() {
 
 #[test]
 fn user_vocabulary_constraints_are_enforced() {
-    let (mut env, _) = full_environment(2);
+    let (env, _) = full_environment(2);
     // A delay bound of 250 ms is impossible (browse+buy+pay ≥ 290 ms
     // sequential minimum) — composition must be flagged infeasible.
     let request = UserRequest::new(shopping_task())
@@ -135,7 +135,7 @@ fn user_vocabulary_constraints_are_enforced() {
 
 #[test]
 fn semantic_discovery_binds_specialised_payment() {
-    let (mut env, _) = full_environment(3);
+    let (env, _) = full_environment(3);
     let comp = env.compose(&shopping_request()).unwrap();
     // The task asks for shop#Pay; both tills are subconcepts, so one of
     // them must be bound.
@@ -302,21 +302,26 @@ fn events_trace_the_full_lifecycle() {
     assert!(log.is_empty());
 }
 
-/// The pre-subscriber pull API still works during the deprecation
-/// window and agrees with what a sink observes.
+/// A bounded log retains only the newest events — the subscriber-side
+/// replacement for the retired pull API's retention cap.
 #[test]
-fn deprecated_event_buffer_mirrors_the_sink_stream() {
+fn bounded_event_log_keeps_only_the_newest_events() {
     let (mut env, _) = full_environment(9);
-    let log = EventLog::new();
-    env.subscribe(Arc::new(log.clone()));
+    let full = EventLog::new();
+    let last = EventLog::bounded(1);
+    env.subscribe(Arc::new(full.clone()));
+    env.subscribe(Arc::new(last.clone()));
     let comp = env.compose(&shopping_request()).unwrap();
     let _ = env.execute(comp).unwrap();
-    #[allow(deprecated)]
-    let retained = env.take_events();
-    assert_eq!(retained, log.events());
-    #[allow(deprecated)]
-    let empty = env.events().is_empty();
-    assert!(empty, "take_events drains the retained buffer");
+    let all = full.events();
+    assert!(all.len() > 1, "the run emits a full trace");
+    // The bounded log holds exactly the newest event of that same
+    // stream (the terminal Completed).
+    assert_eq!(last.events(), all[all.len() - 1..]);
+    assert!(matches!(
+        last.events().as_slice(),
+        [MiddlewareEvent::Completed { .. }]
+    ));
 }
 
 #[test]

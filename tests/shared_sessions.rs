@@ -71,8 +71,9 @@ fn many_sessions_with_concurrent_churn() {
 
     churner.join().unwrap();
     let total: usize = sessions.into_iter().map(|h| h.join().unwrap()).sum();
-    // serve() is transactional over the environment, so every session
-    // request must have completed despite the churn.
+    // serve() composes under the read lock and executes under the write
+    // lock; churn slipping between the phases is absorbed by dynamic
+    // binding, so every session request must still complete.
     assert_eq!(total, 80);
 
     // SLA records exist for every provider that actually served.
