@@ -9,8 +9,10 @@
 //!
 //! * [`Rule::Wallclock`] (`determinism-wallclock`) — no `Instant::now`,
 //!   `SystemTime::now` or `thread::sleep` on simulated paths
-//!   (`crates/netsim` and `crates/selection/src/distributed.rs`). The
-//!   simulation clock is the only clock.
+//!   (`crates/netsim`, `crates/daemon` and
+//!   `crates/selection/src/distributed.rs`). The simulation clock is
+//!   the only clock; the daemon blocks on channels and sockets, never
+//!   on timers.
 //! * [`Rule::Unordered`] (`determinism-unordered`) — no `HashMap` /
 //!   `HashSet` in the same scope: their iteration order is randomised
 //!   per process, which silently breaks replayable runs.
@@ -18,6 +20,12 @@
 //!   `.expect(` in library code outside `#[cfg(test)]`. Existing debt is
 //!   carried in a checked-in baseline (`lint-baseline.txt`); only *new*
 //!   violations fail.
+//! * [`Rule::DaemonWithMut`] (`daemon-with-mut`) — no
+//!   `SharedEnvironment::with_mut` in `crates/daemon`: the daemon must
+//!   go through the narrow typed mutators (`apply_churn`,
+//!   `reload_ontology`, `execute`) so every write-lock acquisition is
+//!   accounted and bounded; an arbitrary closure over the write lock
+//!   could starve every serving session.
 //!
 //! Any rule can be suppressed on a single line with
 //! `// lint:allow(<rule-name>)`.
@@ -37,6 +45,8 @@ pub enum Rule {
     Unordered,
     /// `.unwrap()` / `.expect(` in non-test library code.
     PanicUnwrap,
+    /// `with_mut` (the arbitrary write-lock closure) in daemon code.
+    DaemonWithMut,
 }
 
 impl Rule {
@@ -47,12 +57,18 @@ impl Rule {
             Rule::Wallclock => "determinism-wallclock",
             Rule::Unordered => "determinism-unordered",
             Rule::PanicUnwrap => "panic-unwrap",
+            Rule::DaemonWithMut => "daemon-with-mut",
         }
     }
 
     /// All rules, in reporting order.
-    pub fn all() -> [Rule; 3] {
-        [Rule::Wallclock, Rule::Unordered, Rule::PanicUnwrap]
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::Wallclock,
+            Rule::Unordered,
+            Rule::PanicUnwrap,
+            Rule::DaemonWithMut,
+        ]
     }
 
     /// Whether historical findings of this rule may be carried in the
@@ -74,6 +90,7 @@ impl Rule {
             // `.unwrap()` / `.expect(` exactly, so `unwrap_or`,
             // `unwrap_or_else` and `expect_err` never match.
             Rule::PanicUnwrap => &[".unwrap()", ".expect("],
+            Rule::DaemonWithMut => &["with_mut"],
         }
     }
 }
@@ -117,7 +134,15 @@ impl fmt::Display for Finding {
 pub fn determinism_scope(rel: &str) -> bool {
     rel.starts_with("crates/netsim/src/")
         || rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/daemon/src/")
         || rel == "crates/selection/src/distributed.rs"
+}
+
+/// Whether `rel` is daemon code where [`Rule::DaemonWithMut`] applies:
+/// everything under `crates/daemon/src/`, transports and binary
+/// included.
+pub fn daemon_scope(rel: &str) -> bool {
+    rel.starts_with("crates/daemon/src/")
 }
 
 /// Whether `rel` is library code where [`Rule::PanicUnwrap`] applies:
@@ -313,7 +338,8 @@ impl TestTracker {
 pub fn scan_file(rel: &str, source: &str) -> Vec<Finding> {
     let det = determinism_scope(rel);
     let panics = panic_scope(rel);
-    if !det && !panics {
+    let daemon = daemon_scope(rel);
+    if !det && !panics && !daemon {
         return Vec::new();
     }
     let stripped = strip(source);
@@ -327,6 +353,7 @@ pub fn scan_file(rel: &str, source: &str) -> Vec<Finding> {
             let in_scope = match rule {
                 Rule::Wallclock | Rule::Unordered => det,
                 Rule::PanicUnwrap => panics && !in_test,
+                Rule::DaemonWithMut => daemon && !in_test,
             };
             if !in_scope || !rule.tokens().iter().any(|t| code.contains(t)) {
                 continue;
@@ -584,6 +611,27 @@ mod tests {
     fn bin_paths_are_out_of_panic_scope() {
         let src = "fn main() { run().unwrap(); }\n";
         assert!(scan_file("crates/analysis/src/bin/qasom-lint.rs", src).is_empty());
+    }
+
+    #[test]
+    fn with_mut_flagged_in_daemon_only() {
+        let src = "fn f(s: &SharedEnvironment) { s.with_mut(|e| e.epoch()); }\n";
+        let hits = scan_file("crates/daemon/src/broker.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::DaemonWithMut);
+        // Library callers outside the daemon stay free to use it...
+        assert!(scan_file("crates/core/src/shared.rs", src).is_empty());
+        // ...and daemon tests may exercise it.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g(s: &S) { s.with_mut(|e| ()); }\n}\n";
+        assert!(scan_file("crates/daemon/src/broker.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn daemon_sources_are_in_determinism_scope() {
+        let src = "fn t() { std::thread::sleep(d); }\n";
+        let hits = scan_file("crates/daemon/src/tcp.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::Wallclock);
     }
 
     #[test]

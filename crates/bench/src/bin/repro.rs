@@ -195,6 +195,15 @@ fn main() {
             bench::fig_serving(),
         );
     }
+    if want("daemon") {
+        show(
+            &mut report,
+            "daemon",
+            "Daemon — batched admission: throughput and discovery cost vs batch size",
+            "batch max",
+            bench::fig_daemon(),
+        );
+    }
     if want("scale") {
         show(
             &mut report,

@@ -887,6 +887,102 @@ pub fn fig_serving() -> Vec<Series> {
     vec![serial, concurrent, serial_latency, concurrent_latency]
 }
 
+/// Builds the daemon-throughput market (one concept, `providers`
+/// candidates, recorder attached) and the shared hot request.
+fn daemon_market(providers: usize) -> Option<(qasom::SharedEnvironment, qasom::UserRequest)> {
+    use qasom_registry::ServiceDescription;
+
+    let mut b = OntologyBuilder::new("d");
+    b.concept("A");
+    let ontology = b.build().ok()?;
+    let mut env = qasom::Environment::new(QosModel::standard(), ontology, 7);
+    env.set_recorder(std::sync::Arc::new(qasom_obs::MemoryRecorder::new()));
+    let rt = env.model().property("ResponseTime")?;
+    for i in 0..providers {
+        let desc =
+            ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
+    }
+    let task = UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).ok()?;
+    Some((
+        qasom::SharedEnvironment::new(env),
+        qasom::UserRequest::new(task).weight("Delay", 1.0),
+    ))
+}
+
+/// Drives `clients × rounds` same-signature sessions through a loopback
+/// daemon at the given `batch_max` and returns
+/// `(sessions completed, discovery queries)` from the recorder — both
+/// deterministic.
+fn daemon_run(batch_max: usize, clients: usize, rounds: usize) -> Option<(u64, u64)> {
+    use qasom_daemon::{AdmissionConfig, BrokerConfig, LoopbackDaemon};
+
+    let (shared, request) = daemon_market(40)?;
+    let mut daemon = LoopbackDaemon::new(
+        shared.clone(),
+        BrokerConfig {
+            admission: AdmissionConfig {
+                queue_capacity: clients * rounds + 1,
+                client_quota: rounds + 1,
+                batch_max,
+            },
+        },
+    );
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let c = daemon.connect();
+            daemon.send_hello(c, &format!("c{i}")).ok()?;
+            Some(c)
+        })
+        .collect::<Option<_>>()?;
+    daemon.pump();
+    let mut corr = 0u64;
+    for _ in 0..rounds {
+        for c in &handles {
+            corr += 1;
+            daemon.send_compose(*c, corr, &request).ok()?;
+        }
+        daemon.pump();
+        for c in &handles {
+            daemon.drain_events(*c).ok()?;
+        }
+    }
+    let snap = shared.with(|e| e.recorder().and_then(|r| r.snapshot()))?;
+    Some((
+        snap.counter(qasom_obs::keys::DAEMON_COMPLETED),
+        snap.counter(qasom_obs::keys::DISCOVERY_INDEXED)
+            + snap.counter(qasom_obs::keys::DISCOVERY_LINEAR),
+    ))
+}
+
+/// Daemon serving — batched admission: sessions/s and discovery queries
+/// per session vs `batch_max`, 8 clients submitting the same request
+/// over the loopback transport. The queries/session series is exact and
+/// deterministic (1 at `batch_max ≥ clients`, approaching 1/`batch_max`
+/// of the unbatched cost); the sessions/s series is machine-local.
+pub fn fig_daemon() -> Vec<Series> {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 12;
+    let mut rate = Series::new("sessions/s");
+    let mut queries = Series::new("discovery queries/session");
+    for batch_max in [1usize, 2, 4, 8] {
+        let Some((sessions, discovery_queries)) = daemon_run(batch_max, CLIENTS, ROUNDS) else {
+            continue;
+        };
+        queries.points.push((
+            batch_max as f64,
+            discovery_queries as f64 / sessions.max(1) as f64,
+        ));
+        let ms = time_ms(3, || {
+            let _ = daemon_run(batch_max, CLIENTS, ROUNDS);
+        });
+        rate.points
+            .push((batch_max as f64, sessions as f64 / (ms / 1000.0).max(f64::MIN_POSITIVE)));
+    }
+    vec![rate, queries]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -942,6 +1038,19 @@ mod tests {
                 assert!(rate.is_finite() && *rate > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn daemon_batching_reduces_discovery_queries() {
+        let (sessions_unbatched, queries_unbatched) =
+            daemon_run(1, 4, 3).expect("loopback run completes");
+        let (sessions_batched, queries_batched) =
+            daemon_run(8, 4, 3).expect("loopback run completes");
+        assert_eq!(sessions_unbatched, 12);
+        assert_eq!(sessions_batched, 12);
+        // One compose pass per batch: batching 4 clients' identical
+        // requests must cut discovery traffic.
+        assert!(queries_batched < queries_unbatched);
     }
 
     #[test]

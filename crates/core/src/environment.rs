@@ -6,7 +6,9 @@ use std::sync::{Arc, Mutex};
 use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
-use qasom_obs::report::{DiscoverySection, RunReport, SelectionSection, ServingSection};
+use qasom_obs::report::{
+    DaemonSection, DiscoverySection, RunReport, SelectionSection, ServingSection,
+};
 use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
@@ -393,6 +395,19 @@ impl Environment {
             write_locks: snapshot.counter(keys::SERVING_WRITE_LOCKS),
             snapshot_refreshes: snapshot.counter(keys::SERVING_SNAPSHOTS),
         });
+        report.daemon = Some(DaemonSection {
+            sessions_admitted: snapshot.counter(keys::DAEMON_ADMITTED),
+            sessions_shed: snapshot.counter(keys::DAEMON_SHED),
+            quota_denials: snapshot.counter(keys::DAEMON_QUOTA_DENIALS),
+            sessions_completed: snapshot.counter(keys::DAEMON_COMPLETED),
+            sessions_rejected: snapshot.counter(keys::DAEMON_REJECTED),
+            sessions_failed: snapshot.counter(keys::DAEMON_FAILED),
+            batches: snapshot.counter(keys::DAEMON_BATCHES),
+            batched_sessions: snapshot.counter(keys::DAEMON_BATCHED_SESSIONS),
+            frames_read: snapshot.counter(keys::DAEMON_FRAMES_READ),
+            frames_written: snapshot.counter(keys::DAEMON_FRAMES_WRITTEN),
+            ticks: snapshot.counter(keys::DAEMON_TICKS),
+        });
         report.selection = Some(SelectionSection {
             runs: snapshot.counter(keys::SELECTION_RUNS),
             local_ranks: snapshot.counter(keys::SELECTION_LOCAL_RANKS),
@@ -406,6 +421,23 @@ impl Environment {
         });
         report.metrics = snapshot;
         report
+    }
+
+    /// Replaces the domain ontology: the registry is re-bound (the
+    /// inverted capability index is rebuilt over the new concept
+    /// hierarchy) and the semantic `MatchCache` invalidates lazily —
+    /// every shard flushes on first use because the new ontology carries
+    /// a fresh [`Ontology::stamp`]. Returns the new stamp.
+    ///
+    /// This is the purpose-built mutator behind
+    /// [`crate::SharedEnvironment::reload_ontology`]; daemon code uses
+    /// it instead of reaching for a raw `with_mut` closure.
+    pub fn reload_ontology(&mut self, ontology: Ontology) -> u64 {
+        let ontology = Arc::new(ontology);
+        let stamp = ontology.stamp();
+        Arc::make_mut(&mut self.registry).bind_ontology(Arc::clone(&ontology));
+        self.ontology = ontology;
+        stamp
     }
 
     /// Publishes a service: registers the description and deploys its

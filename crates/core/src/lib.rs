@@ -65,4 +65,6 @@ pub use environment::{Environment, EnvironmentBuilder, EnvironmentConfig};
 pub use events::{EventLog, EventSink, MiddlewareEvent};
 pub use execution::{ExecutionError, ExecutionReport, InvocationRecord, TimelineEntry};
 pub use request::UserRequest;
-pub use shared::{ServeError, SharedEnvironment};
+pub use shared::{
+    ChurnReceipt, RegistryDelta, ServeError, ServeOutcome, SessionRequest, SharedEnvironment,
+};

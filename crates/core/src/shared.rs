@@ -2,11 +2,171 @@
 
 use std::sync::{Arc, RwLock};
 
+use qasom_analysis::Diagnostic;
+use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::keys;
+use qasom_ontology::Ontology;
+use qasom_registry::{ServiceDescription, ServiceId};
 
 use crate::{
     ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport, UserRequest,
 };
+
+/// A composition session as submitted to the serving layer: the user's
+/// request plus the client identity admission control keys quotas on.
+///
+/// `SessionRequest` is the one request type both serving front-ends
+/// accept — [`SharedEnvironment::serve_session`] for the library path
+/// and the `qasomd` daemon for the wire path — so outcome semantics
+/// ([`ServeOutcome`]) are identical regardless of how a session arrived.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    client: Option<String>,
+    request: UserRequest,
+}
+
+impl SessionRequest {
+    /// A session with no client identity (library calls, tests).
+    pub fn new(request: UserRequest) -> Self {
+        SessionRequest {
+            client: None,
+            request,
+        }
+    }
+
+    /// Tags the session with the submitting client's identity; the
+    /// daemon's per-client quotas are keyed on it.
+    #[must_use]
+    pub fn for_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
+        self
+    }
+
+    /// The client identity, if any.
+    pub fn client(&self) -> Option<&str> {
+        self.client.as_deref()
+    }
+
+    /// The underlying user request.
+    pub fn request(&self) -> &UserRequest {
+        &self.request
+    }
+}
+
+impl From<UserRequest> for SessionRequest {
+    fn from(request: UserRequest) -> Self {
+        SessionRequest::new(request)
+    }
+}
+
+/// The typed outcome of one serving session.
+///
+/// Every way a session can end that is *not* an internal failure is a
+/// variant here, so callers match on outcomes instead of decoding
+/// stringly errors: the daemon turns each variant into its own wire
+/// frame, and load-shedding is a first-class `Busy` value rather than a
+/// collapsed connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// The session composed and executed; the report carries delivered
+    /// QoS, substitutions and adaptations.
+    Completed(ExecutionReport),
+    /// Admission control shed the session (queue at capacity or client
+    /// over quota). Retry after the given number of broker ticks.
+    ///
+    /// Produced only by serving front-ends with an admission queue
+    /// (`qasomd`); the direct library path never sheds.
+    Busy {
+        /// Deterministic back-off hint, in broker scheduling rounds.
+        retry_after_ticks: u32,
+    },
+    /// The static analyzer rejected the request before discovery ran.
+    Rejected(Vec<Diagnostic>),
+}
+
+impl ServeOutcome {
+    /// Whether the session completed successfully end to end.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ServeOutcome::Completed(_))
+    }
+}
+
+/// A batch of registry mutations applied as one transaction under the
+/// write lock ([`SharedEnvironment::apply_churn`]).
+///
+/// Purpose-built so serving front-ends never hold an arbitrary closure
+/// over the environment's write lock: the delta is constructed lock-free
+/// and applied atomically, in insertion order.
+#[derive(Default)]
+pub struct RegistryDelta {
+    ops: Vec<ChurnOp>,
+}
+
+enum ChurnOp {
+    Deploy(Box<(ServiceDescription, SyntheticService)>),
+    Undeploy(ServiceId),
+    UndeployNamed(String),
+}
+
+impl RegistryDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        RegistryDelta::default()
+    }
+
+    /// Queues a deployment with an explicit synthetic behaviour.
+    #[must_use]
+    pub fn deploy(mut self, description: ServiceDescription, behaviour: SyntheticService) -> Self {
+        self.ops.push(ChurnOp::Deploy(Box::new((description, behaviour))));
+        self
+    }
+
+    /// Queues a deployment whose behaviour faithfully delivers the
+    /// advertised QoS.
+    #[must_use]
+    pub fn deploy_faithful(self, description: ServiceDescription) -> Self {
+        let nominal = description.qos().clone();
+        self.deploy(description, SyntheticService::new(nominal))
+    }
+
+    /// Queues a departure by service id.
+    #[must_use]
+    pub fn undeploy(mut self, id: ServiceId) -> Self {
+        self.ops.push(ChurnOp::Undeploy(id));
+        self
+    }
+
+    /// Queues a departure by service name (ignored when no live service
+    /// carries the name at apply time).
+    #[must_use]
+    pub fn undeploy_named(mut self, name: impl Into<String>) -> Self {
+        self.ops.push(ChurnOp::UndeployNamed(name.into()));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operation is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What [`SharedEnvironment::apply_churn`] did, and the registry epoch
+/// after the transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnReceipt {
+    /// Registry epoch after the delta was applied.
+    pub epoch: u64,
+    /// Ids of the services the delta deployed, in delta order.
+    pub deployed: Vec<ServiceId>,
+    /// Departures actually performed (named departures that matched no
+    /// live service are not counted).
+    pub undeployed: usize,
+}
 
 /// A clonable, thread-safe handle to an [`Environment`].
 ///
@@ -27,15 +187,15 @@ use crate::{
 ///   safe structures (`MatchCache`, event buffer, recorder) for their
 ///   side channels. Any number of sessions compose simultaneously.
 /// * **write lock (exclusive):** provider churn and execution
-///   ([`SharedEnvironment::with_mut`], [`SharedEnvironment::execute`]) —
-///   executions mutate the QoS monitor, SLA records and the synthetic
+///   ([`SharedEnvironment::apply_churn`], [`SharedEnvironment::execute`])
+///   — executions mutate the QoS monitor, SLA records and the synthetic
 ///   runtime, so they are transactions over the environment's state.
 ///
-/// [`SharedEnvironment::serve`] composes under the read lock, then
-/// executes under the write lock. Churn may slip between the two phases;
-/// that is safe because execution re-validates liveness at binding time
-/// (dynamic binding substitutes departed services), exactly as it already
-/// must for services failing mid-execution.
+/// [`SharedEnvironment::serve_session`] composes under the read lock,
+/// then executes under the write lock. Churn may slip between the two
+/// phases; that is safe because execution re-validates liveness at
+/// binding time (dynamic binding substitutes departed services), exactly
+/// as it already must for services failing mid-execution.
 ///
 /// # Examples
 ///
@@ -81,12 +241,71 @@ impl SharedEnvironment {
 
     /// Runs a mutating operation under the exclusive lock (deployments,
     /// fault injection, task-class registration, …).
+    ///
+    /// Serving front-ends should not reach for this: provider churn has
+    /// the purpose-built [`SharedEnvironment::apply_churn`] and ontology
+    /// swaps [`SharedEnvironment::reload_ontology`], both of which apply
+    /// a *value* under the lock instead of holding a caller-supplied
+    /// closure over it (`qasom-lint` forbids `with_mut` in
+    /// `crates/daemon`).
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Environment) -> R) -> R {
         let mut env = self.write();
         if let Some(rec) = env.recorder() {
             rec.incr(keys::SERVING_WRITE_LOCKS, 1);
         }
         f(&mut env)
+    }
+
+    /// Applies a batch of registry mutations as one transaction under
+    /// the write lock and reports the resulting epoch.
+    ///
+    /// This is the churn entry point for serving front-ends: the delta
+    /// is built lock-free, applied in order, and the receipt carries the
+    /// epoch sessions need to tag compositions raced against the churn.
+    pub fn apply_churn(&self, delta: RegistryDelta) -> ChurnReceipt {
+        let mut env = self.write();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
+        let mut receipt = ChurnReceipt::default();
+        for op in delta.ops {
+            match op {
+                ChurnOp::Deploy(boxed) => {
+                    let (description, behaviour) = *boxed;
+                    receipt.deployed.push(env.deploy(description, behaviour));
+                }
+                ChurnOp::Undeploy(id) => {
+                    if env.registry().get(id).is_some() {
+                        env.undeploy(id);
+                        receipt.undeployed += 1;
+                    }
+                }
+                ChurnOp::UndeployNamed(name) => {
+                    let found = env
+                        .registry()
+                        .iter()
+                        .find(|(_, d)| d.name() == name)
+                        .map(|(id, _)| id);
+                    if let Some(id) = found {
+                        env.undeploy(id);
+                        receipt.undeployed += 1;
+                    }
+                }
+            }
+        }
+        receipt.epoch = env.epoch();
+        receipt
+    }
+
+    /// Swaps the domain ontology under the write lock (capability index
+    /// rebuilt, match cache stamp-invalidated). Returns the new
+    /// ontology's stamp.
+    pub fn reload_ontology(&self, ontology: Ontology) -> u64 {
+        let mut env = self.write();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
+        env.reload_ontology(ontology)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Environment> {
@@ -155,8 +374,20 @@ impl SharedEnvironment {
         env.execute(composition)
     }
 
-    /// One full session: composes under the read lock (concurrently
-    /// with other sessions), then executes under the write lock.
+    /// One full session with a typed outcome: composes under the read
+    /// lock (concurrently with other sessions), then executes under the
+    /// write lock.
+    ///
+    /// Analyzer rejections come back as [`ServeOutcome::Rejected`] — an
+    /// expected, typed end of the session — while infrastructure
+    /// failures (no candidate, selection, execution) are [`ServeError`]s
+    /// carrying the registry epoch at failure time so a retrying caller
+    /// can tell whether the environment has changed since.
+    ///
+    /// The direct library path never produces [`ServeOutcome::Busy`]:
+    /// there is no admission queue here. The `qasomd` daemon layers
+    /// admission control on top and sheds with `Busy` before a session
+    /// ever reaches this method.
     ///
     /// A provider may depart between the two phases; execution handles
     /// that exactly like a mid-execution departure — dynamic binding
@@ -165,38 +396,115 @@ impl SharedEnvironment {
     ///
     /// # Errors
     ///
-    /// Propagates composition and execution errors.
-    pub fn serve(&self, request: &UserRequest) -> Result<ExecutionReport, ServeError> {
+    /// Non-analyzer composition failures and execution failures, each
+    /// tagged with the epoch they occurred at.
+    pub fn serve_session(&self, session: &SessionRequest) -> Result<ServeOutcome, ServeError> {
         let composition = {
             let env = self.read();
             if let Some(rec) = env.recorder() {
                 rec.incr(keys::SERVING_SESSIONS, 1);
                 rec.incr(keys::SERVING_READ_LOCKS, 1);
             }
-            env.compose(request).map_err(ServeError::Compose)?
+            match env.compose(session.request()) {
+                Ok(composition) => composition,
+                Err(ComposeError::Rejected(diags)) => return Ok(ServeOutcome::Rejected(diags)),
+                Err(error) => {
+                    return Err(ServeError::Compose {
+                        epoch: env.epoch(),
+                        error,
+                    })
+                }
+            }
         };
         let mut env = self.write();
         if let Some(rec) = env.recorder() {
             rec.incr(keys::SERVING_WRITE_LOCKS, 1);
         }
-        env.execute(composition).map_err(ServeError::Execute)
+        match env.execute(composition) {
+            Ok(report) => Ok(ServeOutcome::Completed(report)),
+            Err(error) => Err(ServeError::Execute {
+                epoch: env.epoch(),
+                error,
+            }),
+        }
+    }
+
+    /// One full session, legacy shape: the typed outcome flattened back
+    /// into `Result<ExecutionReport, ServeError>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition and execution errors; analyzer rejections
+    /// surface as [`ServeError::Compose`] with
+    /// [`ComposeError::Rejected`], exactly as before the typed API.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use serve_session(&SessionRequest) and match the typed ServeOutcome"
+    )]
+    pub fn serve(&self, request: &UserRequest) -> Result<ExecutionReport, ServeError> {
+        match self.serve_session(&SessionRequest::new(request.clone()))? {
+            ServeOutcome::Completed(report) => Ok(report),
+            ServeOutcome::Rejected(diags) => {
+                let epoch = self.with(|e| e.epoch());
+                Err(ServeError::Compose {
+                    epoch,
+                    error: ComposeError::Rejected(diags),
+                })
+            }
+            // serve_session never sheds (no admission queue on the
+            // library path); keep the legacy signature total anyway.
+            ServeOutcome::Busy { .. } => {
+                let epoch = self.with(|e| e.epoch());
+                Err(ServeError::Compose {
+                    epoch,
+                    error: ComposeError::Rejected(Vec::new()),
+                })
+            }
+        }
     }
 }
 
-/// Errors of [`SharedEnvironment::serve`].
+/// Errors of [`SharedEnvironment::serve_session`]: infrastructure
+/// failures of the two pipeline phases, each carrying the registry epoch
+/// at failure time so retry logic can distinguish "environment unchanged,
+/// retrying is futile" from "providers churned since, retry may succeed".
+///
+/// Marked `#[non_exhaustive]`: serving front-ends grow failure classes
+/// (transport, protocol) without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
-    /// The composition pipeline failed.
-    Compose(ComposeError),
+    /// The composition pipeline failed (discovery/selection — analyzer
+    /// rejections are a typed [`ServeOutcome::Rejected`], not an error).
+    Compose {
+        /// Registry epoch when composition failed.
+        epoch: u64,
+        /// The underlying composition error.
+        error: ComposeError,
+    },
     /// The execution engine failed.
-    Execute(ExecutionError),
+    Execute {
+        /// Registry epoch when execution failed.
+        epoch: u64,
+        /// The underlying execution error.
+        error: ExecutionError,
+    },
+}
+
+impl ServeError {
+    /// The registry epoch at failure time.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ServeError::Compose { epoch, .. } | ServeError::Execute { epoch, .. } => *epoch,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Compose(e) => write!(f, "{e}"),
-            ServeError::Execute(e) => write!(f, "{e}"),
+            ServeError::Compose { error, epoch } => write!(f, "{error} (registry epoch {epoch})"),
+            ServeError::Execute { error, epoch } => write!(f, "{error} (registry epoch {epoch})"),
         }
     }
 }
@@ -206,10 +514,8 @@ impl std::error::Error for ServeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qasom_netsim::runtime::SyntheticService;
     use qasom_ontology::OntologyBuilder;
     use qasom_qos::QosModel;
-    use qasom_registry::ServiceDescription;
     use qasom_task::{Activity, TaskNode, UserTask};
 
     fn shared() -> SharedEnvironment {
@@ -230,8 +536,60 @@ mod tests {
         UserRequest::new(UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap())
     }
 
+    fn session() -> SessionRequest {
+        SessionRequest::new(request()).for_client("tester")
+    }
+
     #[test]
-    fn serve_composes_and_executes() {
+    fn serve_session_composes_and_executes() {
+        let shared = shared();
+        match shared.serve_session(&session()).unwrap() {
+            ServeOutcome::Completed(report) => assert!(report.success),
+            other => panic!("expected Completed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_session_types_analyzer_rejections() {
+        let shared = shared();
+        let bad = SessionRequest::new(
+            request()
+                .constraint("Bogus", 1.0, qasom_qos::Unit::Dimensionless)
+                .unwrap(),
+        );
+        match shared.serve_session(&bad).unwrap() {
+            ServeOutcome::Rejected(diags) => {
+                assert!(diags.iter().any(|d| d.code.code() == "QA010"), "{diags:?}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_errors_carry_the_failure_epoch() {
+        let shared = shared();
+        // Remove every provider: composition fails with NoServiceFor at
+        // the post-churn epoch.
+        let ids = shared.with(|e| e.registry().iter().map(|(id, _)| id).collect::<Vec<_>>());
+        let mut delta = RegistryDelta::new();
+        for id in ids {
+            delta = delta.undeploy(id);
+        }
+        let receipt = shared.apply_churn(delta);
+        let err = shared.serve_session(&session()).unwrap_err();
+        match err {
+            ServeError::Compose { epoch, ref error } => {
+                assert_eq!(epoch, receipt.epoch);
+                assert!(matches!(error, ComposeError::NoServiceFor { .. }));
+            }
+            other => panic!("expected Compose error, got {other:?}"),
+        }
+        assert_eq!(err.epoch(), receipt.epoch);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_serve_shim_still_serves() {
         let shared = shared();
         let report = shared.serve(&request()).unwrap();
         assert!(report.success);
@@ -245,7 +603,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = shared.clone();
-                std::thread::spawn(move || s.serve(&request()).unwrap().success)
+                std::thread::spawn(move || {
+                    s.serve_session(&session()).unwrap().is_completed()
+                })
             })
             .collect();
         for h in handles {
@@ -272,11 +632,42 @@ mod tests {
     }
 
     #[test]
-    fn with_mut_allows_churn() {
+    fn apply_churn_deploys_and_undeploys_transactionally() {
         let shared = shared();
-        let id = shared.with(|e| e.registry().iter().next().unwrap().0);
-        shared.with_mut(|e| e.undeploy(id));
-        assert!(shared.with(|e| e.registry().get(id).is_none()));
+        let rt = shared.with(|e| e.model().property("ResponseTime").unwrap());
+        let before = shared.with(|e| e.epoch());
+        let receipt = shared.apply_churn(
+            RegistryDelta::new()
+                .deploy_faithful(ServiceDescription::new("burst", "d#A").with_qos(rt, 10.0))
+                .undeploy_named("s0")
+                .undeploy_named("no-such-service"),
+        );
+        assert_eq!(receipt.deployed.len(), 1);
+        assert_eq!(receipt.undeployed, 1);
+        // One deploy + one departure = two registry events.
+        assert_eq!(receipt.epoch, before + 2);
+        shared.with(|e| {
+            assert!(e.registry().iter().any(|(_, d)| d.name() == "burst"));
+            assert!(e.registry().iter().all(|(_, d)| d.name() != "s0"));
+        });
+    }
+
+    #[test]
+    fn reload_ontology_swaps_taxonomy_and_rebuilds_index() {
+        let shared = shared();
+        let old_stamp = shared.with(|e| e.ontology().stamp());
+        let mut b = OntologyBuilder::new("d");
+        let a = b.concept("A");
+        b.subconcept("A1", a);
+        let new_stamp = shared.reload_ontology(b.build().unwrap());
+        assert_ne!(old_stamp, new_stamp);
+        shared.with(|e| {
+            assert_eq!(e.ontology().stamp(), new_stamp);
+            assert!(e.registry().index_matches_rebuild());
+            // Services registered before the swap stay discoverable
+            // through the rebuilt index.
+            assert_eq!(e.discover(&Activity::new("x", "d#A")).len(), 4);
+        });
     }
 
     /// Proof that `compose` takes only the read lock: one thread holds a
@@ -318,7 +709,7 @@ mod tests {
         let shared = shared();
         let (before, _) = shared.compose_with_epoch(&request()).unwrap();
         let id = shared.with(|e| e.registry().iter().next().unwrap().0);
-        shared.with_mut(|e| e.undeploy(id));
+        shared.apply_churn(RegistryDelta::new().undeploy(id));
         let (after, _) = shared.compose_with_epoch(&request()).unwrap();
         assert_eq!(after, before + 1);
     }
@@ -332,15 +723,15 @@ mod tests {
             e.set_recorder(std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn Recorder>)
         });
         for _ in 0..3 {
-            shared.serve(&request()).unwrap();
+            shared.serve_session(&session()).unwrap();
         }
         let _ = shared.compose(&request()).unwrap();
         let snap = recorder.snapshot().unwrap();
         assert_eq!(snap.counter(keys::SERVING_SESSIONS), 3);
-        // 3 serves (read each) + 1 compose.
+        // 3 sessions (read each) + 1 compose.
         assert_eq!(snap.counter(keys::SERVING_READ_LOCKS), 4);
-        // 3 serves (write each); the set_recorder with_mut predates the
-        // recorder, so it is not counted.
+        // 3 sessions (write each); the set_recorder with_mut predates
+        // the recorder, so it is not counted.
         assert_eq!(snap.counter(keys::SERVING_WRITE_LOCKS), 3);
     }
 }

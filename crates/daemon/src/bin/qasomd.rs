@@ -1,0 +1,136 @@
+//! `qasomd` — the QASOM serving daemon.
+//!
+//! Binds a TCP listener, builds a synthetic provider market and serves
+//! composition sessions over the frame protocol until stdin closes
+//! (pipe `/dev/null` to run until killed). See `DESIGN.md` §10 for the
+//! protocol and the admission model.
+//!
+//! ```text
+//! qasomd [--addr HOST:PORT] [--seed N] [--providers N]
+//!        [--queue N] [--quota N] [--batch N]
+//! ```
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use qasom::{Environment, SharedEnvironment};
+use qasom_daemon::{AdmissionConfig, BrokerConfig};
+use qasom_netsim::runtime::SyntheticService;
+use qasom_obs::{MemoryRecorder, Recorder};
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::QosModel;
+use qasom_registry::ServiceDescription;
+
+struct Options {
+    addr: String,
+    seed: u64,
+    providers: usize,
+    admission: AdmissionConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7479".to_owned(),
+            seed: 42,
+            providers: 8,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--seed" => options.seed = parse(&value("--seed")?)?,
+            "--providers" => options.providers = parse(&value("--providers")?)?,
+            "--queue" => options.admission.queue_capacity = parse(&value("--queue")?)?,
+            "--quota" => options.admission.client_quota = parse(&value("--quota")?)?,
+            "--batch" => options.admission.batch_max = parse(&value("--batch")?)?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("could not parse {raw:?} as a number"))
+}
+
+fn usage() -> String {
+    "usage: qasomd [--addr HOST:PORT] [--seed N] [--providers N] \
+     [--queue N] [--quota N] [--batch N]"
+        .to_owned()
+}
+
+fn market(seed: u64, providers: usize) -> SharedEnvironment {
+    let mut builder = OntologyBuilder::new("d");
+    builder.concept("A");
+    let ontology = builder.build().expect("static demo ontology builds");
+    let mut env = Environment::new(QosModel::standard(), ontology, seed);
+    env.set_recorder(Arc::new(MemoryRecorder::new()) as Arc<dyn Recorder>);
+    let rt = env
+        .model()
+        .property("ResponseTime")
+        .expect("the standard model defines ResponseTime");
+    for i in 0..providers.max(1) {
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, SyntheticService::new(nominal));
+    }
+    SharedEnvironment::new(env)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let shared = market(options.seed, options.providers);
+    let handle = match qasom_daemon::spawn(&options.addr, shared.clone(), BrokerConfig {
+        admission: options.admission,
+    }) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("qasomd: cannot bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "qasomd: serving on {} (seed {}, {} providers, queue {}, quota {}, batch {})",
+        handle.addr(),
+        options.seed,
+        options.providers,
+        options.admission.queue_capacity,
+        options.admission.client_quota,
+        options.admission.batch_max
+    );
+    eprintln!("qasomd: close stdin to stop");
+
+    // Block until stdin closes — no polling, no clocks.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+
+    handle.stop();
+    let report = shared.with(|e| e.run_report("qasomd"));
+    println!("{}", report.to_pretty_string());
+    ExitCode::SUCCESS
+}

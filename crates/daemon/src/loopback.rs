@@ -1,0 +1,379 @@
+//! The in-process loopback transport: byte-faithful, single-threaded,
+//! deterministic.
+//!
+//! Loopback "connections" are pairs of byte buffers. Clients append
+//! *real encoded frames* ([`crate::frame`]) to their connection's
+//! inbound buffer; [`LoopbackDaemon::pump`] decodes them through the
+//! same codec the TCP transport uses, drives the session state machines
+//! and the broker, and appends encoded response frames to the outbound
+//! buffers. One `pump` is one deterministic scheduling round:
+//!
+//! 1. connections are polled in connection-id order, frames within a
+//!    connection in arrival order — so admission order (and therefore
+//!    shed order) is a pure function of the submission script;
+//! 2. the broker ticks once, draining the queue batch by batch;
+//! 3. responses are written back in broker order.
+//!
+//! Hermetic tests drive this transport; nothing here touches a socket,
+//! a clock or a thread.
+
+use std::collections::BTreeMap;
+
+use qasom::SharedEnvironment;
+use qasom_obs::keys;
+
+use crate::broker::{reply_frame, Broker, BrokerConfig, SessionReply, Submission};
+use crate::frame::{Frame, FrameType, ProtocolError};
+use crate::session::{
+    decode_client_event, ClientEvent, ConnectionSession, SessionEvent, SessionState,
+};
+use crate::wire;
+
+struct LoopConn {
+    session: ConnectionSession,
+    inbound: Vec<u8>,
+    outbound: Vec<u8>,
+    closed: bool,
+}
+
+/// A client handle onto a loopback connection. All operations go
+/// through the daemon (single-threaded determinism); the handle only
+/// names the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopbackClient {
+    conn_id: u64,
+}
+
+impl LoopbackClient {
+    /// The connection id backing this handle.
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+}
+
+/// The loopback daemon: a broker plus in-memory connections.
+pub struct LoopbackDaemon {
+    broker: Broker,
+    conns: BTreeMap<u64, LoopConn>,
+    next_conn: u64,
+}
+
+impl LoopbackDaemon {
+    /// A daemon serving `shared` under the given broker config.
+    pub fn new(shared: SharedEnvironment, config: BrokerConfig) -> Self {
+        LoopbackDaemon {
+            broker: Broker::new(shared, config),
+            conns: BTreeMap::new(),
+            next_conn: 0,
+        }
+    }
+
+    /// The broker core (for inspection in tests and benches).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Opens a connection. The client still has to say `HELLO`.
+    pub fn connect(&mut self) -> LoopbackClient {
+        let conn_id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(
+            conn_id,
+            LoopConn {
+                session: ConnectionSession::new(),
+                inbound: Vec::new(),
+                outbound: Vec::new(),
+                closed: false,
+            },
+        );
+        LoopbackClient { conn_id }
+    }
+
+    fn conn_mut(&mut self, client: LoopbackClient) -> Result<&mut LoopConn, ProtocolError> {
+        self.conns
+            .get_mut(&client.conn_id)
+            .ok_or(ProtocolError::OutOfTurn("connection does not exist"))
+    }
+
+    /// Client side: sends a `HELLO` frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown connections and over-wide client names.
+    pub fn send_hello(&mut self, client: LoopbackClient, name: &str) -> Result<(), ProtocolError> {
+        let frame = Frame {
+            frame_type: FrameType::Hello,
+            payload: wire::encode_hello(name)?,
+        };
+        let conn = self.conn_mut(client)?;
+        frame.encode(&mut conn.inbound)
+    }
+
+    /// Client side: sends a `COMPOSE` frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown connections and over-wide requests.
+    pub fn send_compose(
+        &mut self,
+        client: LoopbackClient,
+        corr_id: u64,
+        request: &qasom::UserRequest,
+    ) -> Result<(), ProtocolError> {
+        let frame = Frame {
+            frame_type: FrameType::Compose,
+            payload: wire::encode_compose(corr_id, request)?,
+        };
+        let conn = self.conn_mut(client)?;
+        frame.encode(&mut conn.inbound)
+    }
+
+    /// Client side: sends a `BYE` frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown connections.
+    pub fn send_bye(&mut self, client: LoopbackClient) -> Result<(), ProtocolError> {
+        let frame = Frame::bare(FrameType::Bye);
+        let conn = self.conn_mut(client)?;
+        frame.encode(&mut conn.inbound)
+    }
+
+    /// Client side: decodes every response frame buffered on the
+    /// connection, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the daemon wrote a frame the client codec rejects
+    /// (a codec bug, not a runtime condition).
+    pub fn drain_events(
+        &mut self,
+        client: LoopbackClient,
+    ) -> Result<Vec<ClientEvent>, ProtocolError> {
+        let conn = self.conn_mut(client)?;
+        let mut events = Vec::new();
+        while let Some(frame) = Frame::take(&mut conn.outbound)? {
+            events.push(decode_client_event(&frame)?);
+        }
+        Ok(events)
+    }
+
+    /// One deterministic scheduling round (see the module docs).
+    ///
+    /// Protocol errors on a connection do not abort the round: the
+    /// offender gets an `ERROR` frame (correlation id 0) and is closed;
+    /// other connections proceed.
+    pub fn pump(&mut self) {
+        // Phase 1: poll connections in id order, admitting sessions.
+        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn_id in conn_ids {
+            self.poll_conn(conn_id);
+        }
+        // Phase 2: one broker tick; respond in broker order.
+        let responses = self.broker.tick();
+        for response in responses {
+            let frame = match reply_frame(response.corr_id, &response.reply) {
+                Ok(frame) => frame,
+                Err(e) => match encode_error_frame(response.corr_id, 0, &e.to_string()) {
+                    Some(frame) => frame,
+                    None => continue,
+                },
+            };
+            self.write_frame(response.conn_id, &frame);
+        }
+        // Closed connections whose buffers are drained can be dropped.
+        self.conns
+            .retain(|_, c| !(c.closed && c.inbound.is_empty() && c.outbound.is_empty()));
+    }
+
+    fn poll_conn(&mut self, conn_id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            if conn.closed {
+                return;
+            }
+            let frame = match Frame::take(&mut conn.inbound) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(e) => {
+                    conn.closed = true;
+                    let message = e.to_string();
+                    self.answer_error(conn_id, &message);
+                    return;
+                }
+            };
+            self.count(keys::DAEMON_FRAMES_READ, 1);
+            let event = {
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                conn.session.on_frame(&frame)
+            };
+            match event {
+                Ok(SessionEvent::Hello { .. }) => {
+                    let ack = wire::HelloAck {
+                        epoch: self.broker.epoch(),
+                        batch_max: self.broker.admission_config().batch_max as u32,
+                    };
+                    let frame = Frame {
+                        frame_type: FrameType::HelloAck,
+                        payload: wire::encode_hello_ack(ack),
+                    };
+                    self.write_frame(conn_id, &frame);
+                }
+                Ok(SessionEvent::Submit {
+                    corr_id,
+                    request,
+                    signature,
+                }) => {
+                    let client = self
+                        .conns
+                        .get(&conn_id)
+                        .and_then(|c| c.session.client())
+                        .unwrap_or("")
+                        .to_owned();
+                    let submission =
+                        self.broker
+                            .submit(conn_id, corr_id, &client, request, signature);
+                    if let Submission::Shed { retry_after_ticks } = submission {
+                        // Shed now, in poll order: Busy ordering is
+                        // deterministic in the submission script.
+                        let reply = SessionReply::Outcome(qasom::ServeOutcome::Busy {
+                            retry_after_ticks,
+                        });
+                        if let Ok(frame) = reply_frame(corr_id, &reply) {
+                            self.write_frame(conn_id, &frame);
+                        }
+                    }
+                }
+                Ok(SessionEvent::Bye) => {
+                    if let Some(conn) = self.conns.get_mut(&conn_id) {
+                        conn.closed = true;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    if let Some(conn) = self.conns.get_mut(&conn_id) {
+                        conn.closed = true;
+                    }
+                    self.answer_error(conn_id, &message);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn answer_error(&mut self, conn_id: u64, message: &str) {
+        let epoch = self.broker.epoch();
+        if let Some(frame) = encode_error_frame(0, epoch, message) {
+            self.write_frame(conn_id, &frame);
+        }
+    }
+
+    fn write_frame(&mut self, conn_id: u64, frame: &Frame) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            if frame.encode(&mut conn.outbound).is_ok() {
+                self.count(keys::DAEMON_FRAMES_WRITTEN, 1);
+            }
+        }
+    }
+
+    fn count(&self, key: &str, delta: u64) {
+        if let Some(rec) = self.broker.recorder() {
+            rec.incr(key, delta);
+        }
+    }
+}
+
+fn encode_error_frame(corr_id: u64, epoch: u64, message: &str) -> Option<Frame> {
+    wire::encode_error(corr_id, epoch, message)
+        .ok()
+        .map(|payload| Frame {
+            frame_type: FrameType::Error,
+            payload,
+        })
+}
+
+/// Convenience for tests and scripted workloads: is the connection's
+/// server-side session closed?
+impl LoopbackDaemon {
+    /// Whether the connection is closed (said `BYE` or hit a protocol
+    /// error) or already dropped.
+    pub fn is_closed(&self, client: LoopbackClient) -> bool {
+        self.conns
+            .get(&client.conn_id)
+            .map_or(true, |c| c.closed || c.session.state() == SessionState::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ClientOutcome;
+    use qasom::{Environment, UserRequest};
+    use qasom_netsim::runtime::SyntheticService;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_qos::QosModel;
+    use qasom_registry::ServiceDescription;
+    use qasom_task::{Activity, TaskNode, UserTask};
+
+    fn shared() -> SharedEnvironment {
+        let mut b = OntologyBuilder::new("d");
+        b.concept("A");
+        let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 3);
+        let rt = env.model().property("ResponseTime").unwrap();
+        for i in 0..3 {
+            let desc =
+                ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 30.0 + f64::from(i));
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+        SharedEnvironment::new(env)
+    }
+
+    fn request() -> UserRequest {
+        UserRequest::new(UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap())
+    }
+
+    #[test]
+    fn hello_compose_bye_roundtrip() {
+        let mut d = LoopbackDaemon::new(shared(), BrokerConfig::default());
+        let c = d.connect();
+        d.send_hello(c, "client-1").unwrap();
+        d.send_compose(c, 42, &request()).unwrap();
+        d.pump();
+        let events = d.drain_events(c).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], ClientEvent::HelloAck(_)));
+        assert!(matches!(
+            &events[1],
+            ClientEvent::Reply {
+                corr_id: 42,
+                outcome: ClientOutcome::Completed(s)
+            } if s.success
+        ));
+        d.send_bye(c).unwrap();
+        d.pump();
+        assert!(d.is_closed(c));
+    }
+
+    #[test]
+    fn compose_before_hello_gets_an_error_frame() {
+        let mut d = LoopbackDaemon::new(shared(), BrokerConfig::default());
+        let c = d.connect();
+        d.send_compose(c, 1, &request()).unwrap();
+        d.pump();
+        let events = d.drain_events(c).unwrap();
+        assert!(matches!(
+            &events[0],
+            ClientEvent::Reply {
+                corr_id: 0,
+                outcome: ClientOutcome::Failed { .. }
+            }
+        ));
+        assert!(d.is_closed(c));
+    }
+}

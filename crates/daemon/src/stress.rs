@@ -1,0 +1,212 @@
+//! The scripted daemon stress workload behind `qasom-cli daemon-stress`.
+//!
+//! A fixed, single-threaded script over the loopback transport: a small
+//! provider market, a handful of clients hammering a shared "hot"
+//! request (exercising the batcher), a rotating bursty client pushing
+//! past its quota, a cold request every few rounds (separate batch) and
+//! provider churn through [`qasom::RegistryDelta`]. Everything —
+//! admission order, batch composition, shed decisions — is a pure
+//! function of the [`StressConfig`], so identical configs produce
+//! byte-identical [`RunReport`]s; CI `cmp`s two runs.
+
+use std::sync::Arc;
+
+use qasom::{Environment, RegistryDelta, SharedEnvironment, UserRequest};
+use qasom_netsim::runtime::SyntheticService;
+use qasom_obs::report::RunReport;
+use qasom_obs::{MemoryRecorder, Recorder};
+use qasom_ontology::OntologyBuilder;
+use qasom_qos::{QosModel, Unit};
+use qasom_registry::ServiceDescription;
+use qasom_task::{Activity, TaskNode, UserTask};
+
+use crate::admission::AdmissionConfig;
+use crate::broker::BrokerConfig;
+use crate::loopback::LoopbackDaemon;
+
+/// Parameters of the scripted workload.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Seed for the synthetic environment's RNG.
+    pub seed: u64,
+    /// Scheduling rounds (one `pump` each).
+    pub rounds: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Admission limits; the defaults are tight enough that the script
+    /// exercises both quota denials and queue shedding.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            seed: 42,
+            rounds: 12,
+            clients: 4,
+            admission: AdmissionConfig {
+                queue_capacity: 6,
+                client_quota: 2,
+                batch_max: 4,
+            },
+        }
+    }
+}
+
+fn market(seed: u64) -> Result<SharedEnvironment, String> {
+    let mut builder = OntologyBuilder::new("d");
+    builder.concept("A");
+    let ontology = builder.build().map_err(|e| e.to_string())?;
+    let mut env = Environment::new(QosModel::standard(), ontology, seed);
+    let recorder = Arc::new(MemoryRecorder::new());
+    env.set_recorder(recorder as Arc<dyn Recorder>);
+    let rt = env
+        .model()
+        .property("ResponseTime")
+        .ok_or("the standard model defines ResponseTime")?;
+    for i in 0..6 {
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, SyntheticService::new(nominal));
+    }
+    Ok(SharedEnvironment::new(env))
+}
+
+fn hot_request() -> Result<UserRequest, String> {
+    let task = UserTask::new("hot", TaskNode::activity(Activity::new("a", "d#A")))
+        .map_err(|e| e.to_string())?;
+    Ok(UserRequest::new(task).weight("Delay", 1.0))
+}
+
+fn cold_request(k: usize) -> Result<UserRequest, String> {
+    let task = UserTask::new(
+        format!("cold-{k}"),
+        TaskNode::activity(Activity::new("a", "d#A")),
+    )
+    .map_err(|e| e.to_string())?;
+    UserRequest::new(task)
+        .constraint("ResponseTime", 1.0, Unit::Seconds)
+        .map_err(|e| e.to_string())
+}
+
+/// Toggles the `burst` provider through the typed churn API (daemon
+/// code never holds a closure over the write lock).
+fn toggle_burst(shared: &SharedEnvironment) -> Result<(), String> {
+    let existing = shared.with(|e| {
+        e.registry()
+            .iter()
+            .find(|(_, d)| d.name() == "burst")
+            .map(|(id, _)| id)
+    });
+    let delta = match existing {
+        Some(id) => RegistryDelta::new().undeploy(id),
+        None => {
+            let rt = shared
+                .with(|e| e.model().property("ResponseTime"))
+                .ok_or("the standard model defines ResponseTime")?;
+            RegistryDelta::new()
+                .deploy_faithful(ServiceDescription::new("burst", "d#A").with_qos(rt, 10.0))
+        }
+    };
+    shared.apply_churn(delta);
+    Ok(())
+}
+
+/// Runs the scripted workload and returns the final [`RunReport`]
+/// (`daemon.*` counters included). Identical configs produce
+/// byte-identical reports.
+///
+/// # Errors
+///
+/// Fails on internal codec errors (a bug, not a runtime condition) —
+/// rendered as strings for the CLI.
+pub fn stress_report(config: &StressConfig) -> Result<RunReport, String> {
+    let shared = market(config.seed)?;
+    let mut daemon = LoopbackDaemon::new(shared.clone(), BrokerConfig {
+        admission: config.admission,
+    });
+
+    let clients: Vec<_> = (0..config.clients.max(1))
+        .map(|i| {
+            let handle = daemon.connect();
+            daemon
+                .send_hello(handle, &format!("client-{i}"))
+                .map_err(|e| e.to_string())?;
+            Ok(handle)
+        })
+        .collect::<Result<_, String>>()?;
+    daemon.pump();
+
+    let hot = hot_request()?;
+    let mut corr = 0u64;
+    for round in 0..config.rounds {
+        if round % 3 == 0 {
+            toggle_burst(&shared)?;
+        }
+        for (i, handle) in clients.iter().enumerate() {
+            corr += 1;
+            daemon
+                .send_compose(*handle, corr, &hot)
+                .map_err(|e| e.to_string())?;
+            // The round's bursty client doubles down past its quota.
+            if i == round % clients.len() {
+                for _ in 0..2 {
+                    corr += 1;
+                    daemon
+                        .send_compose(*handle, corr, &hot)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        if round % 4 == 2 {
+            if let Some(handle) = clients.first() {
+                corr += 1;
+                daemon
+                    .send_compose(*handle, corr, &cold_request(round % 2)?)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        daemon.pump();
+        for handle in &clients {
+            // Drain (and thereby decode-check) every response frame.
+            daemon.drain_events(*handle).map_err(|e| e.to_string())?;
+        }
+    }
+    for handle in &clients {
+        daemon.send_bye(*handle).map_err(|e| e.to_string())?;
+    }
+    daemon.pump();
+
+    Ok(shared.with(|e| e.run_report("daemon-stress")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_same_bytes() {
+        let config = StressConfig::default();
+        let a = stress_report(&config).unwrap().to_pretty_string();
+        let b = stress_report(&config).unwrap().to_pretty_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn the_script_exercises_batching_and_shedding() {
+        let report = stress_report(&StressConfig::default()).unwrap();
+        let daemon = report.daemon.expect("daemon section present");
+        assert!(daemon.sessions_admitted > 0);
+        assert!(daemon.batches > 0);
+        // The batcher actually groups: fewer compose passes than
+        // sessions.
+        assert!(daemon.batches < daemon.sessions_admitted);
+        // The bursty client trips its quota; the script is sized so the
+        // queue itself never saturates before quotas do.
+        assert!(daemon.quota_denials > 0);
+        assert_eq!(
+            daemon.sessions_admitted,
+            daemon.sessions_completed + daemon.sessions_rejected + daemon.sessions_failed
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! The TCP transport: a reader/router/writer split over real sockets.
+//!
+//! ```text
+//!             ┌────────────┐  RouterMsg   ┌────────────┐  Frame   ┌────────────┐
+//! socket ───▶ │ reader     │ ───────────▶ │ router     │ ───────▶ │ writer     │ ───▶ socket
+//!  (1/conn)   │ thread     │   (mpsc)     │ thread     │  (mpsc)  │ thread     │
+//!             └────────────┘              │ + Broker   │ (1/conn) └────────────┘
+//!                                         └────────────┘
+//! ```
+//!
+//! Reader threads block on [`Frame::read_from`] and forward decoded
+//! frames; the single router thread owns the [`Broker`] and every
+//! session state machine, so all admission/batching decisions are made
+//! sequentially (the same core the deterministic loopback drives).
+//! After draining every message currently queued — the natural batch
+//! window: frames that arrived while the broker was busy — the router
+//! ticks the broker once and hands responses to the per-connection
+//! writer threads. No thread sleeps or polls a clock; everything blocks
+//! on channels or sockets.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use qasom::{ServeOutcome, SharedEnvironment};
+use qasom_obs::keys;
+
+use crate::broker::{reply_frame, Broker, BrokerConfig, SessionReply, Submission};
+use crate::frame::{Frame, FrameType};
+use crate::session::{ConnectionSession, SessionEvent};
+use crate::wire;
+
+enum RouterMsg {
+    Connected {
+        conn_id: u64,
+        writer: Sender<Frame>,
+    },
+    Inbound {
+        conn_id: u64,
+        frame: Frame,
+    },
+    Disconnected {
+        conn_id: u64,
+    },
+    Shutdown,
+}
+
+struct ConnState {
+    session: ConnectionSession,
+    writer: Sender<Frame>,
+}
+
+/// A running TCP daemon; dropping the handle does not stop it — call
+/// [`TcpDaemonHandle::stop`].
+pub struct TcpDaemonHandle {
+    addr: SocketAddr,
+    router_tx: Sender<RouterMsg>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    router_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpDaemonHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, shuts the router down and joins both threads.
+    /// Open client sockets are not force-closed; their reader threads
+    /// exit when the peers disconnect.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.router_tx.send(RouterMsg::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.router_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `shared` until [`TcpDaemonHandle::stop`].
+///
+/// # Errors
+///
+/// Fails when the listener cannot bind.
+pub fn spawn(
+    addr: &str,
+    shared: SharedEnvironment,
+    config: BrokerConfig,
+) -> std::io::Result<TcpDaemonHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (router_tx, router_rx) = mpsc::channel();
+
+    let router_thread = {
+        let broker = Broker::new(shared, config);
+        std::thread::spawn(move || router_loop(broker, &router_rx))
+    };
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let router_tx = router_tx.clone();
+        std::thread::spawn(move || {
+            let mut next_conn = 0u64;
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_id = next_conn;
+                next_conn += 1;
+                if spawn_connection(conn_id, stream, &router_tx).is_err() {
+                    continue;
+                }
+            }
+        })
+    };
+
+    Ok(TcpDaemonHandle {
+        addr: local,
+        router_tx,
+        stop,
+        accept_thread: Some(accept_thread),
+        router_thread: Some(router_thread),
+    })
+}
+
+/// Spawns the reader and writer threads for one accepted socket.
+fn spawn_connection(
+    conn_id: u64,
+    stream: TcpStream,
+    router_tx: &Sender<RouterMsg>,
+) -> std::io::Result<()> {
+    let reader_stream = stream.try_clone()?;
+    let (writer_tx, writer_rx) = mpsc::channel::<Frame>();
+    if router_tx
+        .send(RouterMsg::Connected {
+            conn_id,
+            writer: writer_tx,
+        })
+        .is_err()
+    {
+        return Ok(());
+    }
+
+    // Writer: drains the frame channel onto the socket; exits when the
+    // router drops the sender (disconnect/shutdown) or the write fails.
+    let mut writer_stream = stream;
+    std::thread::spawn(move || {
+        while let Ok(frame) = writer_rx.recv() {
+            if frame.write_to(&mut writer_stream).is_err() {
+                break;
+            }
+        }
+        let _ = writer_stream.shutdown(std::net::Shutdown::Both);
+    });
+
+    // Reader: blocks on frames, forwards them to the router.
+    let router_tx = router_tx.clone();
+    let mut reader = reader_stream;
+    std::thread::spawn(move || {
+        loop {
+            match Frame::read_from(&mut reader) {
+                Ok(Some(frame)) => {
+                    if router_tx
+                        .send(RouterMsg::Inbound { conn_id, frame })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = router_tx.send(RouterMsg::Disconnected { conn_id });
+                    break;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+fn router_loop(mut broker: Broker, rx: &Receiver<RouterMsg>) {
+    let mut conns: std::collections::BTreeMap<u64, ConnState> = std::collections::BTreeMap::new();
+    'serve: loop {
+        // Block for the first message, then drain whatever else arrived
+        // while the broker was busy — that backlog is the batch window.
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let mut backlog = vec![first];
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => backlog.push(msg),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        for msg in backlog {
+            match msg {
+                RouterMsg::Connected { conn_id, writer } => {
+                    conns.insert(
+                        conn_id,
+                        ConnState {
+                            session: ConnectionSession::new(),
+                            writer,
+                        },
+                    );
+                }
+                RouterMsg::Inbound { conn_id, frame } => {
+                    count(&broker, keys::DAEMON_FRAMES_READ, 1);
+                    handle_frame(&mut broker, &mut conns, conn_id, &frame);
+                }
+                RouterMsg::Disconnected { conn_id } => {
+                    conns.remove(&conn_id);
+                }
+                RouterMsg::Shutdown => break 'serve,
+            }
+        }
+        for response in broker.tick() {
+            if let Ok(frame) = reply_frame(response.corr_id, &response.reply) {
+                send(&broker, &conns, response.conn_id, frame);
+            }
+        }
+    }
+}
+
+fn handle_frame(
+    broker: &mut Broker,
+    conns: &mut std::collections::BTreeMap<u64, ConnState>,
+    conn_id: u64,
+    frame: &Frame,
+) {
+    let Some(state) = conns.get_mut(&conn_id) else {
+        return;
+    };
+    match state.session.on_frame(frame) {
+        Ok(SessionEvent::Hello { .. }) => {
+            let ack = wire::HelloAck {
+                epoch: broker.epoch(),
+                batch_max: broker.admission_config().batch_max as u32,
+            };
+            let frame = Frame {
+                frame_type: FrameType::HelloAck,
+                payload: wire::encode_hello_ack(ack),
+            };
+            send(broker, conns, conn_id, frame);
+        }
+        Ok(SessionEvent::Submit {
+            corr_id,
+            request,
+            signature,
+        }) => {
+            let client = state.session.client().unwrap_or("").to_owned();
+            let submission = broker.submit(conn_id, corr_id, &client, request, signature);
+            if let Submission::Shed { retry_after_ticks } = submission {
+                let reply = SessionReply::Outcome(ServeOutcome::Busy { retry_after_ticks });
+                if let Ok(frame) = reply_frame(corr_id, &reply) {
+                    send(broker, conns, conn_id, frame);
+                }
+            }
+        }
+        Ok(SessionEvent::Bye) => {
+            conns.remove(&conn_id);
+        }
+        Err(e) => {
+            let epoch = broker.epoch();
+            if let Ok(payload) = wire::encode_error(0, epoch, &e.to_string()) {
+                let frame = Frame {
+                    frame_type: FrameType::Error,
+                    payload,
+                };
+                send(broker, conns, conn_id, frame);
+            }
+            conns.remove(&conn_id);
+        }
+    }
+}
+
+fn send(
+    broker: &Broker,
+    conns: &std::collections::BTreeMap<u64, ConnState>,
+    conn_id: u64,
+    frame: Frame,
+) {
+    if let Some(state) = conns.get(&conn_id) {
+        if state.writer.send(frame).is_ok() {
+            count(broker, keys::DAEMON_FRAMES_WRITTEN, 1);
+        }
+    }
+}
+
+fn count(broker: &Broker, key: &str, delta: u64) {
+    if let Some(rec) = broker.recorder() {
+        rec.incr(key, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{decode_client_event, ClientEvent, ClientOutcome};
+    use qasom::{Environment, UserRequest};
+    use qasom_netsim::runtime::SyntheticService;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_qos::QosModel;
+    use qasom_registry::ServiceDescription;
+    use qasom_task::{Activity, TaskNode, UserTask};
+
+    fn shared() -> SharedEnvironment {
+        let mut b = OntologyBuilder::new("d");
+        b.concept("A");
+        let mut env = Environment::new(QosModel::standard(), b.build().unwrap(), 11);
+        let rt = env.model().property("ResponseTime").unwrap();
+        for i in 0..3 {
+            let desc =
+                ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 25.0 + f64::from(i));
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+        SharedEnvironment::new(env)
+    }
+
+    #[test]
+    fn sessions_roundtrip_over_a_real_socket() {
+        let handle = spawn("127.0.0.1:0", shared(), BrokerConfig::default()).unwrap();
+        let mut client = TcpStream::connect(handle.addr()).unwrap();
+
+        Frame {
+            frame_type: FrameType::Hello,
+            payload: wire::encode_hello("tcp-test").unwrap(),
+        }
+        .write_to(&mut client)
+        .unwrap();
+        let ack = Frame::read_from(&mut client).unwrap().unwrap();
+        assert!(matches!(
+            decode_client_event(&ack).unwrap(),
+            ClientEvent::HelloAck(_)
+        ));
+
+        let request = UserRequest::new(
+            UserTask::new("t", TaskNode::activity(Activity::new("a", "d#A"))).unwrap(),
+        );
+        Frame {
+            frame_type: FrameType::Compose,
+            payload: wire::encode_compose(9, &request).unwrap(),
+        }
+        .write_to(&mut client)
+        .unwrap();
+        let reply = Frame::read_from(&mut client).unwrap().unwrap();
+        match decode_client_event(&reply).unwrap() {
+            ClientEvent::Reply {
+                corr_id: 9,
+                outcome: ClientOutcome::Completed(summary),
+            } => assert!(summary.success),
+            other => panic!("expected completion, got {other:?}"),
+        }
+
+        Frame::bare(FrameType::Bye).write_to(&mut client).unwrap();
+        drop(client);
+        handle.stop();
+    }
+}

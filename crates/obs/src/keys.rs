@@ -74,6 +74,30 @@ pub const SERVING_WRITE_LOCKS: &str = "serving.write_locks";
 /// Registry snapshots handed out (`Environment::registry_snapshot`).
 pub const SERVING_SNAPSHOTS: &str = "serving.snapshot_refreshes";
 
+/// Sessions the daemon's admission layer accepted into the queue.
+pub const DAEMON_ADMITTED: &str = "daemon.sessions_admitted";
+/// Sessions shed with a `Busy` outcome because the queue was full.
+pub const DAEMON_SHED: &str = "daemon.sessions_shed";
+/// Sessions shed with a `Busy` outcome because a client exceeded its
+/// in-flight quota.
+pub const DAEMON_QUOTA_DENIALS: &str = "daemon.quota_denials";
+/// Sessions that completed execution through the daemon.
+pub const DAEMON_COMPLETED: &str = "daemon.sessions_completed";
+/// Sessions rejected by static analysis (typed `Rejected` outcome).
+pub const DAEMON_REJECTED: &str = "daemon.sessions_rejected";
+/// Sessions that failed with a serve error (non-typed failure frame).
+pub const DAEMON_FAILED: &str = "daemon.sessions_failed";
+/// Compose batches formed by the batcher (one compose pass each).
+pub const DAEMON_BATCHES: &str = "daemon.batches";
+/// Sessions served out of shared-compose batches.
+pub const DAEMON_BATCHED_SESSIONS: &str = "daemon.batched_sessions";
+/// Frames the daemon read from client connections.
+pub const DAEMON_FRAMES_READ: &str = "daemon.frames_read";
+/// Frames the daemon wrote back to client connections.
+pub const DAEMON_FRAMES_WRITTEN: &str = "daemon.frames_written";
+/// Broker scheduling rounds (ticks) executed.
+pub const DAEMON_TICKS: &str = "daemon.ticks";
+
 /// Span covering one QASSA selection (logical clock: activities done).
 pub const SPAN_SELECT: &str = "qassa.select";
 /// Span covering a distributed run's local phase (simulated µs).

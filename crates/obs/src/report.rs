@@ -330,6 +330,62 @@ impl ServingSection {
     }
 }
 
+/// Daemon-side totals: how sessions moved through `qasomd`'s admission
+/// queue, batcher and framing layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DaemonSection {
+    /// Sessions admitted into the bounded queue.
+    pub sessions_admitted: u64,
+    /// Sessions shed with `Busy` because the queue was at capacity.
+    pub sessions_shed: u64,
+    /// Sessions shed with `Busy` because a client exceeded its quota.
+    pub quota_denials: u64,
+    /// Sessions that completed execution.
+    pub sessions_completed: u64,
+    /// Sessions rejected by static analysis (typed outcome).
+    pub sessions_rejected: u64,
+    /// Sessions that failed with a serve error.
+    pub sessions_failed: u64,
+    /// Compose batches formed (one discovery/selection pass each).
+    pub batches: u64,
+    /// Sessions served out of those batches.
+    pub batched_sessions: u64,
+    /// Frames read from client connections.
+    pub frames_read: u64,
+    /// Frames written back to client connections.
+    pub frames_written: u64,
+    /// Broker scheduling rounds executed.
+    pub ticks: u64,
+}
+
+impl DaemonSection {
+    /// Mean sessions per compose batch, 0 when no batch formed.
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_sessions as f64 / self.batches as f64
+        }
+    }
+
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("sessions_admitted", self.sessions_admitted)
+            .field("sessions_shed", self.sessions_shed)
+            .field("quota_denials", self.quota_denials)
+            .field("sessions_completed", self.sessions_completed)
+            .field("sessions_rejected", self.sessions_rejected)
+            .field("sessions_failed", self.sessions_failed)
+            .field("batches", self.batches)
+            .field("batched_sessions", self.batched_sessions)
+            .field("batch_occupancy", self.batch_occupancy())
+            .field("frames_read", self.frames_read)
+            .field("frames_written", self.frames_written)
+            .field("ticks", self.ticks)
+    }
+}
+
 /// The unified, seed-stamped run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -353,6 +409,8 @@ pub struct RunReport {
     /// Serving-layer totals, when the run went through
     /// `SharedEnvironment`.
     pub serving: Option<ServingSection>,
+    /// Daemon-layer totals, when the run went through `qasomd`.
+    pub daemon: Option<DaemonSection>,
     /// Raw metric snapshot (counters / histograms / spans).
     pub metrics: MetricsSnapshot,
 }
@@ -370,6 +428,7 @@ impl RunReport {
             selection: None,
             distributed: None,
             serving: None,
+            daemon: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -408,6 +467,10 @@ impl RunReport {
             .field(
                 "serving",
                 opt(self.serving.as_ref().map(ServingSection::to_json)),
+            )
+            .field(
+                "daemon",
+                opt(self.daemon.as_ref().map(DaemonSection::to_json)),
             )
             .field("metrics", self.metrics.to_json())
     }
@@ -516,6 +579,7 @@ mod tests {
         full.selection = Some(SelectionSection::default());
         full.distributed = Some(DistributedSection::default());
         full.serving = Some(ServingSection::default());
+        full.daemon = Some(DaemonSection::default());
         let top = |r: &RunReport| match r.to_json() {
             JsonValue::Object(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             _ => Vec::new(),

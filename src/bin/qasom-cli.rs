@@ -4,8 +4,10 @@
 //! qasom-cli --services services.xml --classes classes.xml --task shop-v1 \
 //!           [--taxonomy taxonomy.xml] [--constraint Delay=1.5s]... \
 //!           [--weight Delay=2]... [--seed 42] [--verbose] [--report FILE]
-//! qasom-cli report [--seed 42] [--out FILE]
+//! qasom-cli report [--seed 42] [--schema] [--out FILE]
 //! qasom-cli stress [--seed 42] [--sessions 12] [--out FILE]
+//! qasom-cli daemon-stress [--seed 42] [--rounds 12] [--clients 4]
+//!                         [--queue 6] [--quota 2] [--batch 4] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -21,21 +23,37 @@
 //!
 //! The `report` subcommand runs the builtin deterministic end-to-end
 //! scenario ([`qasom::demo`]) and prints its `RunReport` JSON: identical
-//! seeds produce byte-identical output.
+//! seeds produce byte-identical output. With `--schema` it prints the
+//! report's sorted key paths instead — the exact content of
+//! `tests/fixtures/run_report_schema.txt`, so the fixture regenerates
+//! with `qasom-cli report --schema --out tests/fixtures/run_report_schema.txt`.
 //!
 //! The `stress` subcommand runs a fixed, single-threaded serving
-//! scenario over a [`qasom::SharedEnvironment`] (sessions interleaved
-//! with provider churn) and prints the resulting `RunReport`, serving
-//! counters included — the determinism oracle CI `cmp`s across repeats.
+//! scenario over a [`qasom::SharedEnvironment`] (typed sessions
+//! interleaved with `RegistryDelta` churn) and prints the resulting
+//! `RunReport`, serving counters included — the determinism oracle CI
+//! `cmp`s across repeats.
+//!
+//! The `daemon-stress` subcommand drives the `qasomd` broker over the
+//! in-process loopback transport (`qasom_daemon::stress`): several
+//! clients submit batched hot requests past their admission quotas,
+//! with provider churn between rounds. The printed `RunReport` carries
+//! the `daemon.*` counters and is byte-identical for identical
+//! arguments.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use qasom::{demo, Environment, EventLog, SharedEnvironment, UserRequest};
+use qasom::{
+    demo, Environment, EventLog, RegistryDelta, ServeOutcome, SessionRequest, SharedEnvironment,
+    UserRequest,
+};
+use qasom_daemon::stress::StressConfig;
+use qasom_daemon::AdmissionConfig;
 use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
-use qasom_obs::{MemoryRecorder, Recorder};
+use qasom_obs::{key_paths, MemoryRecorder, Recorder};
 use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
 use qasom_qos::{QosModel, Unit};
 use qasom_registry::ServiceDescription;
@@ -46,6 +64,7 @@ fn main() -> ExitCode {
     let outcome = match std::env::args().nth(1).as_deref() {
         Some("report") => run_report_subcommand(),
         Some("stress") => run_stress_subcommand(),
+        Some("daemon-stress") => run_daemon_stress_subcommand(),
         _ => run(),
     };
     match outcome {
@@ -57,10 +76,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// `qasom-cli report [--seed N] [--out FILE]`: the builtin deterministic
-/// scenario, exported as pretty-printed `RunReport` JSON.
+/// `qasom-cli report [--seed N] [--schema] [--out FILE]`: the builtin
+/// deterministic scenario, exported as pretty-printed `RunReport` JSON —
+/// or, with `--schema`, as its sorted key paths.
 fn run_report_subcommand() -> Result<(), String> {
     let mut seed = 42u64;
+    let mut schema = false;
     let mut out: Option<String> = None;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
@@ -70,15 +91,20 @@ fn run_report_subcommand() -> Result<(), String> {
                 let raw = value("--seed")?;
                 seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
             }
+            "--schema" => schema = true,
             "--out" => out = Some(value("--out")?),
             "--help" | "-h" => {
-                println!("usage: qasom-cli report [--seed N] [--out FILE]");
+                println!("usage: qasom-cli report [--seed N] [--schema] [--out FILE]");
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other:?} (try report --help)")),
         }
     }
     let report = demo::demo_run_report(seed);
+    if schema {
+        let paths = key_paths(&report.to_json()).join("\n");
+        return write_text(&paths, out.as_deref());
+    }
     write_report(&report, out.as_deref())
 }
 
@@ -116,8 +142,60 @@ fn run_stress_subcommand() -> Result<(), String> {
     write_report(&report, out.as_deref())
 }
 
+/// `qasom-cli daemon-stress [--seed N] [--rounds N] [--clients N]
+/// [--queue N] [--quota N] [--batch N] [--out FILE]`: the scripted
+/// broker workload over the loopback transport (see
+/// `qasom_daemon::stress`), exported as pretty-printed `RunReport` JSON
+/// with the `daemon.*` counters — byte-identical for identical
+/// arguments.
+fn run_daemon_stress_subcommand() -> Result<(), String> {
+    let defaults = AdmissionConfig {
+        queue_capacity: 6,
+        client_quota: 2,
+        batch_max: 4,
+    };
+    let mut config = StressConfig {
+        seed: 42,
+        rounds: 12,
+        clients: 4,
+        admission: defaults,
+    };
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => config.seed = parse_num(&value("--seed")?)?,
+            "--rounds" => config.rounds = parse_num(&value("--rounds")?)?,
+            "--clients" => config.clients = parse_num(&value("--clients")?)?,
+            "--queue" => config.admission.queue_capacity = parse_num(&value("--queue")?)?,
+            "--quota" => config.admission.client_quota = parse_num(&value("--quota")?)?,
+            "--batch" => config.admission.batch_max = parse_num(&value("--batch")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: qasom-cli daemon-stress [--seed N] [--rounds N] [--clients N]\n\
+                     \x20      [--queue N] [--quota N] [--batch N] [--out FILE]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(format!("unknown flag {other:?} (try daemon-stress --help)"));
+            }
+        }
+    }
+    let report = qasom_daemon::stress::stress_report(&config)?;
+    write_report(&report, out.as_deref())
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("could not parse {raw:?} as a number"))
+}
+
 /// The scripted serving scenario behind `qasom-cli stress`: six stable
-/// providers, a provider toggled every third round, one serve per round.
+/// providers, a provider toggled every third round, one typed session
+/// per round.
 fn stress_run_report(seed: u64, sessions: usize) -> Result<RunReport, String> {
     let mut builder = OntologyBuilder::new("d");
     builder.concept("A");
@@ -141,40 +219,44 @@ fn stress_run_report(seed: u64, sessions: usize) -> Result<RunReport, String> {
     let request = UserRequest::new(task).weight("Delay", 1.0);
     for round in 0..sessions {
         if round % 3 == 0 {
-            shared.with_mut(|e| {
-                let existing = e
-                    .registry()
+            let existing = shared.with(|e| {
+                e.registry()
                     .iter()
                     .find(|(_, d)| d.name() == "burst")
-                    .map(|(id, _)| id);
-                match existing {
-                    Some(id) => {
-                        e.undeploy(id);
-                    }
-                    None => {
-                        let desc = ServiceDescription::new("burst", "d#A").with_qos(rt, 10.0);
-                        let nominal = desc.qos().clone();
-                        e.deploy(desc, SyntheticService::new(nominal));
-                    }
-                }
+                    .map(|(id, _)| id)
             });
+            let delta = match existing {
+                Some(id) => RegistryDelta::new().undeploy(id),
+                None => RegistryDelta::new()
+                    .deploy_faithful(ServiceDescription::new("burst", "d#A").with_qos(rt, 10.0)),
+            };
+            shared.apply_churn(delta);
         }
-        shared.serve(&request).map_err(|e| e.to_string())?;
+        let session = SessionRequest::new(request.clone()).for_client("stress");
+        match shared.serve_session(&session).map_err(|e| e.to_string())? {
+            ServeOutcome::Completed(_) => {}
+            other => return Err(format!("session {round} did not complete: {other:?}")),
+        }
     }
     Ok(shared.with(|e| e.run_report("stress")))
 }
 
 /// Writes a report as pretty JSON to `path` (`None` or `"-"` → stdout).
 fn write_report(report: &RunReport, path: Option<&str>) -> Result<(), String> {
-    let json = report.to_pretty_string();
+    write_text(&report.to_pretty_string(), path)
+}
+
+/// Writes `text` (plus a trailing newline) to `path` (`None` or `"-"` →
+/// stdout).
+fn write_text(text: &str, path: Option<&str>) -> Result<(), String> {
     match path {
         None | Some("-") => {
-            println!("{json}");
+            println!("{text}");
             Ok(())
         }
         Some(path) => {
-            std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("wrote run report to {path}");
+            std::fs::write(path, format!("{text}\n")).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
             Ok(())
         }
     }
@@ -235,8 +317,10 @@ fn parse_args() -> Result<Args, String> {
                     "usage: qasom-cli --services FILE --classes FILE --task NAME\n\
                      \x20      [--taxonomy FILE] [--constraint NAME=VALUE[UNIT]]...\n\
                      \x20      [--weight NAME=W]... [--seed N] [--verbose] [--report FILE]\n\
-                     \x20      qasom-cli report [--seed N] [--out FILE]\n\
-                     \x20      qasom-cli stress [--seed N] [--sessions N] [--out FILE]"
+                     \x20      qasom-cli report [--seed N] [--schema] [--out FILE]\n\
+                     \x20      qasom-cli stress [--seed N] [--sessions N] [--out FILE]\n\
+                     \x20      qasom-cli daemon-stress [--seed N] [--rounds N] [--clients N]\n\
+                     \x20          [--queue N] [--quota N] [--batch N] [--out FILE]"
                 );
                 std::process::exit(0);
             }

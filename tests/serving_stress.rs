@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use qasom::{Environment, SharedEnvironment, UserRequest};
+use qasom::{Environment, ServeOutcome, SessionRequest, SharedEnvironment, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::{MemoryRecorder, Recorder};
 use qasom_ontology::OntologyBuilder;
@@ -125,7 +125,9 @@ fn scripted_run(seed: u64) -> String {
         if round % 3 == 0 {
             shared.with_mut(toggle_burst);
         }
-        shared.serve(&request()).expect("session completes");
+        let session = SessionRequest::new(request()).for_client("stress");
+        let outcome = shared.serve_session(&session).expect("session serves");
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
     }
     shared.with(|e| e.run_report("stress").to_compact_string())
 }
@@ -146,7 +148,10 @@ fn serving_section_reports_the_lock_split() {
     let recorder = Arc::new(MemoryRecorder::new());
     shared.with_mut(|e| e.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>));
     for _ in 0..5 {
-        shared.serve(&request()).expect("session completes");
+        let outcome = shared
+            .serve_session(&SessionRequest::new(request()))
+            .expect("session serves");
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
     }
     let registry = shared.with(|e| e.registry_snapshot());
     assert_eq!(registry.len(), BASE_PROVIDERS);

@@ -3,7 +3,7 @@
 
 use std::thread;
 
-use qasom::{Environment, SharedEnvironment, UserRequest};
+use qasom::{Environment, RegistryDelta, ServeOutcome, SessionRequest, SharedEnvironment, UserRequest};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::QosModel;
@@ -32,23 +32,23 @@ fn request() -> UserRequest {
 fn many_sessions_with_concurrent_churn() {
     let shared = shared_market(12);
 
-    // A churn thread keeps removing and re-adding providers while eight
-    // session threads serve requests.
+    // A churn thread keeps removing and re-adding providers (one typed
+    // delta per round) while eight session threads serve requests.
     let churner = {
         let s = shared.clone();
         thread::spawn(move || {
+            let rt = s.with(|e| e.model().property("ResponseTime").unwrap());
             for round in 0..20 {
                 let victim = s.with(|e| e.registry().iter().map(|(id, _)| id).nth(round % 3));
+                let mut delta = RegistryDelta::new();
                 if let Some(id) = victim {
-                    s.with_mut(|e| e.undeploy(id));
+                    delta = delta.undeploy(id);
                 }
-                s.with_mut(|e| {
-                    let rt = e.model().property("ResponseTime").unwrap();
-                    let desc =
-                        ServiceDescription::new(format!("fresh{round}"), "d#A").with_qos(rt, 45.0);
-                    let nominal = desc.qos().clone();
-                    e.deploy(desc, SyntheticService::new(nominal));
-                });
+                delta = delta.deploy_faithful(
+                    ServiceDescription::new(format!("fresh{round}"), "d#A").with_qos(rt, 45.0),
+                );
+                let receipt = s.apply_churn(delta);
+                assert_eq!(receipt.deployed.len(), 1);
             }
         })
     };
@@ -59,7 +59,8 @@ fn many_sessions_with_concurrent_churn() {
             thread::spawn(move || {
                 let mut successes = 0;
                 for _ in 0..10 {
-                    if let Ok(report) = s.serve(&request()) {
+                    let session = SessionRequest::new(request()).for_client("shared-test");
+                    if let Ok(ServeOutcome::Completed(report)) = s.serve_session(&session) {
                         assert!(report.success);
                         successes += 1;
                     }
@@ -71,9 +72,9 @@ fn many_sessions_with_concurrent_churn() {
 
     churner.join().unwrap();
     let total: usize = sessions.into_iter().map(|h| h.join().unwrap()).sum();
-    // serve() composes under the read lock and executes under the write
-    // lock; churn slipping between the phases is absorbed by dynamic
-    // binding, so every session request must still complete.
+    // serve_session() composes under the read lock and executes under
+    // the write lock; churn slipping between the phases is absorbed by
+    // dynamic binding, so every session request must still complete.
     assert_eq!(total, 80);
 
     // SLA records exist for every provider that actually served.
