@@ -204,6 +204,15 @@ fn main() {
             bench::fig_daemon(),
         );
     }
+    if want("hotpath") {
+        show(
+            &mut report,
+            "hotpath",
+            "Hot path — compose p50/p99 and full-vs-delta re-selection (8 activities)",
+            "services",
+            bench::fig_hotpath(),
+        );
+    }
     if want("scale") {
         show(
             &mut report,

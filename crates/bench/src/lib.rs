@@ -81,6 +81,26 @@ pub fn time_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Times `f` over `repeats` runs after one warm-up and returns the
+/// `(p50, p99)` sample percentiles in milliseconds (nearest rank; at
+/// small sample counts p99 is effectively the maximum).
+pub fn percentile_ms(repeats: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1_000.0
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let rank = |q: f64| {
+        let idx = ((samples.len() as f64) * q).ceil() as usize;
+        samples[idx.clamp(1, samples.len()) - 1]
+    };
+    (rank(0.50), rank(0.99))
+}
+
 fn qassa_time_ms(model: &QosModel, w: &Workload, repeats: usize) -> f64 {
     let problem = w.problem();
     let qassa = Qassa::new(model);
@@ -887,6 +907,97 @@ pub fn fig_serving() -> Vec<Series> {
     vec![serial, concurrent, serial_latency, concurrent_latency]
 }
 
+/// Builds the hot-path market: eight concepts, `total / 8` providers
+/// each with varied QoS, an eight-activity sequence task over all of
+/// them, and a request that constrains and weights two properties (so
+/// the flat rank columns are actually exercised).
+pub fn hotpath_market(total: usize) -> Option<(qasom::Environment, qasom::UserRequest)> {
+    use qasom_registry::ServiceDescription;
+
+    const ACTIVITIES: usize = 8;
+    let mut b = OntologyBuilder::new("hp");
+    for i in 0..ACTIVITIES {
+        b.concept(&format!("A{i}"));
+    }
+    let ontology = b.build().ok()?;
+    let mut env = qasom::Environment::new(QosModel::standard(), ontology, 23);
+    let rt = env.model().property("ResponseTime")?;
+    let av = env.model().property("Availability")?;
+    let per = (total / ACTIVITIES).max(1);
+    for ci in 0..ACTIVITIES {
+        for i in 0..per {
+            let desc = ServiceDescription::new(format!("s{ci}-{i}"), &format!("hp#A{ci}"))
+                .with_qos(rt, 40.0 + ((i * 7_919 + ci * 13) % 1_000) as f64)
+                .with_qos(av, 0.90 + ((i * 104_729 + ci) % 100) as f64 / 1_000.0);
+            let nominal = desc.qos().clone();
+            env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
+        }
+    }
+    let task = UserTask::new(
+        "hotpath",
+        TaskNode::sequence((0..ACTIVITIES).map(|i| {
+            TaskNode::activity(Activity::new(format!("a{i}"), format!("hp#A{i}").as_str()))
+        })),
+    )
+    .ok()?;
+    let request = qasom::UserRequest::new(task)
+        .constraint("ResponseTime", 10.0, qasom_qos::Unit::Seconds)
+        .ok()?
+        .weight("ResponseTime", 0.7)
+        .weight("Availability", 0.3);
+    Some((env, request))
+}
+
+/// Hot-path figure: full-pipeline compose latency (p50/p99) plus the
+/// full-vs-delta re-selection split after churn touching one of the
+/// eight activities, at 10k and 100k registered services. The speed-up
+/// series is what the delta path buys: full recompose re-discovers and
+/// re-clusters all eight activities, the delta re-ranks exactly one.
+pub fn fig_hotpath() -> Vec<Series> {
+    let mut compose_p50 = Series::new("compose p50 [ms]");
+    let mut compose_p99 = Series::new("compose p99 [ms]");
+    let mut full = Series::new("full recompose [ms]");
+    let mut delta = Series::new("delta recompose [ms]");
+    let mut speedup = Series::new("full/delta speed-up");
+    for total in [10_000usize, 100_000] {
+        let Some((mut env, request)) = hotpath_market(total) else {
+            continue;
+        };
+        let Ok(comp) = env.compose(&request) else {
+            continue;
+        };
+        // Churn touching exactly one activity (concept A0): every delta
+        // re-selection below replays this one event and re-ranks one of
+        // the eight activities.
+        let Some(rt) = env.model().property("ResponseTime") else {
+            continue;
+        };
+        let desc = qasom_registry::ServiceDescription::new("late", "hp#A0").with_qos(rt, 35.0);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
+
+        // The fallibility of compose/recompose was settled by the first
+        // compose above; the timed closures discard the (identical)
+        // results.
+        let x = total as f64;
+        let (p50, p99) = percentile_ms(9, || {
+            let _ = env.compose(&request);
+        });
+        compose_p50.points.push((x, p50));
+        compose_p99.points.push((x, p99));
+        let f = time_ms(5, || {
+            let _ = env.recompose_full(&comp);
+        });
+        let d = time_ms(5, || {
+            let _ = env.recompose(&comp);
+        });
+        full.points.push((x, f));
+        delta.points.push((x, d));
+        speedup.points.push((x, f / d.max(f64::MIN_POSITIVE)));
+    }
+    vec![compose_p50, compose_p99, full, delta, speedup]
+}
+
 /// Builds the daemon-throughput market (one concept, `providers`
 /// candidates, recorder attached) and the shared hot request.
 fn daemon_market(providers: usize) -> Option<(qasom::SharedEnvironment, qasom::UserRequest)> {
@@ -899,8 +1010,7 @@ fn daemon_market(providers: usize) -> Option<(qasom::SharedEnvironment, qasom::U
     env.set_recorder(std::sync::Arc::new(qasom_obs::MemoryRecorder::new()));
     let rt = env.model().property("ResponseTime")?;
     for i in 0..providers {
-        let desc =
-            ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
         let nominal = desc.qos().clone();
         env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
     }
@@ -977,8 +1087,10 @@ pub fn fig_daemon() -> Vec<Series> {
         let ms = time_ms(3, || {
             let _ = daemon_run(batch_max, CLIENTS, ROUNDS);
         });
-        rate.points
-            .push((batch_max as f64, sessions as f64 / (ms / 1000.0).max(f64::MIN_POSITIVE)));
+        rate.points.push((
+            batch_max as f64,
+            sessions as f64 / (ms / 1000.0).max(f64::MIN_POSITIVE),
+        ));
     }
     vec![rate, queries]
 }
@@ -1051,6 +1163,24 @@ mod tests {
         // One compose pass per batch: batching 4 clients' identical
         // requests must cut discovery traffic.
         assert!(queries_batched < queries_unbatched);
+    }
+
+    #[test]
+    fn hotpath_market_composes_and_delta_matches_full() {
+        // Tiny scale: the market composes, churn routes the next
+        // recompose through the delta path, and the result matches the
+        // full oracle.
+        let (mut env, request) = hotpath_market(160).expect("market builds");
+        let comp = env.compose(&request).expect("composes");
+        let rt = env.model().property("ResponseTime").unwrap();
+        let desc = qasom_registry::ServiceDescription::new("late", "hp#A0").with_qos(rt, 35.0);
+        let nominal = desc.qos().clone();
+        env.deploy(desc, qasom_netsim::runtime::SyntheticService::new(nominal));
+        let delta = env.recompose(&comp).expect("delta recomposes");
+        let full = env.recompose_full(&comp).expect("full recomposes");
+        assert_eq!(delta.outcome().assignment, full.outcome().assignment);
+        assert_eq!(delta.outcome().ranked, full.outcome().ranked);
+        assert_eq!(delta.outcome().utility, full.outcome().utility);
     }
 
     #[test]

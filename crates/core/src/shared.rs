@@ -117,7 +117,8 @@ impl RegistryDelta {
     /// Queues a deployment with an explicit synthetic behaviour.
     #[must_use]
     pub fn deploy(mut self, description: ServiceDescription, behaviour: SyntheticService) -> Self {
-        self.ops.push(ChurnOp::Deploy(Box::new((description, behaviour))));
+        self.ops
+            .push(ChurnOp::Deploy(Box::new((description, behaviour))));
         self
     }
 
@@ -355,6 +356,25 @@ impl SharedEnvironment {
         }
         let composition = env.compose(request)?;
         Ok((env.epoch(), composition))
+    }
+
+    /// Re-selects an existing composition under the **read** lock:
+    /// delta-first ([`Environment::recompose`]), so adaptation re-ranks
+    /// only the activities touched by churn or delivery history while
+    /// other sessions keep composing concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Environment::compose`].
+    pub fn recompose(
+        &self,
+        composition: &ExecutableComposition,
+    ) -> Result<ExecutableComposition, ComposeError> {
+        let env = self.read();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_READ_LOCKS, 1);
+        }
+        env.recompose(composition)
     }
 
     /// Executes a composition as one transaction over the environment
@@ -603,9 +623,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = shared.clone();
-                std::thread::spawn(move || {
-                    s.serve_session(&session()).unwrap().is_completed()
-                })
+                std::thread::spawn(move || s.serve_session(&session()).unwrap().is_completed())
             })
             .collect();
         for h in handles {
@@ -712,6 +730,36 @@ mod tests {
         shared.apply_churn(RegistryDelta::new().undeploy(id));
         let (after, _) = shared.compose_with_epoch(&request()).unwrap();
         assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn recompose_runs_under_the_read_lock_and_takes_the_delta_path() {
+        use qasom_obs::{MemoryRecorder, Recorder};
+        let shared = shared();
+        let recorder = std::sync::Arc::new(MemoryRecorder::new());
+        shared.with_mut(|e| {
+            e.set_recorder(std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn Recorder>)
+        });
+        let comp = shared.compose(&request()).unwrap();
+        let rt = shared.with(|e| e.model().property("ResponseTime").unwrap());
+        let receipt = shared.apply_churn(
+            RegistryDelta::new()
+                .deploy_faithful(ServiceDescription::new("fresh", "d#A").with_qos(rt, 1.0)),
+        );
+        let recomposed = shared.recompose(&comp).unwrap();
+        // The newcomer entered the re-ranked candidate hierarchy…
+        assert!(recomposed.outcome().ranked[0]
+            .iter()
+            .any(|c| c.id() == receipt.deployed[0]));
+        // …and the incremental path agrees with the full oracle.
+        let full = shared.with(|e| e.recompose_full(&comp).unwrap());
+        assert_eq!(recomposed.outcome().assignment, full.outcome().assignment);
+        let snap = recorder.snapshot().unwrap();
+        assert_eq!(snap.counter(keys::SELECTION_DELTA_ATTEMPTS), 1);
+        assert_eq!(snap.counter(keys::SELECTION_DELTA_INCREMENTAL), 1);
+        // compose + the rt lookup + recompose + the oracle `with` = 4.
+        assert_eq!(snap.counter(keys::SERVING_READ_LOCKS), 4);
+        assert_eq!(snap.counter(keys::SERVING_WRITE_LOCKS), 1);
     }
 
     #[test]

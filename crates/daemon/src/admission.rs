@@ -102,10 +102,17 @@ impl AdmissionQueue {
     }
 
     /// The retry hint handed to shed sessions: one tick per batch the
-    /// broker must drain before capacity frees up. Deterministic in the
+    /// broker must drain before capacity frees up, plus the tick that
+    /// re-admits the retrying session itself. Deterministic in the
     /// queue depth.
+    ///
+    /// The shed session joins the backlog when it retries, so the wait
+    /// covers `ceil((len + 1) / batch_max)` batch drains. Counting only
+    /// the already-queued sessions under-reported the wait by one tick
+    /// whenever the queue divided evenly into batches — exactly the
+    /// full-queue case every shed session is in.
     pub fn retry_after_ticks(&self) -> u32 {
-        let batches_ahead = self.queue.len().div_ceil(self.config.batch_max);
+        let batches_ahead = (self.queue.len() + 1).div_ceil(self.config.batch_max);
         u32::try_from(1 + batches_ahead).unwrap_or(u32::MAX)
     }
 
@@ -232,10 +239,28 @@ mod tests {
     #[test]
     fn retry_hint_scales_with_queue_depth() {
         let mut q = AdmissionQueue::new(config(100, 100, 4));
-        assert_eq!(q.retry_after_ticks(), 1);
+        // Empty queue: the retrier still needs its own batch drained.
+        assert_eq!(q.retry_after_ticks(), 2);
         for i in 0..8 {
             q.offer(session(i, "c", "hot"));
         }
-        assert_eq!(q.retry_after_ticks(), 3);
+        // 8 queued + the retrier = ceil(9/4) = 3 drains, +1 re-admit tick.
+        assert_eq!(q.retry_after_ticks(), 4);
+    }
+
+    #[test]
+    fn retry_hint_counts_the_retrier_at_the_capacity_boundary() {
+        // Queue length == queue capacity, dividing evenly into batches:
+        // the old hint said ceil(4/2) + 1 = 3 ticks, one short — after 3
+        // ticks the retrier is only *entering* the queue, not served.
+        let mut q = AdmissionQueue::new(config(4, 100, 2));
+        for i in 0..4 {
+            assert_eq!(q.offer(session(i, "c", "hot")), AdmissionDecision::Admitted);
+        }
+        assert_eq!(
+            q.offer(session(4, "c", "hot")),
+            AdmissionDecision::QueueFull
+        );
+        assert_eq!(q.retry_after_ticks(), 1 + 5u32.div_ceil(2));
     }
 }

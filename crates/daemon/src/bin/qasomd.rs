@@ -44,10 +44,7 @@ fn parse_args() -> Result<Options, String> {
     let mut options = Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--addr" => options.addr = value("--addr")?,
             "--seed" => options.seed = parse(&value("--seed")?)?,
@@ -101,9 +98,13 @@ fn main() -> ExitCode {
     };
 
     let shared = market(options.seed, options.providers);
-    let handle = match qasom_daemon::spawn(&options.addr, shared.clone(), BrokerConfig {
-        admission: options.admission,
-    }) {
+    let handle = match qasom_daemon::spawn(
+        &options.addr,
+        shared.clone(),
+        BrokerConfig {
+            admission: options.admission,
+        },
+    ) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("qasomd: cannot bind {}: {e}", options.addr);

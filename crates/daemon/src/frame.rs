@@ -175,7 +175,8 @@ impl Frame {
         let mut body = vec![0u8; len as usize];
         r.read_exact(&mut body)
             .map_err(|_| ProtocolError::Truncated)?;
-        let frame_type = FrameType::from_byte(body[0]).ok_or(ProtocolError::UnknownType(body[0]))?;
+        let frame_type =
+            FrameType::from_byte(body[0]).ok_or(ProtocolError::UnknownType(body[0]))?;
         Ok(Some(Frame {
             frame_type,
             payload: body[1..].to_vec(),
@@ -224,7 +225,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             ProtocolError::Malformed(what) => write!(f, "malformed payload: {what}"),
             ProtocolError::BadVersion(v) => {
-                write!(f, "unsupported protocol version {v} (want {PROTOCOL_VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
             }
             ProtocolError::OutOfTurn(what) => write!(f, "frame out of turn: {what}"),
         }
@@ -277,10 +281,7 @@ mod tests {
     #[test]
     fn unknown_type_and_oversize_are_errors() {
         let mut buf = vec![0, 0, 0, 1, 0xEE];
-        assert_eq!(
-            Frame::take(&mut buf),
-            Err(ProtocolError::UnknownType(0xEE))
-        );
+        assert_eq!(Frame::take(&mut buf), Err(ProtocolError::UnknownType(0xEE)));
         let mut huge = (MAX_FRAME_LEN + 1).to_be_bytes().to_vec();
         huge.push(1);
         assert!(matches!(
@@ -312,9 +313,6 @@ mod tests {
         .write_to(&mut bytes)
         .unwrap();
         let mut reader = &bytes[..bytes.len() - 3];
-        assert_eq!(
-            Frame::read_from(&mut reader),
-            Err(ProtocolError::Truncated)
-        );
+        assert_eq!(Frame::read_from(&mut reader), Err(ProtocolError::Truncated));
     }
 }

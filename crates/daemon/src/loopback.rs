@@ -234,15 +234,14 @@ impl LoopbackDaemon {
                         .and_then(|c| c.session.client())
                         .unwrap_or("")
                         .to_owned();
-                    let submission =
-                        self.broker
-                            .submit(conn_id, corr_id, &client, request, signature);
+                    let submission = self
+                        .broker
+                        .submit(conn_id, corr_id, &client, *request, signature);
                     if let Submission::Shed { retry_after_ticks } = submission {
                         // Shed now, in poll order: Busy ordering is
                         // deterministic in the submission script.
-                        let reply = SessionReply::Outcome(qasom::ServeOutcome::Busy {
-                            retry_after_ticks,
-                        });
+                        let reply =
+                            SessionReply::Outcome(qasom::ServeOutcome::Busy { retry_after_ticks });
                         if let Ok(frame) = reply_frame(corr_id, &reply) {
                             self.write_frame(conn_id, &frame);
                         }
@@ -305,7 +304,7 @@ impl LoopbackDaemon {
     pub fn is_closed(&self, client: LoopbackClient) -> bool {
         self.conns
             .get(&client.conn_id)
-            .map_or(true, |c| c.closed || c.session.state() == SessionState::Closed)
+            .is_none_or(|c| c.closed || c.session.state() == SessionState::Closed)
     }
 }
 

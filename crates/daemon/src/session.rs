@@ -40,8 +40,9 @@ pub enum SessionEvent {
     Submit {
         /// Client-chosen correlation id, echoed on the response frame.
         corr_id: u64,
-        /// The decoded, re-validated request.
-        request: UserRequest,
+        /// The decoded, re-validated request (boxed: it dwarfs the other
+        /// variants, and events move through channels by value).
+        request: Box<UserRequest>,
         /// The request-body bytes — the batch signature.
         signature: Vec<u8>,
     },
@@ -100,7 +101,7 @@ impl ConnectionSession {
                 let (corr_id, request, signature) = wire::decode_compose(&frame.payload)?;
                 Ok(SessionEvent::Submit {
                     corr_id,
-                    request,
+                    request: Box::new(request),
                     signature,
                 })
             }

@@ -122,9 +122,12 @@ fn toggle_burst(shared: &SharedEnvironment) -> Result<(), String> {
 /// rendered as strings for the CLI.
 pub fn stress_report(config: &StressConfig) -> Result<RunReport, String> {
     let shared = market(config.seed)?;
-    let mut daemon = LoopbackDaemon::new(shared.clone(), BrokerConfig {
-        admission: config.admission,
-    });
+    let mut daemon = LoopbackDaemon::new(
+        shared.clone(),
+        BrokerConfig {
+            admission: config.admission,
+        },
+    );
 
     let clients: Vec<_> = (0..config.clients.max(1))
         .map(|i| {

@@ -20,7 +20,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
@@ -33,17 +33,9 @@ use crate::session::{ConnectionSession, SessionEvent};
 use crate::wire;
 
 enum RouterMsg {
-    Connected {
-        conn_id: u64,
-        writer: Sender<Frame>,
-    },
-    Inbound {
-        conn_id: u64,
-        frame: Frame,
-    },
-    Disconnected {
-        conn_id: u64,
-    },
+    Connected { conn_id: u64, writer: Sender<Frame> },
+    Inbound { conn_id: u64, frame: Frame },
+    Disconnected { conn_id: u64 },
     Shutdown,
 }
 
@@ -166,21 +158,19 @@ fn spawn_connection(
     // Reader: blocks on frames, forwards them to the router.
     let router_tx = router_tx.clone();
     let mut reader = reader_stream;
-    std::thread::spawn(move || {
-        loop {
-            match Frame::read_from(&mut reader) {
-                Ok(Some(frame)) => {
-                    if router_tx
-                        .send(RouterMsg::Inbound { conn_id, frame })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-                Ok(None) | Err(_) => {
-                    let _ = router_tx.send(RouterMsg::Disconnected { conn_id });
+    std::thread::spawn(move || loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => {
+                if router_tx
+                    .send(RouterMsg::Inbound { conn_id, frame })
+                    .is_err()
+                {
                     break;
                 }
+            }
+            Ok(None) | Err(_) => {
+                let _ = router_tx.send(RouterMsg::Disconnected { conn_id });
+                break;
             }
         }
     });
@@ -197,11 +187,8 @@ fn router_loop(mut broker: Broker, rx: &Receiver<RouterMsg>) {
             Err(_) => break,
         };
         let mut backlog = vec![first];
-        loop {
-            match rx.try_recv() {
-                Ok(msg) => backlog.push(msg),
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-            }
+        while let Ok(msg) = rx.try_recv() {
+            backlog.push(msg);
         }
         for msg in backlog {
             match msg {
@@ -259,7 +246,7 @@ fn handle_frame(
             signature,
         }) => {
             let client = state.session.client().unwrap_or("").to_owned();
-            let submission = broker.submit(conn_id, corr_id, &client, request, signature);
+            let submission = broker.submit(conn_id, corr_id, &client, *request, signature);
             if let Submission::Shed { retry_after_ticks } = submission {
                 let reply = SessionReply::Outcome(ServeOutcome::Busy { retry_after_ticks });
                 if let Ok(frame) = reply_frame(corr_id, &reply) {

@@ -47,8 +47,7 @@ pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
-    let len =
-        u16::try_from(s.len()).map_err(|_| ProtocolError::Malformed("string over 64 KiB"))?;
+    let len = u16::try_from(s.len()).map_err(|_| ProtocolError::Malformed("string over 64 KiB"))?;
     put_u16(out, len);
     out.extend_from_slice(s.as_bytes());
     Ok(())
@@ -252,7 +251,8 @@ pub fn encode_request_body(request: &UserRequest) -> Result<Vec<u8>, ProtocolErr
     let mut out = Vec::new();
     put_str(&mut out, request.task().name())?;
     put_node(&mut out, request.task().root())?;
-    let count = |n: usize| u16::try_from(n).map_err(|_| ProtocolError::Malformed("too many QoS terms"));
+    let count =
+        |n: usize| u16::try_from(n).map_err(|_| ProtocolError::Malformed("too many QoS terms"));
     put_u16(&mut out, count(request.raw_constraints().len())?);
     for (name, bound, unit) in request.raw_constraints() {
         put_str(&mut out, name)?;
@@ -406,7 +406,13 @@ impl ExecutionSummary {
         ExecutionSummary {
             success: report.success,
             invocations: clamp(report.invocations.len()),
-            failures: clamp(report.invocations.iter().filter(|r| r.qos.is_none()).count()),
+            failures: clamp(
+                report
+                    .invocations
+                    .iter()
+                    .filter(|r| r.qos.is_none())
+                    .count(),
+            ),
             substitutions: clamp(report.substitutions),
             behavioural_adaptations: clamp(report.behavioural_adaptations),
             violations: clamp(report.violations.len()),
@@ -500,7 +506,8 @@ impl WireDiagnostic {
 pub fn encode_rejected(corr_id: u64, diags: &[Diagnostic]) -> Result<Vec<u8>, ProtocolError> {
     let mut out = Vec::new();
     put_u64(&mut out, corr_id);
-    let n = u16::try_from(diags.len()).map_err(|_| ProtocolError::Malformed("too many diagnostics"))?;
+    let n =
+        u16::try_from(diags.len()).map_err(|_| ProtocolError::Malformed("too many diagnostics"))?;
     put_u16(&mut out, n);
     for d in diags {
         let wd = WireDiagnostic::from_diagnostic(d);

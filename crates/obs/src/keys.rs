@@ -32,6 +32,21 @@ pub const SELECTION_PRUNED: &str = "selection.global.pruned_candidates";
 /// Exhaustive-scan fallbacks taken after the level-wise search failed.
 pub const SELECTION_EXACT_FALLBACKS: &str = "selection.global.exact_fallbacks";
 
+/// Flat per-property value columns materialised by the local phase.
+pub const SELECTION_HOTPATH_COLUMNS: &str = "selection.hotpath.columns_built";
+/// Activities ranked into an already-warm scratch arena (no fresh
+/// allocation).
+pub const SELECTION_HOTPATH_SCRATCH_REUSES: &str = "selection.hotpath.scratch_reuses";
+
+/// Delta re-selections attempted (`Environment::recompose` calls).
+pub const SELECTION_DELTA_ATTEMPTS: &str = "selection.delta.attempts";
+/// Re-selections answered incrementally from cached QoS levels.
+pub const SELECTION_DELTA_INCREMENTAL: &str = "selection.delta.incremental";
+/// Re-selections that fell back to a full recompose (guard tripped).
+pub const SELECTION_DELTA_FULL: &str = "selection.delta.full_recomposes";
+/// Activities actually re-ranked on the incremental path.
+pub const SELECTION_DELTA_RERANKED: &str = "selection.delta.activities_reranked";
+
 /// Protocol messages sent during a distributed run.
 pub const DISTRIBUTED_MESSAGES: &str = "distributed.messages";
 /// Retransmissions the coordinator issued.

@@ -386,6 +386,40 @@ impl DaemonSection {
     }
 }
 
+/// Hot-path totals: flat-column local ranking, IRI interning at the
+/// discovery boundary, and the delta-vs-full split of re-selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotpathSection {
+    /// Flat per-property value columns materialised by the local phase.
+    pub columns_built: u64,
+    /// Local rankings that reused an already-warm scratch arena.
+    pub scratch_reuses: u64,
+    /// Distinct IRIs interned by the semantic match cache.
+    pub interned_iris: u64,
+    /// Re-selections attempted (delta-first entry point).
+    pub delta_attempts: u64,
+    /// Re-selections that completed on the incremental path.
+    pub delta_incremental: u64,
+    /// Re-selections that fell back to a full recompose.
+    pub delta_full_recomposes: u64,
+    /// Activities actually re-ranked across all incremental runs.
+    pub delta_activities_reranked: u64,
+}
+
+impl HotpathSection {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("columns_built", self.columns_built)
+            .field("scratch_reuses", self.scratch_reuses)
+            .field("interned_iris", self.interned_iris)
+            .field("delta_attempts", self.delta_attempts)
+            .field("delta_incremental", self.delta_incremental)
+            .field("delta_full_recomposes", self.delta_full_recomposes)
+            .field("delta_activities_reranked", self.delta_activities_reranked)
+    }
+}
+
 /// The unified, seed-stamped run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -411,6 +445,8 @@ pub struct RunReport {
     pub serving: Option<ServingSection>,
     /// Daemon-layer totals, when the run went through `qasomd`.
     pub daemon: Option<DaemonSection>,
+    /// Hot-path totals (flat columns, interning, delta re-selection).
+    pub hotpath: Option<HotpathSection>,
     /// Raw metric snapshot (counters / histograms / spans).
     pub metrics: MetricsSnapshot,
 }
@@ -429,6 +465,7 @@ impl RunReport {
             distributed: None,
             serving: None,
             daemon: None,
+            hotpath: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -471,6 +508,10 @@ impl RunReport {
             .field(
                 "daemon",
                 opt(self.daemon.as_ref().map(DaemonSection::to_json)),
+            )
+            .field(
+                "hotpath",
+                opt(self.hotpath.as_ref().map(HotpathSection::to_json)),
             )
             .field("metrics", self.metrics.to_json())
     }
@@ -580,6 +621,7 @@ mod tests {
         full.distributed = Some(DistributedSection::default());
         full.serving = Some(ServingSection::default());
         full.daemon = Some(DaemonSection::default());
+        full.hotpath = Some(HotpathSection::default());
         let top = |r: &RunReport| match r.to_json() {
             JsonValue::Object(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             _ => Vec::new(),

@@ -156,7 +156,7 @@ impl PropertySpec {
 pub struct QosModelBuilder {
     onto: OntologyBuilder,
     root: ConceptId,
-    category_concepts: HashMap<&'static str, ConceptId>,
+    category_concepts: Vec<(Category, ConceptId)>,
     specs: Vec<(PropertySpec, ConceptId)>,
     by_name: HashMap<String, usize>,
     error: Option<QosModelError>,
@@ -174,10 +174,10 @@ impl QosModelBuilder {
     pub fn new() -> Self {
         let mut onto = OntologyBuilder::new("qos");
         let root = onto.concept("Quality");
-        let mut category_concepts = HashMap::new();
-        for (name, _) in CATEGORY_CONCEPTS {
-            category_concepts.insert(*name, onto.subconcept(name, root));
-        }
+        let category_concepts = CATEGORY_CONCEPTS
+            .iter()
+            .map(|&(name, cat)| (cat, onto.subconcept(name, root)))
+            .collect();
         QosModelBuilder {
             onto,
             root,
@@ -209,10 +209,14 @@ impl QosModelBuilder {
                     self.root
                 }
             },
-            None => *self
+            // Every current category has a scaffold concept; a variant
+            // added under `#[non_exhaustive]` without one parents under
+            // the `Quality` root rather than panicking mid-registration.
+            None => self
                 .category_concepts
-                .get(category_key(spec.category))
-                .expect("all categories have scaffold concepts"),
+                .iter()
+                .find(|&&(cat, _)| cat == spec.category)
+                .map_or(self.root, |&(_, concept)| concept),
         };
 
         let iri = Iri::new(spec.namespace.clone(), spec.name.clone());
@@ -282,14 +286,6 @@ const CATEGORY_CONCEPTS: &[(&str, Category)] = &[
     ("Transaction", Category::Transaction),
     ("Domain", Category::Domain),
 ];
-
-fn category_key(c: Category) -> &'static str {
-    CATEGORY_CONCEPTS
-        .iter()
-        .find(|(_, cat)| *cat == c)
-        .map(|(name, _)| *name)
-        .expect("every category has a scaffold concept")
-}
 
 /// The semantic end-to-end QoS model: a property catalogue backed by an
 /// alignment [`Ontology`].
@@ -481,7 +477,12 @@ impl QosModel {
                 .equivalent_to("Reputation"),
         );
 
-        b.build().expect("standard vocabulary is well-formed")
+        match b.build() {
+            Ok(model) => model,
+            // The standard vocabulary is a static literal; failing to
+            // build is a defect in this file, not a runtime condition.
+            Err(e) => panic!("standard vocabulary failed to build: {e}"),
+        }
     }
 
     /// The alignment ontology behind the model.

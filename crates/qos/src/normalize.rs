@@ -9,7 +9,9 @@ use crate::{PropertyId, QosModel, QosVector, Tendency};
 /// formalisation: for a lower-is-better property the score is
 /// `(max − v) / (max − min)`, for a higher-is-better property
 /// `(v − min) / (max − min)`. When all candidates agree on a value
-/// (`max = min`) every candidate scores `1`.
+/// (`max = min`, including single-candidate pools) the ratio would be
+/// `0/0`; every candidate scores the paper's neutral `0.5` instead, so
+/// no `NaN` ever reaches the K-means clustering downstream.
 ///
 /// # Examples
 ///
@@ -95,7 +97,10 @@ impl Normalizer {
         };
         let (_, tendency, min, max) = self.stats[i];
         if max == min {
-            return 1.0;
+            // Degenerate range: the min–max ratio would be 0/0. Score the
+            // paper's neutral 0.5 — the property cannot differentiate
+            // candidates, and NaN must never leak into K-means centroids.
+            return 0.5;
         }
         let raw = match tendency {
             Tendency::LowerBetter => (max - value) / (max - min),
@@ -143,11 +148,27 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_range_scores_one() {
+    fn degenerate_range_scores_neutral() {
         let (m, rt, _) = setup();
         let a = v(&[(rt, 100.0)]);
         let n = Normalizer::fit(&m, [&a, &a]);
-        assert_eq!(n.score(rt, 100.0), 1.0);
+        // min == max used to divide 0/0; the score must be the neutral
+        // 0.5, never NaN.
+        let score = n.score(rt, 100.0);
+        assert!(score.is_finite());
+        assert_eq!(score, 0.5);
+    }
+
+    #[test]
+    fn single_candidate_pool_scores_neutral_not_nan() {
+        let (m, rt, av) = setup();
+        let only = v(&[(rt, 80.0), (av, 0.97)]);
+        let n = Normalizer::fit(&m, [&only]);
+        for (p, raw) in only.iter() {
+            let score = n.score(p, raw);
+            assert!(score.is_finite(), "NaN leaked for {p:?}");
+            assert_eq!(score, 0.5);
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl PropertyId {
     }
 
     pub(crate) fn from_index(i: usize) -> Self {
-        PropertyId(u32::try_from(i).expect("more than u32::MAX properties"))
+        // Properties register one at a time; a catalogue cannot
+        // realistically approach the id width, but keep the bound loud.
+        assert!(u32::try_from(i).is_ok(), "more than u32::MAX properties");
+        PropertyId(i as u32)
     }
 }
 

@@ -154,11 +154,20 @@ impl<'a> DiscoveryQuery<'a> {
 /// shard assignment is deterministic), which keeps concurrent sessions
 /// composing under the serving layer's read lock from serialising on a
 /// single cache lock.
+///
+/// IRIs are interned to dense `u32` ids at this boundary: the degree
+/// maps key on `(u32, u32)` pairs, so a memo probe hashes eight bytes
+/// instead of two namespace+name strings, and repeated queries over the
+/// recurring vocabulary of a task stop re-hashing IRI text. The intern
+/// table survives ontology swaps (an IRI's identity is textual); only
+/// the memoised degrees flush.
 #[derive(Debug, Default)]
 pub struct MatchCache {
     shards: [RwLock<MatchCacheState>; CACHE_SHARDS],
+    interner: RwLock<HashMap<Iri, u32>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    interned: AtomicU64,
 }
 
 /// Number of independent lock shards in a [`MatchCache`].
@@ -209,7 +218,7 @@ impl CacheStats {
 #[derive(Debug, Default)]
 struct MatchCacheState {
     stamp: u64,
-    degrees: HashMap<Iri, HashMap<Iri, MatchDegree>>,
+    degrees: HashMap<(u32, u32), MatchDegree>,
 }
 
 impl MatchCache {
@@ -224,7 +233,7 @@ impl MatchCache {
             .iter()
             .map(|shard| {
                 let state = shard.read().unwrap_or_else(|p| p.into_inner());
-                state.degrees.values().map(HashMap::len).sum::<usize>()
+                state.degrees.len()
             })
             .sum()
     }
@@ -243,19 +252,15 @@ impl MatchCache {
         }
     }
 
+    /// Distinct IRIs interned since construction — an exact count (not
+    /// a racing snapshot): the id allocator bumps it under the intern
+    /// table's write lock, so the report can surface it verbatim.
+    pub fn interned_iris(&self) -> u64 {
+        self.interned.load(Ordering::Relaxed)
+    }
+
     fn get(&self, stamp: u64, required: &Iri, offered: &Iri) -> Option<MatchDegree> {
-        let state = self.shards[shard_of(required)]
-            .read()
-            .unwrap_or_else(|p| p.into_inner());
-        let found = if state.stamp == stamp {
-            state
-                .degrees
-                .get(required)
-                .and_then(|m| m.get(offered))
-                .copied()
-        } else {
-            None
-        };
+        let found = self.lookup(stamp, required, offered);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -263,7 +268,24 @@ impl MatchCache {
         found
     }
 
+    fn lookup(&self, stamp: u64, required: &Iri, offered: &Iri) -> Option<MatchDegree> {
+        // An IRI the interner has never seen cannot have a memo entry.
+        let key = {
+            let interner = self.interner.read().unwrap_or_else(|p| p.into_inner());
+            (*interner.get(required)?, *interner.get(offered)?)
+        };
+        let state = self.shards[shard_of(required)]
+            .read()
+            .unwrap_or_else(|p| p.into_inner());
+        if state.stamp == stamp {
+            state.degrees.get(&key).copied()
+        } else {
+            None
+        }
+    }
+
     fn put(&self, stamp: u64, required: &Iri, offered: &Iri, degree: MatchDegree) {
+        let key = (self.intern(required), self.intern(offered));
         let mut state = self.shards[shard_of(required)]
             .write()
             .unwrap_or_else(|p| p.into_inner());
@@ -275,11 +297,33 @@ impl MatchCache {
             state.degrees.clear();
             state.stamp = stamp;
         }
-        state
-            .degrees
-            .entry(required.clone())
-            .or_default()
-            .insert(offered.clone(), degree);
+        state.degrees.insert(key, degree);
+    }
+
+    /// The dense id of `iri`, allocating one on first sight.
+    fn intern(&self, iri: &Iri) -> u32 {
+        if let Some(&id) = self
+            .interner
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(iri)
+        {
+            return id;
+        }
+        let mut interner = self.interner.write().unwrap_or_else(|p| p.into_inner());
+        if let Some(&id) = interner.get(iri) {
+            return id; // raced: another thread interned it first
+        }
+        // Ids are the insertion index; a vocabulary cannot realistically
+        // approach the id width, but keep the bound loud.
+        assert!(
+            u32::try_from(interner.len()).is_ok(),
+            "more than u32::MAX interned IRIs"
+        );
+        let id = interner.len() as u32;
+        interner.insert(iri.clone(), id);
+        self.interned.fetch_add(1, Ordering::Relaxed);
+        id
     }
 }
 

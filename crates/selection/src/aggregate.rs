@@ -104,6 +104,25 @@ impl<'a> Aggregator<'a> {
         assignments: &[QosVector],
         properties: &[PropertyId],
     ) -> QosVector {
+        let refs: Vec<&QosVector> = assignments.iter().collect();
+        self.aggregate_refs(task, &refs, properties)
+    }
+
+    /// [`Aggregator::aggregate`] over borrowed vectors — the hot-path
+    /// variant: the global phase scores thousands of assignments per
+    /// selection, and borrowing spares one deep vector clone per
+    /// activity per evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `assignments.len()` differs from the task's activity
+    /// count.
+    pub fn aggregate_refs(
+        &self,
+        task: &UserTask,
+        assignments: &[&QosVector],
+        properties: &[PropertyId],
+    ) -> QosVector {
         assert_eq!(
             assignments.len(),
             task.activity_count(),
@@ -123,7 +142,7 @@ impl<'a> Aggregator<'a> {
     fn fold(
         &self,
         node: &TaskNode,
-        assignments: &[QosVector],
+        assignments: &[&QosVector],
         property: PropertyId,
         idx: &mut usize,
     ) -> Option<f64> {
@@ -155,7 +174,7 @@ impl<'a> Aggregator<'a> {
                 if missing || vals.is_empty() {
                     return None;
                 }
-                Some(self.combine_choice(def.tendency(), &vals))
+                self.combine_choice(def.tendency(), &vals)
             }
             TaskNode::Loop { body, bound } => {
                 let v = self.fold(body, assignments, property, idx)?;
@@ -172,7 +191,7 @@ impl<'a> Aggregator<'a> {
     fn fold_children<'n>(
         &self,
         children: impl Iterator<Item = &'n TaskNode>,
-        assignments: &[QosVector],
+        assignments: &[&QosVector],
         property: PropertyId,
         idx: &mut usize,
     ) -> Option<Vec<f64>> {
@@ -187,21 +206,22 @@ impl<'a> Aggregator<'a> {
         (!missing && !vals.is_empty()).then_some(vals)
     }
 
-    fn combine_choice(&self, tendency: Tendency, vals: &[(f64, f64)]) -> f64 {
+    /// Folds the branch values of a choice; `None` only for an empty
+    /// slice (which the caller already screens out), so the reduce-based
+    /// arms need no panicking unwrap.
+    fn combine_choice(&self, tendency: Tendency, vals: &[(f64, f64)]) -> Option<f64> {
         match self.approach {
             AggregationApproach::Pessimistic => vals
                 .iter()
                 .map(|&(_, v)| v)
-                .reduce(|a, b| tendency.worse(a, b))
-                .expect("non-empty"),
+                .reduce(|a, b| tendency.worse(a, b)),
             AggregationApproach::Optimistic => vals
                 .iter()
                 .map(|&(_, v)| v)
-                .reduce(|a, b| tendency.better(a, b))
-                .expect("non-empty"),
+                .reduce(|a, b| tendency.better(a, b)),
             AggregationApproach::MeanValue => {
                 let total_p: f64 = vals.iter().map(|&(p, _)| p).sum();
-                vals.iter().map(|&(p, v)| p * v).sum::<f64>() / total_p
+                (!vals.is_empty()).then(|| vals.iter().map(|&(p, v)| p * v).sum::<f64>() / total_p)
             }
         }
     }

@@ -198,6 +198,7 @@ impl<'a> Baselines<'a> {
             feasible,
             levels_explored: 0,
             ranked: Vec::new(),
+            levels: Vec::new(),
         }
     }
 
@@ -444,6 +445,7 @@ impl<'a> Baselines<'a> {
             feasible,
             levels_explored: 0,
             ranked: Vec::new(),
+            levels: Vec::new(),
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Selection inputs: candidates and the selection problem.
 
+use std::sync::Arc;
+
 use qasom_qos::{ConstraintSet, Preferences, PropertyId, QosVector};
 use qasom_registry::ServiceId;
 use qasom_task::UserTask;
@@ -9,16 +11,23 @@ use crate::AggregationApproach;
 /// A concrete service candidate for one abstract activity: its registry
 /// id and the QoS vector selection reasons about (advertised, or monitored
 /// at re-selection time).
+///
+/// The vector is shared (`Arc`), so cloning a candidate — the selection
+/// hot path does it once per ranked-list entry — is a refcount bump, not
+/// a heap allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceCandidate {
     id: ServiceId,
-    qos: QosVector,
+    qos: Arc<QosVector>,
 }
 
 impl ServiceCandidate {
     /// Creates a candidate.
     pub fn new(id: ServiceId, qos: QosVector) -> Self {
-        ServiceCandidate { id, qos }
+        ServiceCandidate {
+            id,
+            qos: Arc::new(qos),
+        }
     }
 
     /// The registry id of the service.

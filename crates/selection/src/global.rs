@@ -1,13 +1,16 @@
 //! QASSA phase 2 — global selection under global QoS constraints.
 
 use std::fmt;
+use std::sync::Arc;
 
 use qasom_obs::{keys, Recorder};
 use qasom_qos::utility::utility;
 use qasom_qos::{Normalizer, Preferences, PropertyId, QosVector, Tendency};
+use qasom_task::UserTask;
 
 use crate::{
-    Aggregator, LocalRank, QosLevels, RankedCandidate, SelectionProblem, ServiceCandidate,
+    Aggregator, LocalRank, LocalScratch, QosLevels, RankedCandidate, SelectionProblem,
+    ServiceCandidate,
 };
 
 /// Configuration of the QASSA selector.
@@ -94,6 +97,12 @@ pub struct SelectionOutcome {
     /// Per-activity candidates ranked best-first — the alternates kept for
     /// dynamic binding and service substitution.
     pub ranked: Vec<Vec<ServiceCandidate>>,
+    /// The local-phase hierarchies the global phase ran over, one per
+    /// activity, shared so delta re-selection can reuse unaffected
+    /// activities without re-ranking (or even re-discovering) them.
+    /// Empty when the caller supplied plain borrowed levels
+    /// ([`Qassa::select_with_levels`]) or no levels exist (baselines).
+    pub levels: Vec<Arc<QosLevels>>,
 }
 
 /// The QASSA selector: clustering-based local selection + level-wise
@@ -175,15 +184,24 @@ impl<'a> Qassa<'a> {
     ) -> Result<Vec<QosLevels>, SelectionError> {
         self.validate(problem)?;
         let properties = problem.properties();
-        Ok(problem
+        // One scratch arena across the whole task: every activity after
+        // the first ranks into already-warm buffers.
+        let mut scratch = LocalScratch::new();
+        let levels: Vec<QosLevels> = problem
             .candidates()
             .iter()
             .map(|cands| {
-                self.config
-                    .local
-                    .rank(self.model, cands, &properties, problem.preferences())
+                self.config.local.rank_with(
+                    self.model,
+                    cands,
+                    &properties,
+                    problem.preferences(),
+                    &mut scratch,
+                )
             })
-            .collect())
+            .collect();
+        self.record_hotpath(levels.len(), properties.len());
+        Ok(levels)
     }
 
     /// Like [`Qassa::local_phase`] but ranks the activities' candidate
@@ -208,7 +226,7 @@ impl<'a> Qassa<'a> {
             use rayon::prelude::*;
             self.validate(problem)?;
             let properties = problem.properties();
-            Ok(problem
+            let levels: Vec<QosLevels> = problem
                 .candidates()
                 .par_iter()
                 .map(|cands| {
@@ -216,10 +234,30 @@ impl<'a> Qassa<'a> {
                         .local
                         .rank(self.model, cands, &properties, problem.preferences())
                 })
-                .collect())
+                .collect();
+            // Same counter values as the serial phase (each worker owns a
+            // scratch, so the reuse opportunities are identical) — the
+            // feature matrix must not change observed counters.
+            self.record_hotpath(levels.len(), properties.len());
+            Ok(levels)
         }
         #[cfg(not(feature = "parallel"))]
         self.local_phase(problem)
+    }
+
+    /// Flushes hot-path totals of one local phase: flat value columns
+    /// materialised and rankings that hit a warm scratch arena.
+    fn record_hotpath(&self, activities: usize, properties: usize) {
+        if let Some(rec) = self.recorder {
+            rec.incr(
+                keys::SELECTION_HOTPATH_COLUMNS,
+                (activities * properties) as u64,
+            );
+            rec.incr(
+                keys::SELECTION_HOTPATH_SCRATCH_REUSES,
+                activities.saturating_sub(1) as u64,
+            );
+        }
     }
 
     /// Runs the full algorithm.
@@ -235,7 +273,8 @@ impl<'a> Qassa<'a> {
     ) -> Result<SelectionOutcome, SelectionError> {
         let levels = self.local_phase(problem)?;
         self.record_local(&levels);
-        self.select_with_levels(problem, &levels)
+        let shared: Vec<Arc<QosLevels>> = levels.into_iter().map(Arc::new).collect();
+        self.select_with_shared_levels(problem, &shared)
     }
 
     /// [`Qassa::select`] with the parallel local phase — the right choice
@@ -250,7 +289,8 @@ impl<'a> Qassa<'a> {
     ) -> Result<SelectionOutcome, SelectionError> {
         let levels = self.local_phase_parallel(problem)?;
         self.record_local(&levels);
-        self.select_with_levels(problem, &levels)
+        let shared: Vec<Arc<QosLevels>> = levels.into_iter().map(Arc::new).collect();
+        self.select_with_shared_levels(problem, &shared)
     }
 
     /// Flushes local-phase totals (activities ranked, clusters produced,
@@ -273,13 +313,46 @@ impl<'a> Qassa<'a> {
     /// Runs the global phase over precomputed local hierarchies
     /// (distributed QASSA merges provider-side hierarchies first).
     ///
+    /// The global phase is driven entirely by `levels` — the problem
+    /// contributes task, constraints, preferences and approach, so the
+    /// candidate matrix may be left empty. The outcome's `levels` field
+    /// stays empty here; use [`Qassa::select_with_shared_levels`] to
+    /// carry the hierarchies forward for delta re-selection.
+    ///
     /// # Errors
     ///
-    /// Fails when the candidate matrix is malformed.
+    /// Fails when the hierarchies do not line up with the task.
     pub fn select_with_levels(
         &self,
         problem: &SelectionProblem<'_>,
         levels: &[QosLevels],
+    ) -> Result<SelectionOutcome, SelectionError> {
+        let refs: Vec<&QosLevels> = levels.iter().collect();
+        self.select_with_level_refs(problem, &refs)
+    }
+
+    /// [`Qassa::select_with_levels`] over shared hierarchies: the
+    /// returned outcome holds clones of the `Arc`s, so a later delta
+    /// re-selection reuses unaffected activities at pointer cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the hierarchies do not line up with the task.
+    pub fn select_with_shared_levels(
+        &self,
+        problem: &SelectionProblem<'_>,
+        levels: &[Arc<QosLevels>],
+    ) -> Result<SelectionOutcome, SelectionError> {
+        let refs: Vec<&QosLevels> = levels.iter().map(Arc::as_ref).collect();
+        let mut outcome = self.select_with_level_refs(problem, &refs)?;
+        outcome.levels = levels.to_vec();
+        Ok(outcome)
+    }
+
+    fn select_with_level_refs(
+        &self,
+        problem: &SelectionProblem<'_>,
+        levels: &[&QosLevels],
     ) -> Result<SelectionOutcome, SelectionError> {
         let mut tally = GlobalTally::default();
         let result = self.global_phase(problem, levels, &mut tally);
@@ -304,29 +377,37 @@ impl<'a> Qassa<'a> {
     fn global_phase(
         &self,
         problem: &SelectionProblem<'_>,
-        levels: &[QosLevels],
+        levels: &[&QosLevels],
         tally: &mut GlobalTally,
     ) -> Result<SelectionOutcome, SelectionError> {
-        self.validate(problem)?;
+        self.validate_levels(problem, levels)?;
         let properties = problem.properties();
         let aggregator = Aggregator::new(self.model, problem.approach());
-        let normalizer = self.composition_normalizer(problem, &properties, &aggregator);
+        let normalizer = self.composition_normalizer_from_levels(
+            problem.task(),
+            &properties,
+            &aggregator,
+            levels,
+        );
 
         // Per-activity candidates, best-first (levels flattened).
         let all: Vec<Vec<&RankedCandidate>> = levels
             .iter()
             .map(|l| l.iter_best_first().collect())
             .collect();
-        let max_levels = levels.iter().map(QosLevels::level_count).max().unwrap_or(0);
+        let max_levels = levels.iter().map(|l| l.level_count()).max().unwrap_or(0);
 
         let mut best_infeasible: Option<(usize, f64, Vec<usize>, QosVector)> = None;
 
+        // Prefix length of each activity's list at the current level,
+        // grown incrementally from the hierarchies' per-level sizes (the
+        // flattened lists are level-grouped, so the prefix of candidates
+        // with `level <= r` is exactly the cumulative level size).
+        let mut pools: Vec<usize> = vec![0; levels.len()];
         for r in 0..max_levels {
-            // Prefix length of each activity's list at level r.
-            let pools: Vec<usize> = all
-                .iter()
-                .map(|cands| cands.iter().take_while(|c| c.level() <= r).count())
-                .collect();
+            for (pool, l) in pools.iter_mut().zip(levels) {
+                *pool += l.level(r).len();
+            }
             if pools.contains(&0) {
                 continue;
             }
@@ -432,9 +513,15 @@ impl<'a> Qassa<'a> {
     ) -> (QosVector, f64) {
         let properties = problem.properties();
         let aggregator = Aggregator::new(self.model, problem.approach());
-        let normalizer = self.composition_normalizer(problem, &properties, &aggregator);
-        let vectors: Vec<QosVector> = assignment.iter().map(|c| c.qos().clone()).collect();
-        let aggregated = aggregator.aggregate(problem.task(), &vectors, &properties);
+        let pools: Vec<Vec<&QosVector>> = problem
+            .candidates()
+            .iter()
+            .map(|cands| cands.iter().map(ServiceCandidate::qos).collect())
+            .collect();
+        let normalizer =
+            self.composition_normalizer(problem.task(), &properties, &aggregator, &pools);
+        let vectors: Vec<&QosVector> = assignment.iter().map(ServiceCandidate::qos).collect();
+        let aggregated = aggregator.aggregate_refs(problem.task(), &vectors, &properties);
         let u = utility(
             &aggregated,
             &normalizer,
@@ -455,6 +542,25 @@ impl<'a> Qassa<'a> {
         Ok(())
     }
 
+    /// The global phase's own validation: hierarchies, not the problem's
+    /// candidate matrix, must line up with the task — a delta re-selection
+    /// hands over cached hierarchies with an intentionally empty matrix.
+    fn validate_levels(
+        &self,
+        problem: &SelectionProblem<'_>,
+        levels: &[&QosLevels],
+    ) -> Result<(), SelectionError> {
+        let expected = problem.task().activity_count();
+        let found = levels.len();
+        if expected != found {
+            return Err(SelectionError::ArityMismatch { expected, found });
+        }
+        if let Some(activity) = levels.iter().position(|l| l.is_empty()) {
+            return Err(SelectionError::NoCandidates { activity });
+        }
+        Ok(())
+    }
+
     fn effective_preferences(
         &self,
         problem: &SelectionProblem<'_>,
@@ -467,26 +573,73 @@ impl<'a> Qassa<'a> {
         }
     }
 
+    /// [`Qassa::composition_normalizer`] from the hierarchies' cached
+    /// per-property value bounds (recorded during the local phase's
+    /// single column pass): `O(activities × properties)` instead of a
+    /// re-scan of every candidate. Non-finite advertised values never
+    /// enter the cached bounds, so an unreachable host's infinite
+    /// perceived response time cannot stretch the normalisation range
+    /// and flatten every utility to the same score.
+    fn composition_normalizer_from_levels(
+        &self,
+        task: &UserTask,
+        properties: &[PropertyId],
+        aggregator: &Aggregator<'_>,
+        levels: &[&QosLevels],
+    ) -> Normalizer {
+        let mut best = Vec::with_capacity(levels.len());
+        let mut worst = Vec::with_capacity(levels.len());
+        for l in levels {
+            let mut b = QosVector::new();
+            let mut w = QosVector::new();
+            for &p in properties {
+                if let Some((lo, hi)) = l.bound(p) {
+                    let (bv, wv) = match self.model.tendency(p) {
+                        Tendency::LowerBetter => (lo, hi),
+                        Tendency::HigherBetter => (hi, lo),
+                    };
+                    b.set(p, bv);
+                    w.set(p, wv);
+                }
+            }
+            best.push(b);
+            worst.push(w);
+        }
+        let mut normalizer = Normalizer::default();
+        for bound in [
+            aggregator.aggregate(task, &best, properties),
+            aggregator.aggregate(task, &worst, properties),
+        ] {
+            for (p, v) in bound.iter() {
+                normalizer.include(self.model, p, v);
+            }
+        }
+        normalizer
+    }
+
     /// Fits composition-level normalisation bounds by aggregating the
     /// per-activity best and worst values (aggregation is monotone per
     /// argument, so these are true bounds of the composition space).
+    /// Order-independent in each pool, so candidate-matrix order and
+    /// level-hierarchy order fit identical bounds.
     fn composition_normalizer(
         &self,
-        problem: &SelectionProblem<'_>,
+        task: &UserTask,
         properties: &[PropertyId],
         aggregator: &Aggregator<'_>,
+        pools: &[Vec<&QosVector>],
     ) -> Normalizer {
-        let mut best = Vec::with_capacity(problem.candidates().len());
-        let mut worst = Vec::with_capacity(problem.candidates().len());
-        for cands in problem.candidates() {
+        let mut best = Vec::with_capacity(pools.len());
+        let mut worst = Vec::with_capacity(pools.len());
+        for cands in pools {
             let mut b = QosVector::new();
             let mut w = QosVector::new();
             for &p in properties {
                 let tendency = self.model.tendency(p);
                 let mut b_val: Option<f64> = None;
                 let mut w_val: Option<f64> = None;
-                for c in cands {
-                    if let Some(v) = c.qos().get(p) {
+                for qos in cands {
+                    if let Some(v) = qos.get(p) {
                         b_val = Some(b_val.map_or(v, |cur| tendency.better(cur, v)));
                         w_val = Some(w_val.map_or(v, |cur| tendency.worse(cur, v)));
                     }
@@ -501,8 +654,8 @@ impl<'a> Qassa<'a> {
         }
         let mut normalizer = Normalizer::default();
         for bound in [
-            aggregator.aggregate(problem.task(), &best, properties),
-            aggregator.aggregate(problem.task(), &worst, properties),
+            aggregator.aggregate(task, &best, properties),
+            aggregator.aggregate(task, &worst, properties),
         ] {
             for (p, v) in bound.iter() {
                 normalizer.include(self.model, p, v);
@@ -561,12 +714,12 @@ impl<'a> Qassa<'a> {
         current: &[usize],
         properties: &[PropertyId],
     ) -> QosVector {
-        let vectors: Vec<QosVector> = current
+        let vectors: Vec<&QosVector> = current
             .iter()
             .enumerate()
-            .map(|(i, &j)| all[i][j].candidate().qos().clone())
+            .map(|(i, &j)| all[i][j].candidate().qos())
             .collect();
-        aggregator.aggregate(problem.task(), &vectors, properties)
+        aggregator.aggregate_refs(problem.task(), &vectors, properties)
     }
 
     /// The swap most improving `property`: for each activity, the
@@ -646,6 +799,7 @@ impl<'a> Qassa<'a> {
             feasible,
             levels_explored,
             ranked,
+            levels: Vec::new(),
         }
     }
 }

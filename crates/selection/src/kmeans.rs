@@ -51,12 +51,50 @@ impl Clustering {
     }
 }
 
+/// Reusable scratch buffers for repeated K-means runs.
+///
+/// The local selection phase clusters one column per (activity, property)
+/// pair; at 10k+ candidates the per-call `Vec` churn dominates. One
+/// scratch, cleared and refilled per column, keeps the hot loop
+/// allocation-free after the first activity.
+#[derive(Debug, Clone, Default)]
+pub struct KmeansScratch {
+    sorted: Vec<f64>,
+    centroids: Vec<f64>,
+    assignments: Vec<usize>,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    order: Vec<usize>,
+    relabel: Vec<usize>,
+}
+
+impl KmeansScratch {
+    /// A fresh, empty scratch arena.
+    pub fn new() -> Self {
+        KmeansScratch::default()
+    }
+
+    /// Final labels of the last run (relabelled, ascending-centroid
+    /// order), parallel to its input slice.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Final centroids of the last run, ascending, empty clusters
+    /// dropped.
+    pub fn centroids(&self) -> &[f64] {
+        &self.centroids
+    }
+}
+
 /// Clusters `values` into at most `k` bands with Lloyd's algorithm.
 ///
 /// Deterministic: centroids are initialised at evenly spaced quantiles of
 /// the sorted input. When the input has fewer than `k` distinct values,
-/// the effective `k` shrinks to the distinct count. An empty input yields
-/// an empty clustering.
+/// the effective `k` shrinks to the distinct count, and a cluster that
+/// loses every point mid-iteration is dropped from the result rather
+/// than receiving a `0.0 / 0` (`NaN`) centroid update. An empty input
+/// yields an empty clustering.
 ///
 /// # Panics
 ///
@@ -75,11 +113,34 @@ impl Clustering {
 /// assert_ne!(c.assignment(0), c.assignment(3));
 /// ```
 pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
+    let mut scratch = KmeansScratch::new();
+    kmeans_1d_with(values, k, max_iters, &mut scratch);
+    Clustering {
+        assignments: scratch.assignments,
+        centroids: scratch.centroids,
+    }
+}
+
+/// [`kmeans_1d`] into caller-owned buffers: the hot-path variant.
+///
+/// After the call, `scratch.assignments()` holds the relabelled cluster
+/// labels (parallel to `values`) and `scratch.centroids()` the ascending
+/// centroids; the returned value is the effective cluster count. No
+/// allocation happens once the scratch has grown to the workload's size.
+///
+/// # Panics
+///
+/// Same conditions as [`kmeans_1d`].
+pub fn kmeans_1d_with(
+    values: &[f64],
+    k: usize,
+    max_iters: usize,
+    scratch: &mut KmeansScratch,
+) -> usize {
+    scratch.assignments.clear();
+    scratch.centroids.clear();
     if values.is_empty() {
-        return Clustering {
-            assignments: Vec::new(),
-            centroids: Vec::new(),
-        };
+        return 0;
     }
     assert!(k > 0, "k must be positive");
     assert!(
@@ -87,46 +148,53 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
         "values must be finite"
     );
 
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    sorted.dedup();
-    let k = k.min(sorted.len());
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(values);
+    scratch.sorted.sort_by(f64::total_cmp);
+    scratch.sorted.dedup();
+    let k = k.min(scratch.sorted.len());
 
     // Quantile initialisation over distinct values.
-    let mut centroids: Vec<f64> = (0..k)
-        .map(|i| {
-            let pos = (i as f64 + 0.5) / k as f64 * (sorted.len() as f64 - 1.0);
-            sorted[pos.round() as usize]
-        })
-        .collect();
-    centroids.dedup();
+    for i in 0..k {
+        let pos = (i as f64 + 0.5) / k as f64 * (scratch.sorted.len() as f64 - 1.0);
+        scratch.centroids.push(scratch.sorted[pos.round() as usize]);
+    }
+    scratch.centroids.dedup();
 
-    let mut assignments = vec![0usize; values.len()];
+    scratch.assignments.resize(values.len(), 0);
+    let kc = scratch.centroids.len();
+    scratch.sums.clear();
+    scratch.sums.resize(kc, 0.0);
+    scratch.counts.clear();
+    scratch.counts.resize(kc, 0);
     for _ in 0..max_iters.max(1) {
         // Assignment step.
         let mut changed = false;
         for (i, &v) in values.iter().enumerate() {
-            let nearest = centroids
+            let nearest = scratch
+                .centroids
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| (v - **a).abs().total_cmp(&(v - **b).abs()))
                 .map(|(j, _)| j)
                 .unwrap_or(0);
-            if assignments[i] != nearest {
-                assignments[i] = nearest;
+            if scratch.assignments[i] != nearest {
+                scratch.assignments[i] = nearest;
                 changed = true;
             }
         }
-        // Update step.
-        let mut sums = vec![0.0; centroids.len()];
-        let mut counts = vec![0usize; centroids.len()];
+        // Update step. A cluster that lost every point keeps its old
+        // centroid here (no 0/0 NaN); the relabel pass below drops it
+        // from the result entirely.
+        scratch.sums.iter_mut().for_each(|s| *s = 0.0);
+        scratch.counts.iter_mut().for_each(|c| *c = 0);
         for (i, &v) in values.iter().enumerate() {
-            sums[assignments[i]] += v;
-            counts[assignments[i]] += 1;
+            scratch.sums[scratch.assignments[i]] += v;
+            scratch.counts[scratch.assignments[i]] += 1;
         }
-        for (j, c) in centroids.iter_mut().enumerate() {
-            if counts[j] > 0 {
-                *c = sums[j] / counts[j] as f64;
+        for (j, c) in scratch.centroids.iter_mut().enumerate() {
+            if scratch.counts[j] > 0 {
+                *c = scratch.sums[j] / scratch.counts[j] as f64;
             }
         }
         if !changed {
@@ -134,24 +202,38 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Clustering {
         }
     }
 
-    // Drop empty clusters and relabel by ascending centroid.
-    let mut used: Vec<usize> = assignments.to_vec();
-    used.sort_unstable();
-    used.dedup();
-    let mut order: Vec<usize> = used.clone();
-    order.sort_by(|&a, &b| centroids[a].total_cmp(&centroids[b]));
-    let relabel: std::collections::HashMap<usize, usize> = order
-        .iter()
-        .enumerate()
-        .map(|(new, &old)| (old, new))
-        .collect();
-    let final_centroids: Vec<f64> = order.iter().map(|&old| centroids[old]).collect();
-    let final_assignments: Vec<usize> = assignments.iter().map(|a| relabel[a]).collect();
-
-    Clustering {
-        assignments: final_assignments,
-        centroids: final_centroids,
+    // Drop empty clusters and relabel by ascending centroid. `counts`
+    // reflects the final assignment pass, so `counts[j] > 0` is exactly
+    // "cluster j survived". Plain index vectors keep this deterministic
+    // (no hashed iteration order).
+    scratch.order.clear();
+    for j in 0..kc {
+        if scratch.counts[j] > 0 {
+            scratch.order.push(j);
+        }
     }
+    let centroids = &scratch.centroids;
+    scratch
+        .order
+        .sort_by(|&a, &b| centroids[a].total_cmp(&centroids[b]));
+    scratch.relabel.clear();
+    scratch.relabel.resize(kc, usize::MAX);
+    for (new, &old) in scratch.order.iter().enumerate() {
+        scratch.relabel[old] = new;
+    }
+    for a in scratch.assignments.iter_mut() {
+        *a = scratch.relabel[*a];
+    }
+    // Compact the surviving centroids through the (idle) sums buffer so
+    // the reorder never reads a slot it already overwrote.
+    scratch.sums.clear();
+    for &old in &scratch.order {
+        scratch.sums.push(scratch.centroids[old]);
+    }
+    scratch.centroids.clear();
+    scratch.centroids.extend_from_slice(&scratch.sums);
+    debug_assert!(scratch.centroids.iter().all(|c| c.is_finite()));
+    scratch.centroids.len()
 }
 
 #[cfg(test)]
@@ -186,6 +268,31 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_normalised_column_stays_finite() {
+        // A min == max property column normalises to a constant 0.5
+        // (the neutral score); clustering it must yield one finite
+        // band, never a NaN centroid.
+        let values = [0.5; 8];
+        let c = kmeans_1d(&values, 4, 50);
+        assert_eq!(c.k(), 1);
+        assert!(c.centroid(0).is_finite());
+        assert_eq!(c.centroid(0), 0.5);
+    }
+
+    #[test]
+    fn empty_clusters_are_dropped_not_nan() {
+        // Two tight value groups under k = 5: at most two clusters can
+        // survive, and every surviving centroid must be finite.
+        let values = [1.0, 1.0, 1.0001, 40.0, 40.0, 40.0001];
+        let c = kmeans_1d(&values, 5, 100);
+        assert!(c.k() <= 4);
+        for label in 0..c.k() {
+            assert!(c.centroid(label).is_finite(), "NaN centroid at {label}");
+            assert!(c.assignments().contains(&label), "empty cluster {label}");
+        }
+    }
+
+    #[test]
     fn empty_input_yields_empty_clustering() {
         let c = kmeans_1d(&[], 3, 10);
         assert_eq!(c.k(), 0);
@@ -204,6 +311,23 @@ mod tests {
     fn deterministic_across_calls() {
         let values: Vec<f64> = (0..100).map(|i| f64::from(i % 17) * 3.3).collect();
         assert_eq!(kmeans_1d(&values, 4, 100), kmeans_1d(&values, 4, 100));
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let mut scratch = KmeansScratch::new();
+        let columns: Vec<Vec<f64>> = vec![
+            (0..50).map(f64::from).collect(),
+            vec![0.5; 7],
+            (0..31).map(|i| f64::from(i % 3)).collect(),
+        ];
+        for values in &columns {
+            let fresh = kmeans_1d(values, 4, 100);
+            let k = kmeans_1d_with(values, 4, 100, &mut scratch);
+            assert_eq!(k, fresh.k());
+            assert_eq!(scratch.assignments(), fresh.assignments());
+            assert_eq!(scratch.centroids(), &fresh.centroids[..]);
+        }
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //! worst).
 
 use qasom_qos::utility::utility;
-use qasom_qos::{Normalizer, Preferences, PropertyId, QosModel};
+use qasom_qos::{Normalizer, Preferences, PropertyId, QosModel, Tendency};
 
-use crate::{kmeans_1d, ServiceCandidate};
+use crate::{kmeans_1d_with, KmeansScratch, ServiceCandidate};
 
 /// A candidate annotated with its local-selection rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,28 @@ impl Default for LocalRank {
     }
 }
 
+/// Reusable buffers for [`LocalRank::rank_with`].
+///
+/// One arena holds the per-property value column, the present-candidate
+/// index column, the flat `|properties| × |candidates|` rank matrix and
+/// the K-means scratch. Ranking every activity of a task through one
+/// arena keeps the selection hot path allocation-free after the first
+/// activity.
+#[derive(Debug, Clone, Default)]
+pub struct LocalScratch {
+    values: Vec<f64>,
+    present: Vec<usize>,
+    ranks: Vec<usize>,
+    kmeans: KmeansScratch,
+}
+
+impl LocalScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        LocalScratch::default()
+    }
+}
+
 impl LocalRank {
     /// Runs local selection for one activity's candidate set over the
     /// requested properties.
@@ -82,54 +104,101 @@ impl LocalRank {
         properties: &[PropertyId],
         preferences: &Preferences,
     ) -> QosLevels {
+        self.rank_with(
+            model,
+            candidates,
+            properties,
+            preferences,
+            &mut LocalScratch::new(),
+        )
+    }
+
+    /// [`LocalRank::rank`] into caller-owned buffers: the hot-path
+    /// variant. Identical output; the scratch arena is reused across
+    /// calls so repeated rankings stop allocating once the buffers have
+    /// grown to the workload's size.
+    pub fn rank_with(
+        &self,
+        model: &QosModel,
+        candidates: &[ServiceCandidate],
+        properties: &[PropertyId],
+        preferences: &Preferences,
+        scratch: &mut LocalScratch,
+    ) -> QosLevels {
         if candidates.is_empty() {
-            return QosLevels { levels: Vec::new() };
+            return QosLevels {
+                levels: Vec::new(),
+                bounds: Vec::new(),
+            };
         }
+        let n = candidates.len();
 
         // Worst possible rank: below the deepest band (missing values).
         let missing_rank = self.bands;
 
-        // Per property: cluster present values and rank candidates. The
-        // properties are independent, so the K-means runs fan out under
-        // the `parallel` feature; collecting preserves property order, so
-        // the rank matrix (and everything downstream) is deterministic.
-        let per_property = |&p: &PropertyId| -> Vec<usize> {
+        // Destructure for disjoint &mut borrows inside the column loop.
+        let LocalScratch {
+            values,
+            present,
+            ranks,
+            kmeans,
+        } = scratch;
+
+        // Per property: gather the flat value column, cluster it, and
+        // scatter band ranks into the flat rank matrix (column-major by
+        // property). The same pass feeds the min–max normaliser, so the
+        // candidate pool is traversed once per property instead of once
+        // for clustering plus once for normalisation.
+        ranks.clear();
+        ranks.resize(properties.len() * n, missing_rank);
+        let mut normalizer = Normalizer::default();
+        let mut bounds: Vec<(PropertyId, f64, f64)> = Vec::with_capacity(properties.len());
+        for (pi, &p) in properties.iter().enumerate() {
             let tendency = model.tendency(p);
+            values.clear();
+            present.clear();
             // Non-finite values (e.g. an unreachable host's perceived
             // response time) count as missing: unknown or unusable
             // quality sinks below every band.
-            let present: Vec<(usize, f64)> = candidates
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| c.qos().get(p).filter(|v| v.is_finite()).map(|v| (i, v)))
-                .collect();
-            let values: Vec<f64> = present.iter().map(|&(_, v)| v).collect();
-            let clustering = kmeans_1d(&values, self.bands, self.kmeans_iters);
-            let ranks = clustering.ranks(tendency);
-            let mut per_candidate = vec![missing_rank; candidates.len()];
-            for (j, &(i, _)) in present.iter().enumerate() {
-                per_candidate[i] = ranks[j];
+            for (i, c) in candidates.iter().enumerate() {
+                if let Some(v) = c.qos().get(p).filter(|v| v.is_finite()) {
+                    present.push(i);
+                    values.push(v);
+                    normalizer.include(model, p, v);
+                }
             }
-            per_candidate
-        };
-        #[cfg(feature = "parallel")]
-        let columns: Vec<Vec<usize>> = {
-            use rayon::prelude::*;
-            properties.par_iter().map(per_property).collect()
-        };
-        #[cfg(not(feature = "parallel"))]
-        let columns: Vec<Vec<usize>> = properties.iter().map(per_property).collect();
-
-        let mut rank_matrix: Vec<Vec<usize>> =
-            vec![Vec::with_capacity(properties.len()); candidates.len()];
-        for per_candidate in &columns {
-            for (i, row) in rank_matrix.iter_mut().enumerate() {
-                row.push(per_candidate[i]);
+            // The same pass caches the column's raw value bounds: the
+            // global phase fits its composition-level normaliser from
+            // these instead of re-scanning every candidate.
+            if let (Some(lo), Some(hi)) = (
+                values.iter().copied().reduce(f64::min),
+                values.iter().copied().reduce(f64::max),
+            ) {
+                bounds.push((p, lo, hi));
+            }
+            let k = kmeans_1d_with(values, self.bands, self.kmeans_iters, kmeans);
+            let column = &mut ranks[pi * n..(pi + 1) * n];
+            for (j, &i) in present.iter().enumerate() {
+                let label = kmeans.assignments()[j];
+                column[i] = match tendency {
+                    Tendency::LowerBetter => label,
+                    Tendency::HigherBetter => k - 1 - label,
+                };
             }
         }
 
-        // Utilities over this activity's candidate pool.
-        let normalizer = Normalizer::fit(model, candidates.iter().map(ServiceCandidate::qos));
+        // Preference properties outside the requested set still need
+        // normalisation bounds for the utility term.
+        for p in preferences.properties() {
+            if !properties.contains(&p) {
+                for c in candidates {
+                    if let Some(v) = c.qos().get(p) {
+                        normalizer.include(model, p, v);
+                    }
+                }
+            }
+        }
+
         let prefs_owned;
         let prefs = if preferences.is_empty() {
             prefs_owned = Preferences::uniform(properties.iter().copied());
@@ -145,8 +214,19 @@ impl LocalRank {
                 let (level, class) = if properties.is_empty() {
                     (0, 0)
                 } else {
-                    let worst = rank_matrix[i].iter().max().copied().unwrap_or(0);
-                    let class = rank_matrix[i].iter().filter(|&&r| r == worst).count();
+                    let mut worst = 0;
+                    let mut class = 0;
+                    for pi in 0..properties.len() {
+                        let r = ranks[pi * n + i];
+                        match r.cmp(&worst) {
+                            std::cmp::Ordering::Greater => {
+                                worst = r;
+                                class = 1;
+                            }
+                            std::cmp::Ordering::Equal => class += 1,
+                            std::cmp::Ordering::Less => {}
+                        }
+                    }
                     (worst, class)
                 };
                 RankedCandidate {
@@ -171,7 +251,8 @@ impl LocalRank {
         for r in ranked {
             levels[r.level].push(r);
         }
-        QosLevels { levels }
+        bounds.sort_by_key(|&(p, ..)| p);
+        QosLevels { levels, bounds }
     }
 }
 
@@ -181,6 +262,10 @@ impl LocalRank {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QosLevels {
     levels: Vec<Vec<RankedCandidate>>,
+    /// Raw `(property, min, max)` value bounds over the finite values the
+    /// ranking saw, sorted by property — cached so composition-level
+    /// normalisation never re-scans the candidate pool.
+    bounds: Vec<(PropertyId, f64, f64)>,
 }
 
 impl QosLevels {
@@ -219,9 +304,19 @@ impl QosLevels {
         self.total() == 0
     }
 
+    /// The cached raw `(min, max)` of the finite values the ranking saw
+    /// for `property` — `None` when no candidate offered a finite value.
+    pub fn bound(&self, property: PropertyId) -> Option<(f64, f64)> {
+        self.bounds
+            .binary_search_by_key(&property, |&(p, ..)| p)
+            .ok()
+            .map(|i| (self.bounds[i].1, self.bounds[i].2))
+    }
+
     /// Merges another hierarchy into this one (distributed QASSA: the
     /// coordinator unions provider-side digests). Levels are concatenated
-    /// pairwise and re-sorted by (class, utility).
+    /// pairwise and re-sorted by (class, utility); value bounds widen to
+    /// cover both sides.
     pub fn merge(&mut self, other: QosLevels) {
         if other.levels.len() > self.levels.len() {
             self.levels.resize(other.levels.len(), Vec::new());
@@ -234,6 +329,15 @@ impl QosLevels {
                     .then(b.utility.total_cmp(&a.utility))
                     .then(a.candidate.id().cmp(&b.candidate.id()))
             });
+        }
+        for (p, lo, hi) in other.bounds {
+            match self.bounds.binary_search_by_key(&p, |&(q, ..)| q) {
+                Ok(i) => {
+                    self.bounds[i].1 = self.bounds[i].1.min(lo);
+                    self.bounds[i].2 = self.bounds[i].2.max(hi);
+                }
+                Err(i) => self.bounds.insert(i, (p, lo, hi)),
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! qasom-cli stress [--seed 42] [--sessions 12] [--out FILE]
 //! qasom-cli daemon-stress [--seed 42] [--rounds 12] [--clients 4]
 //!                         [--queue 6] [--quota 2] [--batch 4] [--out FILE]
+//! qasom-cli hotpath-stress [--seed 42] [--services 64] [--rounds 12] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -40,6 +41,14 @@
 //! with provider churn between rounds. The printed `RunReport` carries
 //! the `daemon.*` counters and is byte-identical for identical
 //! arguments.
+//!
+//! The `hotpath-stress` subcommand composes an eight-activity task over
+//! a synthetic provider market and then alternates provider churn with
+//! `recompose` calls, exercising the delta-QASSA re-selection path and
+//! (via periodic infrastructure perturbations) its full-recompose
+//! fallback. The printed `RunReport` carries the `hotpath` section and
+//! `selection.delta.*` counters and is byte-identical for identical
+//! arguments — the determinism oracle CI `cmp`s across repeats.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -55,7 +64,7 @@ use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
 use qasom_obs::{key_paths, MemoryRecorder, Recorder};
 use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
-use qasom_qos::{QosModel, Unit};
+use qasom_qos::{QosModel, QosVector, Unit};
 use qasom_registry::ServiceDescription;
 use qasom_task::xml::{self, XmlElement};
 use qasom_task::{Activity, TaskNode, UserTask};
@@ -65,6 +74,7 @@ fn main() -> ExitCode {
         Some("report") => run_report_subcommand(),
         Some("stress") => run_stress_subcommand(),
         Some("daemon-stress") => run_daemon_stress_subcommand(),
+        Some("hotpath-stress") => run_hotpath_stress_subcommand(),
         _ => run(),
     };
     match outcome {
@@ -186,6 +196,119 @@ fn run_daemon_stress_subcommand() -> Result<(), String> {
     }
     let report = qasom_daemon::stress::stress_report(&config)?;
     write_report(&report, out.as_deref())
+}
+
+/// `qasom-cli hotpath-stress [--seed N] [--services N] [--rounds N]
+/// [--out FILE]`: an eight-activity composition followed by scripted
+/// churn-and-recompose rounds through the delta-QASSA path, exported as
+/// pretty-printed `RunReport` JSON (with the `hotpath` section) —
+/// byte-identical for identical arguments.
+fn run_hotpath_stress_subcommand() -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut services = 64usize;
+    let mut rounds = 12usize;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--services" => services = parse_num(&value("--services")?)?,
+            "--rounds" => rounds = parse_num(&value("--rounds")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: qasom-cli hotpath-stress [--seed N] [--services N] [--rounds N] [--out FILE]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (try hotpath-stress --help)"
+                ));
+            }
+        }
+    }
+    let report = hotpath_stress_run_report(seed, services, rounds)?;
+    write_report(&report, out.as_deref())
+}
+
+/// The scripted scenario behind `qasom-cli hotpath-stress`: a synthetic
+/// market of `services` providers over eight function concepts, one
+/// compose, then `rounds` rounds that each deploy a fast newcomer and
+/// `recompose` — with periodic departures (delta handles the chosen
+/// service leaving) and periodic infrastructure perturbations (which
+/// disqualify cached levels and force the full-recompose fallback, so
+/// both `selection.delta.incremental` and
+/// `selection.delta.full_recomposes` come out non-zero).
+fn hotpath_stress_run_report(
+    seed: u64,
+    services: usize,
+    rounds: usize,
+) -> Result<RunReport, String> {
+    const ACTIVITIES: usize = 8;
+    let mut builder = OntologyBuilder::new("hp");
+    for i in 0..ACTIVITIES {
+        builder.concept(&format!("A{i}"));
+    }
+    let ontology = builder.build().map_err(|e| e.to_string())?;
+    let mut env = Environment::new(QosModel::standard(), ontology, seed);
+    let recorder = Arc::new(MemoryRecorder::new());
+    env.set_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    let rt = env
+        .model()
+        .property("ResponseTime")
+        .ok_or("the standard model defines ResponseTime")?;
+    let av = env
+        .model()
+        .property("Availability")
+        .ok_or("the standard model defines Availability")?;
+    let per = (services / ACTIVITIES).max(1);
+    for ci in 0..ACTIVITIES {
+        for i in 0..per {
+            let desc = ServiceDescription::new(format!("s{ci}-{i}"), format!("hp#A{ci}").as_str())
+                .with_qos(rt, 40.0 + ((i * 7_919 + ci * 13) % 1_000) as f64)
+                .with_qos(av, 0.90 + ((i * 104_729 + ci) % 100) as f64 / 1_000.0);
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+    }
+    let task = UserTask::new(
+        "hotpath",
+        TaskNode::sequence((0..ACTIVITIES).map(|i| {
+            TaskNode::activity(Activity::new(format!("a{i}"), format!("hp#A{i}").as_str()))
+        })),
+    )
+    .map_err(|e| e.to_string())?;
+    let request = UserRequest::new(task)
+        .constraint("ResponseTime", 10.0, Unit::Seconds)
+        .map_err(|e| e.to_string())?
+        .weight("ResponseTime", 0.7)
+        .weight("Availability", 0.3);
+    let mut composition = env.compose(&request).map_err(|e| e.to_string())?;
+    for round in 0..rounds {
+        let ci = round % ACTIVITIES;
+        let desc = ServiceDescription::new(format!("late{round}"), format!("hp#A{ci}").as_str())
+            .with_qos(rt, 35.0 - (round % 7) as f64)
+            .with_qos(av, 0.999);
+        let nominal = desc.qos().clone();
+        let id = env.deploy(desc, SyntheticService::new(nominal));
+        composition = env.recompose(&composition).map_err(|e| e.to_string())?;
+        if round % 3 == 2 {
+            // The newcomer just won its activity; its departure makes the
+            // chosen service vanish mid-composition.
+            env.undeploy(id);
+            composition = env.recompose(&composition).map_err(|e| e.to_string())?;
+        }
+        if round % 5 == 4 {
+            // A perceived-QoS perturbation outside the registry event log:
+            // the cached levels are stale and delta must fall back to a
+            // full recompose.
+            env.set_infrastructure(round as u64, QosVector::new());
+            composition = env.recompose(&composition).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(env.run_report("hotpath-stress"))
 }
 
 fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
@@ -320,7 +443,8 @@ fn parse_args() -> Result<Args, String> {
                      \x20      qasom-cli report [--seed N] [--schema] [--out FILE]\n\
                      \x20      qasom-cli stress [--seed N] [--sessions N] [--out FILE]\n\
                      \x20      qasom-cli daemon-stress [--seed N] [--rounds N] [--clients N]\n\
-                     \x20          [--queue N] [--quota N] [--batch N] [--out FILE]"
+                     \x20          [--queue N] [--quota N] [--batch N] [--out FILE]\n\
+                     \x20      qasom-cli hotpath-stress [--seed N] [--services N] [--rounds N] [--out FILE]"
                 );
                 std::process::exit(0);
             }

@@ -76,7 +76,8 @@ fn a_shared_activity_batch_runs_one_discovery_pass() {
         },
     );
     let clients = connect_ready(&mut daemon, N);
-    let before = counter(&shared, keys::DISCOVERY_INDEXED) + counter(&shared, keys::DISCOVERY_LINEAR);
+    let before =
+        counter(&shared, keys::DISCOVERY_INDEXED) + counter(&shared, keys::DISCOVERY_LINEAR);
 
     for (i, c) in clients.iter().enumerate() {
         daemon.send_compose(*c, i as u64 + 1, &request()).unwrap();
@@ -97,7 +98,8 @@ fn a_shared_activity_batch_runs_one_discovery_pass() {
         );
     }
 
-    let after = counter(&shared, keys::DISCOVERY_INDEXED) + counter(&shared, keys::DISCOVERY_LINEAR);
+    let after =
+        counter(&shared, keys::DISCOVERY_INDEXED) + counter(&shared, keys::DISCOVERY_LINEAR);
     assert_eq!(after - before, 1, "one discovery pass for {N} sessions");
     assert_eq!(counter(&shared, keys::DAEMON_BATCHES), 1);
     assert_eq!(counter(&shared, keys::DAEMON_BATCHED_SESSIONS), N as u64);
@@ -188,6 +190,47 @@ fn over_capacity_sessions_shed_busy_in_submission_order() {
         })
         .collect();
     assert_eq!(busy2, busy);
+}
+
+/// The `Busy` retry hint at the exact-capacity boundary: with the queue
+/// full at `queue_capacity == 4` and `batch_max == 2`, the backlog plus
+/// the retrying session itself is ceil(5/2) = 3 batch drains, plus the
+/// tick that re-admits it — 4 ticks. The pre-fix rounding
+/// (`ceil(len/batch)`) said 3 whenever the queue divided evenly into
+/// batches, one tick short of when capacity actually frees up for the
+/// retrier.
+#[test]
+fn busy_hint_covers_the_retrier_at_the_capacity_boundary() {
+    let shared = market(11);
+    let mut daemon = LoopbackDaemon::new(
+        shared.clone(),
+        BrokerConfig {
+            admission: AdmissionConfig {
+                queue_capacity: 4,
+                client_quota: 8,
+                batch_max: 2,
+            },
+        },
+    );
+    let c = connect_ready(&mut daemon, 1)[0];
+    for corr in 1..=5u64 {
+        daemon.send_compose(c, corr, &request()).unwrap();
+    }
+    daemon.pump();
+
+    let events = daemon.drain_events(c).unwrap();
+    let hints: Vec<(u64, u32)> = events
+        .iter()
+        .filter_map(|e| match e {
+            ClientEvent::Reply {
+                corr_id,
+                outcome: ClientOutcome::Busy { retry_after_ticks },
+            } => Some((*corr_id, *retry_after_ticks)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(hints, vec![(5, 4)], "events: {events:?}");
+    assert_eq!(counter(&shared, keys::DAEMON_SHED), 1);
 }
 
 /// A client exceeding its per-identity quota is shed even while the

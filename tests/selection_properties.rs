@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use qasom_qos::QosModel;
 use qasom_selection::baseline::Baselines;
 use qasom_selection::workload::{TaskShape, Tightness, WorkloadSpec};
-use qasom_selection::{kmeans_1d, AggregationApproach, Aggregator, Qassa};
+use qasom_selection::{
+    kmeans_1d, AggregationApproach, Aggregator, Qassa, SelectionProblem, ServiceCandidate,
+};
 
 fn model() -> QosModel {
     QosModel::standard()
@@ -136,6 +138,57 @@ proptest! {
                 prop_assert!(t.at_least_as_good(c, b) || approx(b, c),
                     "optimistic {c} worse than mean {b} for {p:?}");
             }
+        }
+    }
+
+    /// Degenerate value ranges — every candidate of an activity
+    /// advertising identical QoS — must not poison normalisation:
+    /// `min == max` per property used to divide by a zero range and
+    /// leak NaN ranks. Selection must stay finite, sound and
+    /// deterministic.
+    #[test]
+    fn qassa_survives_degenerate_qos_ranges((spec, seed) in arb_spec()) {
+        let m = model();
+        let w = spec.build(&m, seed);
+        let base = w.problem();
+        let constant: Vec<Vec<ServiceCandidate>> = base
+            .candidates()
+            .iter()
+            .map(|cands| {
+                let template = cands[0].qos().clone();
+                cands
+                    .iter()
+                    .map(|c| ServiceCandidate::new(c.id(), template.clone()))
+                    .collect()
+            })
+            .collect();
+        let problem = SelectionProblem::new(w.task())
+            .with_candidates(constant)
+            .with_constraints(base.constraints().clone())
+            .with_preferences(base.preferences().clone())
+            .with_approach(base.approach());
+        let out = Qassa::new(&m).select(&problem).expect("well-formed");
+        prop_assert!(out.utility.is_finite(), "utility {}", out.utility);
+        prop_assert!((0.0..=1.0).contains(&out.utility), "utility {}", out.utility);
+        prop_assert_eq!(out.assignment.len(), w.task().activity_count());
+        if out.feasible {
+            prop_assert!(problem.constraints().satisfied_by(&out.aggregated));
+        }
+        let again = Qassa::new(&m).select(&problem).expect("well-formed");
+        prop_assert_eq!(out, again);
+    }
+
+    /// Constant inputs (all values identical) used to starve K-means
+    /// clusters and emit NaN centroids; they must collapse into
+    /// non-empty bands with finite centroids.
+    #[test]
+    fn kmeans_handles_constant_values(value in 0.0f64..1e4, n in 1usize..100, k in 1usize..8) {
+        let values = vec![value; n];
+        let c = kmeans_1d(&values, k, 50);
+        prop_assert_eq!(c.assignments().len(), n);
+        for label in 0..c.k() {
+            prop_assert!(c.assignments().contains(&label));
+            prop_assert!(c.centroid(label).is_finite(), "centroid {label} not finite");
         }
     }
 

@@ -3,7 +3,9 @@
 
 use std::thread;
 
-use qasom::{Environment, RegistryDelta, ServeOutcome, SessionRequest, SharedEnvironment, UserRequest};
+use qasom::{
+    Environment, RegistryDelta, ServeOutcome, SessionRequest, SharedEnvironment, UserRequest,
+};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::QosModel;
