@@ -25,9 +25,12 @@ fn usage() -> ExitCode {
         "usage: qasom-lint [--root <workspace-dir>] [--baseline <file>] [--write-baseline]\n\
          \n\
          Scans the workspace sources for determinism-wallclock,\n\
-         determinism-unordered and panic-unwrap findings, comparing\n\
-         panic-unwrap counts against the checked-in baseline\n\
-         (default: <root>/lint-baseline.txt)."
+         determinism-unordered, panic-unwrap and daemon-with-mut\n\
+         findings, plus the scope-aware QA1xx lock-discipline family\n\
+         (lock-order, write-under-read, guard-across-send,\n\
+         raw-lock-in-daemon), comparing panic-unwrap counts against\n\
+         the checked-in baseline (default: <root>/lint-baseline.txt).\n\
+         All other rules fail outright."
     );
     ExitCode::from(2)
 }

@@ -1,0 +1,662 @@
+//! Models of the workspace's real lock protocols, small enough to
+//! explore exhaustively yet faithful to the invariants the live code
+//! relies on.
+//!
+//! Each model abstracts one protocol that PR 5–PR 7 actually ship:
+//!
+//! * [`ComposeChurn`] — the serving split: N compose sessions read the
+//!   environment under the `RwLock` read guard while churn takes the
+//!   write guard and updates `(epoch, registry)` as a unit. The
+//!   invariant is epoch parity: outside the write guard, derived state
+//!   is always consistent with the epoch (readers never observe a
+//!   half-applied churn).
+//! * [`ShardStamp`] — the MatchCache: per-shard mutexes each carrying
+//!   an ontology stamp; readers snapshot the current stamp under the
+//!   environment read lock, then refresh their shard if stale. The
+//!   invariant is stamp coherence: an unlocked shard's value is always
+//!   the one computed under the shard's recorded stamp.
+//! * [`AdmissionQueue`] — the daemon front door: producers submit into
+//!   a bounded queue or get shed with a deterministic
+//!   `Busy { retry_after_ticks }`, a consumer drains in batches and
+//!   must not miss a wakeup. The invariants are conservation
+//!   (admitted + shed = submitted, completed = admitted) and the PR 6
+//!   retry formula `1 + ceil(queue / batch)` at every shed point.
+
+use super::explore::Model;
+use super::sync::{CheckMutex, CheckRwLock};
+
+// ---------------------------------------------------------------------
+// ComposeChurn
+// ---------------------------------------------------------------------
+
+/// Read-concurrent compose vs. write-lock churn with epoch parity.
+pub struct ComposeChurn {
+    /// Concurrent compose sessions (read-side threads).
+    pub readers: usize,
+    /// Churn rounds the single writer applies.
+    pub churn_rounds: u8,
+}
+
+impl Default for ComposeChurn {
+    fn default() -> Self {
+        ComposeChurn {
+            readers: 2,
+            churn_rounds: 2,
+        }
+    }
+}
+
+/// State of [`ComposeChurn`].
+#[derive(Clone)]
+pub struct ComposeChurnState {
+    lock: CheckRwLock,
+    /// Churn generation, bumped under the write guard.
+    epoch: u64,
+    /// Derived registry state; must equal `3 * epoch` whenever the
+    /// write guard is free.
+    derived: u64,
+    pc: Vec<u8>,
+    /// Reader-local epoch snapshot taken under the read guard.
+    snap: Vec<u64>,
+    rounds_left: u8,
+    failure: Option<String>,
+}
+
+impl Model for ComposeChurn {
+    type State = ComposeChurnState;
+
+    fn name(&self) -> &'static str {
+        "compose-churn"
+    }
+
+    fn threads(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn init(&self) -> ComposeChurnState {
+        ComposeChurnState {
+            lock: CheckRwLock::new(),
+            epoch: 0,
+            derived: 0,
+            pc: vec![0; self.readers + 1],
+            snap: vec![0; self.readers],
+            rounds_left: self.churn_rounds,
+            failure: None,
+        }
+    }
+
+    fn done(&self, s: &ComposeChurnState, t: usize) -> bool {
+        s.pc[t] == 4
+    }
+
+    fn enabled(&self, s: &ComposeChurnState, t: usize) -> bool {
+        if self.done(s, t) {
+            return false;
+        }
+        if t < self.readers {
+            match s.pc[t] {
+                0 => s.lock.can_read(t),
+                _ => true,
+            }
+        } else {
+            match s.pc[t] {
+                0 => s.lock.can_write(t),
+                _ => true,
+            }
+        }
+    }
+
+    fn step(&self, s: &mut ComposeChurnState, t: usize) {
+        if t < self.readers {
+            match s.pc[t] {
+                // compose(): epoch and registry are read as separate
+                // steps — exactly the window the read guard protects.
+                0 => s.lock.read(t),
+                1 => s.snap[t] = s.epoch,
+                2 => {
+                    if s.derived != 3 * s.snap[t] {
+                        s.failure = Some(format!(
+                            "reader {t} composed against epoch {} but derived state {}",
+                            s.snap[t], s.derived
+                        ));
+                    }
+                }
+                3 => s.lock.release_read(t),
+                _ => unreachable!("stepped a done reader"),
+            }
+            s.pc[t] += 1;
+        } else {
+            match s.pc[t] {
+                0 => s.lock.write(t),
+                // apply_churn(): bump the epoch, then rebuild derived
+                // state — torn between the two steps, which is legal
+                // only because the write guard is exclusive.
+                1 => s.epoch += 1,
+                2 => s.derived = 3 * s.epoch,
+                3 => {
+                    s.lock.release_write(t);
+                    s.rounds_left -= 1;
+                    if s.rounds_left > 0 {
+                        s.pc[t] = 0;
+                        return;
+                    }
+                }
+                _ => unreachable!("stepped a done writer"),
+            }
+            s.pc[t] += 1;
+        }
+    }
+
+    fn check(&self, s: &ComposeChurnState) -> Result<(), String> {
+        if let Some(m) = &s.failure {
+            return Err(m.clone());
+        }
+        // Epoch parity: torn (epoch, derived) pairs may exist only
+        // behind the write guard.
+        if !s.lock.write_held() && s.derived != 3 * s.epoch {
+            return Err(format!(
+                "torn churn visible without write guard: epoch {} derived {}",
+                s.epoch, s.derived
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &ComposeChurnState) -> Result<(), String> {
+        let want = u64::from(self.churn_rounds);
+        if s.epoch != want {
+            return Err(format!(
+                "expected {} churn rounds, saw epoch {}",
+                want, s.epoch
+            ));
+        }
+        if s.lock.write_held() || s.lock.reader_count() != 0 {
+            return Err("lock leaked at end of schedule".to_owned());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardStamp
+// ---------------------------------------------------------------------
+
+/// Sharded MatchCache stamp invalidation under ontology churn.
+pub struct ShardStamp {
+    /// Cache-reading threads (thread `t` uses shard `t % shards`).
+    pub readers: usize,
+    /// Number of independent shard mutexes.
+    pub shards: usize,
+    /// Ontology reloads the single writer applies.
+    pub reload_rounds: u8,
+}
+
+impl Default for ShardStamp {
+    fn default() -> Self {
+        ShardStamp {
+            readers: 2,
+            shards: 2,
+            reload_rounds: 2,
+        }
+    }
+}
+
+/// State of [`ShardStamp`].
+#[derive(Clone)]
+pub struct ShardStampState {
+    env: CheckRwLock,
+    /// Current ontology stamp, bumped under the environment write lock.
+    stamp: u64,
+    shard_locks: Vec<CheckMutex>,
+    shard_stamp: Vec<u64>,
+    /// Cached value; must equal `7 * shard_stamp` when the shard is
+    /// unlocked.
+    shard_value: Vec<u64>,
+    pc: Vec<u8>,
+    /// Reader-local stamp snapshot.
+    snap: Vec<u64>,
+    rounds_left: u8,
+    failure: Option<String>,
+}
+
+impl ShardStamp {
+    fn shard_of(&self, t: usize) -> usize {
+        t % self.shards
+    }
+}
+
+impl Model for ShardStamp {
+    type State = ShardStampState;
+
+    fn name(&self) -> &'static str {
+        "shard-stamp"
+    }
+
+    fn threads(&self) -> usize {
+        self.readers + 1
+    }
+
+    fn init(&self) -> ShardStampState {
+        ShardStampState {
+            env: CheckRwLock::new(),
+            stamp: 1,
+            shard_locks: vec![CheckMutex::new(); self.shards],
+            shard_stamp: vec![1; self.shards],
+            shard_value: vec![7; self.shards],
+            pc: vec![0; self.readers + 1],
+            snap: vec![0; self.readers],
+            rounds_left: self.reload_rounds,
+            failure: None,
+        }
+    }
+
+    fn done(&self, s: &ShardStampState, t: usize) -> bool {
+        if t < self.readers {
+            s.pc[t] == 7
+        } else {
+            s.pc[t] == 3
+        }
+    }
+
+    fn enabled(&self, s: &ShardStampState, t: usize) -> bool {
+        if self.done(s, t) {
+            return false;
+        }
+        if t < self.readers {
+            match s.pc[t] {
+                0 => s.env.can_read(t),
+                3 => s.shard_locks[self.shard_of(t)].can_lock(t),
+                _ => true,
+            }
+        } else {
+            match s.pc[t] {
+                0 => s.env.can_write(t),
+                _ => true,
+            }
+        }
+    }
+
+    fn step(&self, s: &mut ShardStampState, t: usize) {
+        if t < self.readers {
+            let k = self.shard_of(t);
+            match s.pc[t] {
+                // lookup()/put(): snapshot the stamp under the env read
+                // lock, release, then work on the shard under its own
+                // mutex — the lock-order manifest in miniature.
+                0 => s.env.read(t),
+                1 => s.snap[t] = s.stamp,
+                2 => s.env.release_read(t),
+                3 => s.shard_locks[k].lock(t),
+                4 => {
+                    // Stale shard: refresh the value first...
+                    if s.shard_stamp[k] != s.snap[t] {
+                        s.shard_value[k] = 7 * s.snap[t];
+                    } else {
+                        // ...or skip straight to the consistency read.
+                        s.pc[t] = 6;
+                        return;
+                    }
+                }
+                // ...then adopt the stamp (a separate step: the mutex
+                // is what makes the pair atomic to other threads).
+                5 => s.shard_stamp[k] = s.snap[t],
+                6 => {
+                    if s.shard_value[k] != 7 * s.shard_stamp[k] {
+                        s.failure = Some(format!(
+                            "reader {t} saw shard {k} value {} under stamp {}",
+                            s.shard_value[k], s.shard_stamp[k]
+                        ));
+                    }
+                    s.shard_locks[k].unlock(t);
+                }
+                _ => unreachable!("stepped a done reader"),
+            }
+            s.pc[t] += 1;
+        } else {
+            match s.pc[t] {
+                0 => s.env.write(t),
+                1 => s.stamp += 1,
+                2 => {
+                    s.env.release_write(t);
+                    s.rounds_left -= 1;
+                    if s.rounds_left > 0 {
+                        s.pc[t] = 0;
+                        return;
+                    }
+                }
+                _ => unreachable!("stepped a done writer"),
+            }
+            s.pc[t] += 1;
+        }
+    }
+
+    fn check(&self, s: &ShardStampState) -> Result<(), String> {
+        if let Some(m) = &s.failure {
+            return Err(m.clone());
+        }
+        for k in 0..self.shards {
+            // Stamp coherence: a torn (value, stamp) pair may exist
+            // only while the shard mutex is held.
+            if !s.shard_locks[k].held() && s.shard_value[k] != 7 * s.shard_stamp[k] {
+                return Err(format!(
+                    "shard {k} torn while unlocked: value {} stamp {}",
+                    s.shard_value[k], s.shard_stamp[k]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &ShardStampState) -> Result<(), String> {
+        let want = 1 + u64::from(self.reload_rounds);
+        if s.stamp != want {
+            return Err(format!("expected final stamp {want}, saw {}", s.stamp));
+        }
+        if s.shard_locks.iter().any(CheckMutex::held) {
+            return Err("shard mutex leaked at end of schedule".to_owned());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------
+
+/// The daemon admission queue: bounded submit, batched drain,
+/// deterministic `Busy` shedding, no lost wakeups.
+pub struct AdmissionQueue {
+    /// Producer threads, one session submit each.
+    pub producers: usize,
+    /// Queue capacity before shedding.
+    pub capacity: usize,
+    /// Consumer drain batch size.
+    pub batch: usize,
+}
+
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        AdmissionQueue {
+            producers: 3,
+            capacity: 2,
+            batch: 2,
+        }
+    }
+}
+
+/// State of [`AdmissionQueue`].
+#[derive(Clone)]
+pub struct AdmissionQueueState {
+    q: CheckMutex,
+    queue: Vec<usize>,
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    /// `(producer, retry_after_ticks)` per shed decision.
+    shed: Vec<(usize, u64)>,
+    pc: Vec<u8>,
+    failure: Option<String>,
+}
+
+impl AdmissionQueue {
+    fn producers_done(&self, s: &AdmissionQueueState) -> bool {
+        (0..self.producers).all(|t| s.pc[t] == 3)
+    }
+
+    /// PR 6's shed formula: `1 + ceil(queue_depth / batch)` ticks.
+    fn retry_after(&self, queue_depth: usize) -> u64 {
+        1 + (queue_depth as u64).div_ceil(self.batch as u64)
+    }
+}
+
+impl Model for AdmissionQueue {
+    type State = AdmissionQueueState;
+
+    fn name(&self) -> &'static str {
+        "admission-queue"
+    }
+
+    fn threads(&self) -> usize {
+        self.producers + 1
+    }
+
+    fn init(&self) -> AdmissionQueueState {
+        AdmissionQueueState {
+            q: CheckMutex::new(),
+            queue: Vec::new(),
+            submitted: 0,
+            admitted: 0,
+            completed: 0,
+            shed: Vec::new(),
+            pc: vec![0; self.producers + 1],
+            failure: None,
+        }
+    }
+
+    fn done(&self, s: &AdmissionQueueState, t: usize) -> bool {
+        s.pc[t] == 3
+    }
+
+    fn enabled(&self, s: &AdmissionQueueState, t: usize) -> bool {
+        if self.done(s, t) {
+            return false;
+        }
+        if t < self.producers {
+            match s.pc[t] {
+                0 => s.q.can_lock(t),
+                _ => true,
+            }
+        } else {
+            match s.pc[t] {
+                // The consumer's wakeup condition: work queued, or the
+                // system is draining down. Getting this predicate wrong
+                // is a lost wakeup — which the explorer reports as a
+                // deadlock, since the consumer never re-enables.
+                0 => s.q.can_lock(t) && (!s.queue.is_empty() || self.producers_done(s)),
+                _ => true,
+            }
+        }
+    }
+
+    fn step(&self, s: &mut AdmissionQueueState, t: usize) {
+        if t < self.producers {
+            match s.pc[t] {
+                0 => s.q.lock(t),
+                1 => {
+                    s.submitted += 1;
+                    if s.queue.len() >= self.capacity {
+                        let retry = self.retry_after(s.queue.len());
+                        let want = self.retry_after(self.capacity);
+                        if retry != want {
+                            s.failure = Some(format!(
+                                "producer {t} shed with retry_after {retry}, expected {want}"
+                            ));
+                        }
+                        s.shed.push((t, retry));
+                    } else {
+                        s.queue.push(t);
+                        s.admitted += 1;
+                    }
+                }
+                2 => s.q.unlock(t),
+                _ => unreachable!("stepped a done producer"),
+            }
+            s.pc[t] += 1;
+        } else {
+            match s.pc[t] {
+                0 => s.q.lock(t),
+                1 => {
+                    let n = self.batch.min(s.queue.len());
+                    s.queue.drain(..n);
+                    s.completed += n as u64;
+                }
+                2 => {
+                    s.q.unlock(t);
+                    if self.producers_done(s) && s.queue.is_empty() {
+                        s.pc[t] = 3;
+                    } else {
+                        s.pc[t] = 0;
+                    }
+                    return;
+                }
+                _ => unreachable!("stepped a done consumer"),
+            }
+            s.pc[t] += 1;
+        }
+    }
+
+    fn check(&self, s: &AdmissionQueueState) -> Result<(), String> {
+        if let Some(m) = &s.failure {
+            return Err(m.clone());
+        }
+        if s.queue.len() > self.capacity {
+            return Err(format!(
+                "queue over capacity: {} > {}",
+                s.queue.len(),
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &AdmissionQueueState) -> Result<(), String> {
+        if s.admitted + s.shed.len() as u64 != s.submitted {
+            return Err(format!(
+                "admission leak: admitted {} + shed {} != submitted {}",
+                s.admitted,
+                s.shed.len(),
+                s.submitted
+            ));
+        }
+        if s.submitted != self.producers as u64 {
+            return Err(format!(
+                "expected {} submissions, saw {}",
+                self.producers, s.submitted
+            ));
+        }
+        if s.completed != s.admitted {
+            return Err(format!(
+                "lost sessions: completed {} != admitted {}",
+                s.completed, s.admitted
+            ));
+        }
+        if !s.queue.is_empty() {
+            return Err(format!("queue not drained: {} left", s.queue.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::explore::{explore, ExploreConfig};
+    use super::*;
+
+    #[test]
+    fn compose_churn_proves_out() {
+        let res = explore(&ComposeChurn::default(), &ExploreConfig::default());
+        assert!(
+            res.ok(),
+            "deadlocks {} violations {}",
+            res.deadlocks,
+            res.violations
+        );
+        assert!(res.schedules > 0);
+    }
+
+    #[test]
+    fn shard_stamp_proves_out() {
+        let res = explore(&ShardStamp::default(), &ExploreConfig::default());
+        assert!(
+            res.ok(),
+            "deadlocks {} violations {}",
+            res.deadlocks,
+            res.violations
+        );
+        assert!(res.schedules > 0);
+    }
+
+    #[test]
+    fn admission_queue_proves_out_and_explores_a_shed_path() {
+        let res = explore(&AdmissionQueue::default(), &ExploreConfig::default());
+        assert!(
+            res.ok(),
+            "deadlocks {} violations {}",
+            res.deadlocks,
+            res.violations
+        );
+        assert!(res.schedules > 0);
+    }
+
+    /// Mutating the epoch parity protocol to skip the write lock must
+    /// surface as a violation — the models are only trustworthy if the
+    /// explorer can catch them misbehaving.
+    struct ChurnWithoutLock;
+
+    impl Model for ChurnWithoutLock {
+        type State = ComposeChurnState;
+
+        fn name(&self) -> &'static str {
+            "churn-without-lock"
+        }
+
+        fn threads(&self) -> usize {
+            ComposeChurn::default().threads()
+        }
+
+        fn init(&self) -> ComposeChurnState {
+            ComposeChurn::default().init()
+        }
+
+        fn done(&self, s: &ComposeChurnState, t: usize) -> bool {
+            ComposeChurn::default().done(s, t)
+        }
+
+        fn enabled(&self, s: &ComposeChurnState, t: usize) -> bool {
+            let inner = ComposeChurn::default();
+            if t == inner.readers {
+                // The buggy writer never blocks: it skips the lock.
+                !self.done(s, t)
+            } else {
+                inner.enabled(s, t)
+            }
+        }
+
+        fn step(&self, s: &mut ComposeChurnState, t: usize) {
+            let inner = ComposeChurn::default();
+            if t == inner.readers {
+                // Same churn, no guard: pc 0 and 3 become no-ops.
+                match s.pc[t] {
+                    0 => {}
+                    1 => s.epoch += 1,
+                    2 => s.derived = 3 * s.epoch,
+                    3 => {
+                        s.rounds_left -= 1;
+                        if s.rounds_left > 0 {
+                            s.pc[t] = 0;
+                            return;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                s.pc[t] += 1;
+            } else {
+                inner.step(s, t);
+            }
+        }
+
+        fn check(&self, s: &ComposeChurnState) -> Result<(), String> {
+            ComposeChurn::default().check(s)
+        }
+
+        fn check_final(&self, s: &ComposeChurnState) -> Result<(), String> {
+            ComposeChurn::default().check_final(s)
+        }
+    }
+
+    #[test]
+    fn lockless_churn_is_caught() {
+        let res = explore(&ChurnWithoutLock, &ExploreConfig::default());
+        assert!(res.violations > 0, "unlocked churn must be observable");
+    }
+}

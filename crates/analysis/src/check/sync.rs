@@ -1,0 +1,176 @@
+//! Model-level lock shims for the schedule explorer.
+//!
+//! These mirror `std::sync::Mutex` / `std::sync::RwLock` semantics but
+//! live entirely inside a model's cloneable state: acquisition is an
+//! explicit, atomic model step, and *blocking* is expressed through the
+//! model's enabled-set (a thread whose next step cannot acquire is
+//! simply not enabled), so the DFS scheduler never has to model a
+//! spinning retry and the schedule space stays finite.
+//!
+//! Thread identity is a plain `usize` index. The shims are deliberately
+//! strict: releasing a lock one does not hold, or double-acquiring,
+//! panics — in a model that is a modelling bug, not an interleaving to
+//! explore.
+
+use std::collections::BTreeSet;
+
+/// A mutual-exclusion lock owned by at most one model thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckMutex {
+    owner: Option<usize>,
+}
+
+impl CheckMutex {
+    /// A released mutex.
+    pub fn new() -> Self {
+        CheckMutex::default()
+    }
+
+    /// Whether thread `t` could acquire right now (use in `enabled`).
+    pub fn can_lock(&self, t: usize) -> bool {
+        self.owner.is_none() && {
+            // Re-entrant locking would self-deadlock; the explorer
+            // treats it as "never enabled", which the deadlock detector
+            // then reports.
+            let _ = t;
+            true
+        }
+    }
+
+    /// Acquires for thread `t`. Panics if not currently acquirable —
+    /// models must gate the step on [`CheckMutex::can_lock`].
+    pub fn lock(&mut self, t: usize) {
+        assert!(
+            self.owner.is_none(),
+            "model bug: thread {t} locking a held mutex"
+        );
+        self.owner = Some(t);
+    }
+
+    /// Releases the lock held by `t`.
+    pub fn unlock(&mut self, t: usize) {
+        assert_eq!(
+            self.owner,
+            Some(t),
+            "model bug: thread {t} unlocking a mutex it does not hold"
+        );
+        self.owner = None;
+    }
+
+    /// Whether any thread holds the lock.
+    pub fn held(&self) -> bool {
+        self.owner.is_some()
+    }
+}
+
+/// A readers-writer lock over model thread indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckRwLock {
+    readers: BTreeSet<usize>,
+    writer: Option<usize>,
+}
+
+impl CheckRwLock {
+    /// A released lock.
+    pub fn new() -> Self {
+        CheckRwLock::default()
+    }
+
+    /// Whether thread `t` could acquire a read guard right now.
+    pub fn can_read(&self, t: usize) -> bool {
+        self.writer.is_none() && !self.readers.contains(&t)
+    }
+
+    /// Whether thread `t` could acquire the write guard right now.
+    pub fn can_write(&self, t: usize) -> bool {
+        let _ = t;
+        self.writer.is_none() && self.readers.is_empty()
+    }
+
+    /// Acquires a read guard for `t`; gate on [`CheckRwLock::can_read`].
+    pub fn read(&mut self, t: usize) {
+        assert!(
+            self.can_read(t),
+            "model bug: thread {t} read-locking while unreadable"
+        );
+        self.readers.insert(t);
+    }
+
+    /// Acquires the write guard for `t`; gate on
+    /// [`CheckRwLock::can_write`].
+    pub fn write(&mut self, t: usize) {
+        assert!(
+            self.can_write(t),
+            "model bug: thread {t} write-locking while held"
+        );
+        self.writer = Some(t);
+    }
+
+    /// Releases `t`'s read guard.
+    pub fn release_read(&mut self, t: usize) {
+        assert!(
+            self.readers.remove(&t),
+            "model bug: thread {t} releasing a read guard it does not hold"
+        );
+    }
+
+    /// Releases `t`'s write guard.
+    pub fn release_write(&mut self, t: usize) {
+        assert_eq!(
+            self.writer,
+            Some(t),
+            "model bug: thread {t} releasing a write guard it does not hold"
+        );
+        self.writer = None;
+    }
+
+    /// Whether the write guard is held.
+    pub fn write_held(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Number of live read guards.
+    pub fn reader_count(&self) -> usize {
+        self.readers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_excludes() {
+        let mut m = CheckMutex::new();
+        assert!(m.can_lock(0));
+        m.lock(0);
+        assert!(!m.can_lock(1));
+        assert!(m.held());
+        m.unlock(0);
+        assert!(m.can_lock(1));
+    }
+
+    #[test]
+    fn rwlock_admits_readers_until_writer() {
+        let mut l = CheckRwLock::new();
+        l.read(0);
+        l.read(1);
+        assert!(!l.can_write(2));
+        assert_eq!(l.reader_count(), 2);
+        l.release_read(0);
+        l.release_read(1);
+        assert!(l.can_write(2));
+        l.write(2);
+        assert!(!l.can_read(0));
+        l.release_write(2);
+        assert!(l.can_read(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "model bug")]
+    fn double_lock_panics() {
+        let mut m = CheckMutex::new();
+        m.lock(0);
+        m.lock(1);
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal, dependency-free token lexer for the QA1xx lock-discipline
+//! rules.
+//!
+//! The line scanner in [`crate::lint`] is enough for "this token may not
+//! appear here" rules, but lock discipline is a *scope* property: a
+//! guard acquired on line 10 is still held on line 40 unless the braces
+//! say otherwise. This lexer turns stripped source (comments and string
+//! literals already removed by the [`crate::lint`] state machine) into a
+//! flat token stream — identifiers and single-character punctuation,
+//! each tagged with its 1-based source line — over which
+//! [`crate::locks`] runs a small abstract interpreter that tracks brace
+//! depth, statement boundaries and guard lifetimes.
+//!
+//! This is still **not** a parser: there is no AST, no expression
+//! grammar, no type information. Numeric literals are dropped (no rule
+//! cares about them), identifiers keep their spelling, and everything
+//! else comes through as one [`TokenKind::Punct`] per character. That is
+//! exactly as much structure as brace/scope tracking needs, and it keeps
+//! the lexer small enough to be obviously correct.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `drop`, `read`, `self`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `{`, `;`, ...).
+    Punct(char),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier spelling, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// Lexes stripped source lines (one entry per original source line, as
+/// produced by the lint stripper) into a flat token stream.
+///
+/// Numeric literals are dropped entirely: `0x3f`, `1_000u64` and plain
+/// digits never become tokens, so an identifier token always starts
+/// with a letter or underscore.
+pub fn lex(stripped_lines: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                    line: lineno,
+                });
+            } else if c.is_ascii_digit() {
+                // Numeric literal (possibly with suffix / underscores /
+                // hex digits): swallow the full alphanumeric run.
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // A trailing `.` of a float literal (`1.5`) would
+                // otherwise read as a method-call dot; swallow the
+                // fraction too.
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            } else {
+                out.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line: lineno,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(src: &str) -> Vec<Token> {
+        let lines: Vec<String> = src.lines().map(|l| l.to_owned()).collect();
+        lex(&lines)
+    }
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let toks = lex_str("let a = b.read();\n}\n");
+        let spell: Vec<String> = toks
+            .iter()
+            .map(|t| match &t.kind {
+                TokenKind::Ident(s) => s.clone(),
+                TokenKind::Punct(c) => c.to_string(),
+            })
+            .collect();
+        assert_eq!(
+            spell,
+            vec!["let", "a", "=", "b", ".", "read", "(", ")", ";", "}"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn numeric_literals_are_dropped() {
+        let toks = lex_str("let x = 0x3f + 1_000u64 + 2.5;");
+        assert!(toks.iter().all(|t| !matches!(
+            t.ident(),
+            Some(s) if s.starts_with(|c: char| c.is_ascii_digit())
+        )));
+        // The float's dot must not surface as punctuation.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 0);
+    }
+
+    #[test]
+    fn method_call_dot_survives() {
+        let toks = lex_str("shards[0].read()");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 1);
+    }
+}

@@ -12,19 +12,29 @@
 //!    offline token scanner enforcing workspace invariants: no
 //!    wall-clock reads or iteration-order-randomised collections on
 //!    simulated paths, and no new `.unwrap()` / `.expect(` in library
-//!    code (existing debt is carried in `lint-baseline.txt`).
+//!    code (existing debt is carried in `lint-baseline.txt`). ISSUE 8
+//!    upgrades it with a scope-aware QA1xx lock-discipline family
+//!    ([`locks`], driven by the [`lexer`] token stream).
+//! 3. **Schedule explorer** ([`check`], plus the `qasom-check` binary)
+//!    — a deterministic mini-loom: small models of the workspace's real
+//!    lock protocols are exhaustively interleaved under a
+//!    preemption-bounded DFS scheduler, proving deadlock-freedom and
+//!    per-schedule invariants, with byte-identical seeded reports.
 //!
 //! The crate sits *below* `qasom-registry`, `qasom-selection` and the
-//! core in the dependency graph (it depends only on the ontology, QoS
-//! and task crates), so both request composition and QSD ingestion can
-//! call into it.
+//! core in the dependency graph (it depends only on the ontology, QoS,
+//! task and obs crates), so both request composition and QSD ingestion
+//! can call into it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyzer;
+pub mod check;
 mod diag;
+pub mod lexer;
 pub mod lint;
+pub mod locks;
 
 pub use analyzer::{Analyzer, ApproachKind, OperationView, RequestSpec, ServiceView};
 pub use diag::{has_errors, partition, Diagnostic, DiagnosticCode, Location, Severity};

@@ -27,8 +27,14 @@
 //!   accounted and bounded; an arbitrary closure over the write lock
 //!   could starve every serving session.
 //!
-//! Any rule can be suppressed on a single line with
-//! `// lint:allow(<rule-name>)`.
+//! The QA1xx lock-discipline family ([`Rule::LockOrder`],
+//! [`Rule::WriteUnderRead`], [`Rule::GuardAcrossSend`],
+//! [`Rule::RawLockInDaemon`]) is scope-aware: it runs over the
+//! [`crate::lexer`] token stream with guard-lifetime tracking — see
+//! [`crate::locks`] for the rules and the lock-order manifest.
+//!
+//! Any rule can be suppressed with `// lint:allow(<rule-name>)` on the
+//! finding's line or on the line immediately above it.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +53,14 @@ pub enum Rule {
     PanicUnwrap,
     /// `with_mut` (the arbitrary write-lock closure) in daemon code.
     DaemonWithMut,
+    /// QA101: lock acquisition inverting the manifest order.
+    LockOrder,
+    /// QA102: `.write()` while a read guard of the same lock is live.
+    WriteUnderRead,
+    /// QA103: lock guard held across a channel send / transport write.
+    GuardAcrossSend,
+    /// QA104: raw `Mutex`/`RwLock` use in `crates/daemon`.
+    RawLockInDaemon,
 }
 
 impl Rule {
@@ -58,16 +72,35 @@ impl Rule {
             Rule::Unordered => "determinism-unordered",
             Rule::PanicUnwrap => "panic-unwrap",
             Rule::DaemonWithMut => "daemon-with-mut",
+            Rule::LockOrder => "lock-order",
+            Rule::WriteUnderRead => "write-under-read",
+            Rule::GuardAcrossSend => "guard-across-send",
+            Rule::RawLockInDaemon => "raw-lock-in-daemon",
+        }
+    }
+
+    /// The QA-code of the rule, for the lock-discipline family.
+    pub fn code(self) -> Option<&'static str> {
+        match self {
+            Rule::LockOrder => Some("QA101"),
+            Rule::WriteUnderRead => Some("QA102"),
+            Rule::GuardAcrossSend => Some("QA103"),
+            Rule::RawLockInDaemon => Some("QA104"),
+            _ => None,
         }
     }
 
     /// All rules, in reporting order.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::Wallclock,
             Rule::Unordered,
             Rule::PanicUnwrap,
             Rule::DaemonWithMut,
+            Rule::LockOrder,
+            Rule::WriteUnderRead,
+            Rule::GuardAcrossSend,
+            Rule::RawLockInDaemon,
         ]
     }
 
@@ -91,6 +124,12 @@ impl Rule {
             // `unwrap_or_else` and `expect_err` never match.
             Rule::PanicUnwrap => &[".unwrap()", ".expect("],
             Rule::DaemonWithMut => &["with_mut"],
+            // The QA1xx family is scope-aware (crate::locks), not
+            // token-matched; it never participates in the line loop.
+            Rule::LockOrder
+            | Rule::WriteUnderRead
+            | Rule::GuardAcrossSend
+            | Rule::RawLockInDaemon => &[],
         }
     }
 }
@@ -333,13 +372,26 @@ impl TestTracker {
     }
 }
 
+/// Whether a finding of `rule` on 1-based line `line` is suppressed by
+/// a `// lint:allow(<rule>)` comment — on the same line or on the line
+/// immediately above.
+pub(crate) fn allow_on(raw: &[&str], line: usize, rule: Rule) -> bool {
+    let needle = format!("lint:allow({})", rule.name());
+    let same = raw
+        .get(line.wrapping_sub(1))
+        .is_some_and(|l| l.contains(&needle));
+    let above = line >= 2 && raw.get(line - 2).is_some_and(|l| l.contains(&needle));
+    same || above
+}
+
 /// Scans one source file. `rel` is the workspace-relative path and
 /// decides which rules are in scope.
 pub fn scan_file(rel: &str, source: &str) -> Vec<Finding> {
     let det = determinism_scope(rel);
     let panics = panic_scope(rel);
     let daemon = daemon_scope(rel);
-    if !det && !panics && !daemon {
+    let locks = crate::locks::locks_scope(rel);
+    if !det && !panics && !daemon && !locks {
         return Vec::new();
     }
     let stripped = strip(source);
@@ -354,11 +406,16 @@ pub fn scan_file(rel: &str, source: &str) -> Vec<Finding> {
                 Rule::Wallclock | Rule::Unordered => det,
                 Rule::PanicUnwrap => panics && !in_test,
                 Rule::DaemonWithMut => daemon && !in_test,
+                // Scope-aware rules run below, over the token stream.
+                Rule::LockOrder
+                | Rule::WriteUnderRead
+                | Rule::GuardAcrossSend
+                | Rule::RawLockInDaemon => false,
             };
             if !in_scope || !rule.tokens().iter().any(|t| code.contains(t)) {
                 continue;
             }
-            if raw_line.contains(&format!("lint:allow({})", rule.name())) {
+            if allow_on(&raw, idx + 1, rule) {
                 continue;
             }
             let mut excerpt: String = raw_line.trim().chars().take(120).collect();
@@ -373,6 +430,10 @@ pub fn scan_file(rel: &str, source: &str) -> Vec<Finding> {
             });
         }
     }
+    if locks {
+        out.extend(crate::locks::scan_locks(rel, &stripped, &raw));
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
     out
 }
 
@@ -605,6 +666,20 @@ mod tests {
     fn allow_comment_suppresses() {
         let src = "fn f() { x.unwrap(); } // lint:allow(panic-unwrap)\n";
         assert!(scan_file("crates/qos/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_on_previous_line_suppresses() {
+        let src = "// lint:allow(panic-unwrap)\nfn f() { x.unwrap(); }\n";
+        assert!(scan_file("crates/qos/src/model.rs", src).is_empty());
+        // ...but only the line immediately above: one line further up
+        // does not reach.
+        let far = "// lint:allow(panic-unwrap)\n\nfn f() { x.unwrap(); }\n";
+        assert_eq!(scan_file("crates/qos/src/model.rs", far).len(), 1);
+        // A mismatched rule name on the previous line suppresses
+        // nothing.
+        let wrong = "// lint:allow(determinism-wallclock)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(scan_file("crates/qos/src/model.rs", wrong).len(), 1);
     }
 
     #[test]

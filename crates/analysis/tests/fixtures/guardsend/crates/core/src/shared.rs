@@ -1,0 +1,8 @@
+//! Seeded fixture: QA103 guard-across-send — the environment read guard
+//! stays live across a channel send, stalling the receiver behind our
+//! critical section.
+
+pub fn publish_epoch(shared: &SharedEnvironment, tx: &Sender<u64>) {
+    let env = shared.inner.read();
+    tx.send(env.epoch());
+}

@@ -1,0 +1,9 @@
+//! Seeded fixture: QA101 lock-order inversion — the match-cache shard
+//! (rank 2) is held while the interner (rank 1) is acquired, inverting
+//! the declared acquisition order.
+
+pub fn refresh_stamp(cache: &MatchCache, key: u64) -> u64 {
+    let shard = cache.shards[0].read();
+    let interner = cache.interner.read();
+    shard.stamp_for(interner.resolve(key))
+}

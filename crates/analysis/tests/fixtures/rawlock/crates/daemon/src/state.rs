@@ -1,0 +1,12 @@
+//! Seeded fixture: QA104 raw-lock-in-daemon — the daemon declares and
+//! acquires its own `Mutex` instead of going through the typed
+//! `SharedEnvironment` API.
+
+pub struct BrokerState {
+    pending: Mutex<Vec<u64>>,
+}
+
+pub fn drain(state: &BrokerState) -> Vec<u64> {
+    let guard = state.pending.lock();
+    guard.clone()
+}

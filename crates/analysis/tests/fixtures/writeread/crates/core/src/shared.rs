@@ -1,0 +1,9 @@
+//! Seeded fixture: QA102 write-under-read — `.write()` on the
+//! environment lock while our own `.read()` guard is live self-deadlocks
+//! on `std::sync::RwLock`.
+
+pub fn bump_epoch(shared: &SharedEnvironment) -> u64 {
+    let env = shared.inner.read();
+    let mut w = shared.inner.write();
+    w.set_epoch(env.epoch() + 1)
+}

@@ -7,7 +7,8 @@ use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
 use qasom_obs::report::{
-    DaemonSection, DiscoverySection, HotpathSection, RunReport, SelectionSection, ServingSection,
+    CheckSection, DaemonSection, DiscoverySection, HotpathSection, RunReport, SelectionSection,
+    ServingSection,
 };
 use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
@@ -423,6 +424,16 @@ impl Environment {
             delta_incremental: snapshot.counter(keys::SELECTION_DELTA_INCREMENTAL),
             delta_full_recomposes: snapshot.counter(keys::SELECTION_DELTA_FULL),
             delta_activities_reranked: snapshot.counter(keys::SELECTION_DELTA_RERANKED),
+        });
+        // Checker counters are zero in ordinary runs (qasom-check fills
+        // them in its own process); the section still rides along so
+        // the report's top-level key set is stable across binaries.
+        report.check = Some(CheckSection {
+            schedules: snapshot.counter(keys::CHECK_SCHEDULES),
+            steps: snapshot.counter(keys::CHECK_STEPS),
+            deadlocks: snapshot.counter(keys::CHECK_DEADLOCKS),
+            violations: snapshot.counter(keys::CHECK_VIOLATIONS),
+            models: Vec::new(),
         });
         report.selection = Some(SelectionSection {
             runs: snapshot.counter(keys::SELECTION_RUNS),

@@ -113,6 +113,17 @@ pub const DAEMON_FRAMES_WRITTEN: &str = "daemon.frames_written";
 /// Broker scheduling rounds (ticks) executed.
 pub const DAEMON_TICKS: &str = "daemon.ticks";
 
+/// Concurrency models explored by `qasom-check`.
+pub const CHECK_MODELS: &str = "check.models_explored";
+/// Maximal schedules explored across all `qasom-check` models.
+pub const CHECK_SCHEDULES: &str = "check.schedules";
+/// Model steps executed across all `qasom-check` explorations.
+pub const CHECK_STEPS: &str = "check.steps";
+/// Deadlocked schedules found (must stay 0).
+pub const CHECK_DEADLOCKS: &str = "check.deadlocks";
+/// Invariant violations found (must stay 0).
+pub const CHECK_VIOLATIONS: &str = "check.violations";
+
 /// Span covering one QASSA selection (logical clock: activities done).
 pub const SPAN_SELECT: &str = "qassa.select";
 /// Span covering a distributed run's local phase (simulated µs).

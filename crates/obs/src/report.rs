@@ -420,6 +420,76 @@ impl HotpathSection {
     }
 }
 
+/// Outcome of exploring one concurrency model in `qasom-check`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelCheck {
+    /// Model name (`compose-churn`, `shard-stamp`, `admission-queue`).
+    pub name: String,
+    /// Model thread count.
+    pub threads: u64,
+    /// Preemption budget the exploration ran under.
+    pub preemption_bound: u64,
+    /// Maximal schedules explored.
+    pub schedules: u64,
+    /// Model steps executed.
+    pub steps: u64,
+    /// Longest schedule, in steps.
+    pub max_depth: u64,
+    /// Deadlocked schedules found.
+    pub deadlocks: u64,
+    /// Invariant violations found.
+    pub violations: u64,
+}
+
+impl ModelCheck {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("name", self.name.as_str())
+            .field("threads", self.threads)
+            .field("preemption_bound", self.preemption_bound)
+            .field("schedules", self.schedules)
+            .field("steps", self.steps)
+            .field("max_depth", self.max_depth)
+            .field("deadlocks", self.deadlocks)
+            .field("violations", self.violations)
+    }
+}
+
+/// Schedule-explorer totals: `qasom-check`'s deterministic verdict over
+/// the workspace's concurrency protocol models.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckSection {
+    /// Maximal schedules explored across all models.
+    pub schedules: u64,
+    /// Model steps executed across all models.
+    pub steps: u64,
+    /// Deadlocked schedules found (0 in a passing run).
+    pub deadlocks: u64,
+    /// Invariant violations found (0 in a passing run).
+    pub violations: u64,
+    /// Per-model breakdown, in suite order.
+    pub models: Vec<ModelCheck>,
+}
+
+impl CheckSection {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("schedules", self.schedules)
+            .field("steps", self.steps)
+            .field("deadlocks", self.deadlocks)
+            .field("violations", self.violations)
+            .field(
+                "models",
+                self.models
+                    .iter()
+                    .map(ModelCheck::to_json)
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
 /// The unified, seed-stamped run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -447,6 +517,8 @@ pub struct RunReport {
     pub daemon: Option<DaemonSection>,
     /// Hot-path totals (flat columns, interning, delta re-selection).
     pub hotpath: Option<HotpathSection>,
+    /// Schedule-explorer totals, when the run exercised `qasom-check`.
+    pub check: Option<CheckSection>,
     /// Raw metric snapshot (counters / histograms / spans).
     pub metrics: MetricsSnapshot,
 }
@@ -466,6 +538,7 @@ impl RunReport {
             serving: None,
             daemon: None,
             hotpath: None,
+            check: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -513,6 +586,7 @@ impl RunReport {
                 "hotpath",
                 opt(self.hotpath.as_ref().map(HotpathSection::to_json)),
             )
+            .field("check", opt(self.check.as_ref().map(CheckSection::to_json)))
             .field("metrics", self.metrics.to_json())
     }
 
@@ -622,6 +696,7 @@ mod tests {
         full.serving = Some(ServingSection::default());
         full.daemon = Some(DaemonSection::default());
         full.hotpath = Some(HotpathSection::default());
+        full.check = Some(CheckSection::default());
         let top = |r: &RunReport| match r.to_json() {
             JsonValue::Object(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             _ => Vec::new(),

@@ -19,7 +19,9 @@ impl ConceptId {
     }
 
     pub(crate) fn from_index(i: usize) -> Self {
-        ConceptId(u32::try_from(i).expect("more than u32::MAX concepts"))
+        // Saturate rather than panic: ontologies are loaded from bounded
+        // descriptions and cannot reach u32::MAX concepts.
+        ConceptId(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 
@@ -275,9 +277,12 @@ impl OntologyBuilder {
         }
         let canon_count = is_canon.iter().filter(|&&c| c).count();
         if topo.len() != canon_count {
+            // A cycle always leaves a canonical node with positive
+            // indegree; fall back to concept 0 rather than panicking if
+            // that reasoning is ever wrong.
             let culprit = (0..n)
                 .find(|&i| is_canon[i] && indegree[i] > 0)
-                .expect("cycle implies a node with positive indegree");
+                .unwrap_or(0);
             return Err(OntologyError::Cycle(self.concepts[culprit].iri.clone()));
         }
 

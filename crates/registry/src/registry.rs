@@ -304,7 +304,10 @@ impl ServiceRegistry {
 
     /// Publishes a service, returning its id.
     pub fn register(&mut self, description: ServiceDescription) -> ServiceId {
-        let id = ServiceId(u32::try_from(self.services.len()).expect("registry overflow"));
+        // Saturate rather than panic: a registry of u32::MAX services is
+        // unreachable in practice (the index vectors exhaust memory far
+        // earlier), and the broker must never abort the serving loop.
+        let id = ServiceId(u32::try_from(self.services.len()).unwrap_or(u32::MAX));
         if let Some(ontology) = &self.ontology {
             self.index.insert(ontology, id, &description);
         }

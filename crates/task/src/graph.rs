@@ -22,7 +22,9 @@ impl VertexId {
     }
 
     fn from_index(i: usize) -> Self {
-        VertexId(u32::try_from(i).expect("more than u32::MAX vertices"))
+        // Saturate rather than panic: behavioural graphs are bounded by
+        // the task description, which cannot reach u32::MAX vertices.
+        VertexId(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 

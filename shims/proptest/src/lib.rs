@@ -10,9 +10,13 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! - **No shrinking.** A failing case reports the sampled inputs
-//!   (`Debug`-formatted) and the deterministic seed, but is not
-//!   minimised.
+//! - **Minimal shrinking.** A failing case is greedily minimised via
+//!   [`shrink::Shrink`] (integers halve towards zero, `Vec`s and
+//!   `String`s truncate, tuples shrink component-wise) under a fixed
+//!   candidate budget, then reported alongside the original sampled
+//!   inputs and the deterministic seed. Value types outside the
+//!   [`shrink::Shrink`] impls are reported unshrunk. There is no value
+//!   tree: shrinking re-runs the property body on candidate values.
 //! - **Deterministic seeding.** Case `i` of test `t` always runs with
 //!   seed `fnv1a(t) ^ mix(i)`, so failures reproduce across runs and
 //!   machines without a regressions file.
@@ -104,7 +108,7 @@ pub mod test_runner {
         h
     }
 
-    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -141,6 +145,286 @@ pub mod test_runner {
                     panic_message(payload.as_ref())
                 ),
             }
+        }
+    }
+}
+
+pub mod shrink {
+    //! Greedy counterexample minimisation.
+    //!
+    //! Upstream proptest shrinks through a lazily-built value tree; the
+    //! shim instead re-runs the property body on candidate values
+    //! derived from the failing input: each [`Shrink`] impl proposes a
+    //! short, deterministic candidate list ordered most-aggressive
+    //! first, and [`Wrap::run`] walks greedily to a local minimum under
+    //! a fixed budget. Because candidates are a pure function of the
+    //! failing value, shrinking is as deterministic as the seeds.
+    //!
+    //! Dispatch is by inherent-over-trait method resolution: the
+    //! `proptest!` macro calls `Wrap(vals).run(..)`, which binds to the
+    //! inherent shrinking impl when the sampled tuple implements
+    //! [`Shrink`] and silently falls back to the single-run
+    //! [`RunCase`] impl otherwise (e.g. `prop_map` into a non-`Clone`
+    //! domain type).
+
+    use crate::test_runner::{panic_message, TestCaseError, TestCaseResult};
+    use std::fmt::Debug;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Maximum number of candidate re-executions per failing case.
+    pub const SHRINK_BUDGET: usize = 256;
+
+    /// Values that can propose smaller versions of themselves.
+    pub trait Shrink: Clone + Debug {
+        /// Candidate simplifications, most aggressive first. An empty
+        /// list means the value is already minimal.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! unsigned_shrink {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(0);
+                        if *self > 1 {
+                            out.push(*self / 2);
+                        }
+                        out.push(*self - 1);
+                    }
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+
+    unsigned_shrink!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! signed_shrink {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(0);
+                        if self.unsigned_abs() > 1 {
+                            out.push(*self / 2);
+                        }
+                        out.push(*self - self.signum());
+                    }
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+
+    signed_shrink!(i8, i16, i32, i64, i128, isize);
+
+    impl Shrink for f64 {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 0.0 || !self.is_finite() {
+                return Vec::new();
+            }
+            let mut out = vec![0.0, *self / 2.0];
+            let trunc = self.trunc();
+            if trunc != *self {
+                out.push(trunc);
+            }
+            out
+        }
+    }
+
+    impl Shrink for bool {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    impl Shrink for char {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self == 'a' {
+                Vec::new()
+            } else {
+                vec!['a']
+            }
+        }
+    }
+
+    impl Shrink for String {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if self.is_empty() {
+                return Vec::new();
+            }
+            let mut out = vec![String::new()];
+            let chars: Vec<char> = self.chars().collect();
+            if chars.len() > 1 {
+                out.push(chars[..chars.len() / 2].iter().collect());
+                out.push(chars[..chars.len() - 1].iter().collect());
+            }
+            out
+        }
+    }
+
+    impl<T: Shrink> Shrink for Vec<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if self.is_empty() {
+                return Vec::new();
+            }
+            let mut out = vec![Vec::new()];
+            if self.len() > 1 {
+                out.push(self[..self.len() / 2].to_vec());
+                out.push(self[..self.len() - 1].to_vec());
+            }
+            for (i, elem) in self.iter().enumerate() {
+                for candidate in elem.shrink_candidates() {
+                    let mut next = self.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+
+    impl<T: Shrink> Shrink for Option<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            match self {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(v.shrink_candidates().into_iter().map(Some))
+                    .collect(),
+            }
+        }
+    }
+
+    macro_rules! tuple_shrink {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Shrink),+> Shrink for ($($s,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink_candidates() {
+                            let mut next = self.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+
+    tuple_shrink! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7)
+    }
+
+    /// Runs the property body once, converting a panic into a failure
+    /// so the shrink loop can keep probing candidates.
+    fn run_once<T>(value: T, body: &mut dyn FnMut(T) -> TestCaseResult) -> Result<(), String> {
+        match catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(err)) => Err(err.to_string()),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    }
+
+    /// Pins the body closure's argument type to the sampled tuple's
+    /// type so the macro expansion infers (`&_witness` is the tuple
+    /// about to be moved into [`Wrap`]).
+    #[doc(hidden)]
+    pub fn bind_body<T, F>(_witness: &T, body: F) -> F
+    where
+        F: FnMut(T) -> TestCaseResult,
+    {
+        body
+    }
+
+    /// The dispatch point the `proptest!` macro expands to. Holds the
+    /// sampled value tuple by value.
+    pub struct Wrap<T>(pub T);
+
+    impl<T: Shrink> Wrap<T> {
+        /// Runs the case and, on failure, greedily minimises the
+        /// counterexample, rewriting `inputs` to report both the
+        /// shrunk and the originally sampled values.
+        pub fn run(
+            self,
+            body: &mut dyn FnMut(T) -> TestCaseResult,
+            inputs: &mut String,
+        ) -> TestCaseResult {
+            let original = self.0;
+            let first_err = match run_once(original.clone(), body) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            let sampled_repr = inputs.clone();
+            let mut current = original;
+            let mut current_err = first_err;
+            let mut steps = 0usize;
+            let mut budget = SHRINK_BUDGET;
+            'minimise: while budget > 0 {
+                for candidate in current.shrink_candidates() {
+                    if budget == 0 {
+                        break 'minimise;
+                    }
+                    budget -= 1;
+                    if let Err(e) = run_once(candidate.clone(), body) {
+                        current = candidate;
+                        current_err = e;
+                        steps += 1;
+                        continue 'minimise;
+                    }
+                }
+                // Every candidate passes: `current` is locally minimal.
+                break;
+            }
+            if steps > 0 {
+                *inputs = format!("{current:?} (shrunk {steps} step(s) from {sampled_repr})");
+            }
+            Err(TestCaseError::fail(current_err))
+        }
+    }
+
+    /// Fallback for sampled tuples with no [`Shrink`] impl: run the
+    /// case once and report it unshrunk. Inherent-method resolution
+    /// prefers [`Wrap::run`] whenever it applies, so this only binds
+    /// for non-shrinkable value types.
+    pub trait RunCase {
+        /// The sampled value tuple.
+        type Vals;
+
+        /// Runs the property body once with the sampled values.
+        fn run(
+            self,
+            body: &mut dyn FnMut(Self::Vals) -> TestCaseResult,
+            inputs: &mut String,
+        ) -> TestCaseResult;
+    }
+
+    impl<T> RunCase for Wrap<T> {
+        type Vals = T;
+
+        fn run(
+            self,
+            body: &mut dyn FnMut(T) -> TestCaseResult,
+            _inputs: &mut String,
+        ) -> TestCaseResult {
+            run_once(self.0, body).map_err(TestCaseError::fail)
         }
     }
 }
@@ -686,12 +970,20 @@ macro_rules! __proptest_impl {
             $crate::test_runner::run_cases(__config, stringify!($name), |__rng, __inputs| {
                 let __vals = ( $( $crate::strategy::Strategy::sample(&($strat), __rng), )+ );
                 *__inputs = format!("{:?}", __vals);
-                let ( $($pat,)+ ) = __vals;
-                let __case = || -> $crate::test_runner::TestCaseResult {
-                    $body
-                    ::std::result::Result::Ok(())
-                };
-                __case()
+                let mut __body = $crate::shrink::bind_body(&__vals, |__v| {
+                    let ( $($pat,)+ ) = __v;
+                    let __case = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+                // Inherent-over-trait dispatch: shrinks when the
+                // sampled tuple implements `Shrink`, single-runs
+                // otherwise.
+                #[allow(unused_imports)]
+                use $crate::shrink::RunCase as _;
+                $crate::shrink::Wrap(__vals).run(&mut __body, __inputs)
             });
         }
     )*};
@@ -844,6 +1136,95 @@ mod tests {
             prop_assert_eq!(s.chars().filter(|c| ('a'..='c').contains(c)).count(), s.len());
         }
     }
+
+    #[test]
+    fn shrinker_reaches_the_boundary_counterexample() {
+        use crate::shrink::Wrap;
+        // Fails iff x >= 10; greedy halving from 57 must land exactly
+        // on the boundary value 10.
+        let mut body = |(x,): (u32,)| {
+            if x >= 10 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut inputs = format!("{:?}", (57u32,));
+        let result = Wrap((57u32,)).run(&mut body, &mut inputs);
+        assert!(result.is_err());
+        assert!(inputs.starts_with("(10,)"), "{inputs}");
+        assert!(
+            inputs.contains("shrunk") && inputs.contains("(57,)"),
+            "{inputs}"
+        );
+    }
+
+    #[test]
+    fn shrinker_truncates_vecs_and_minimises_elements() {
+        use crate::shrink::Wrap;
+        let mut body = |(v,): (Vec<u32>,)| {
+            if v.iter().any(|&x| x >= 5) {
+                Err(TestCaseError::fail("element too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let sampled = vec![7u32, 1, 9, 3];
+        let mut inputs = format!("{:?}", (sampled.clone(),));
+        let result = Wrap((sampled,)).run(&mut body, &mut inputs);
+        assert!(result.is_err());
+        assert!(inputs.starts_with("([5],)"), "{inputs}");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        use crate::shrink::Wrap;
+        let run = || {
+            let mut body = |(x, v): (i64, Vec<u8>)| {
+                if x.unsigned_abs() as usize + v.len() > 6 {
+                    Err(TestCaseError::fail("sum too big"))
+                } else {
+                    Ok(())
+                }
+            };
+            let mut inputs = format!("{:?}", (-40i64, vec![1u8, 2, 3]));
+            let _ = Wrap((-40i64, vec![1u8, 2, 3])).run(&mut body, &mut inputs);
+            inputs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shrinker_shrinks_panicking_bodies() {
+        use crate::shrink::Wrap;
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let mut body = |(x,): (u32,)| {
+            assert!(x < 10, "boundary");
+            Ok(())
+        };
+        let mut inputs = format!("{:?}", (200u32,));
+        let result = Wrap((200u32,)).run(&mut body, &mut inputs);
+        std::panic::set_hook(hook);
+        assert!(result.is_err());
+        assert!(inputs.starts_with("(10,)"), "{inputs}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn non_shrinkable_values_fall_back_to_a_single_run(
+            v in (0u32..5).prop_map(NoClone),
+        ) {
+            prop_assert!(v.0 < 5);
+        }
+    }
+
+    /// Deliberately neither `Clone` nor `Shrink`: exercises the
+    /// `RunCase` fallback path of the macro expansion.
+    #[derive(Debug)]
+    struct NoClone(u32);
 
     #[test]
     fn failing_property_reports_inputs() {

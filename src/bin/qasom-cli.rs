@@ -5,6 +5,7 @@
 //!           [--taxonomy taxonomy.xml] [--constraint Delay=1.5s]... \
 //!           [--weight Delay=2]... [--seed 42] [--verbose] [--report FILE]
 //! qasom-cli report [--seed 42] [--schema] [--out FILE]
+//! qasom-cli check [--seed 42] [--preemptions 3] [--out FILE]
 //! qasom-cli stress [--seed 42] [--sessions 12] [--out FILE]
 //! qasom-cli daemon-stress [--seed 42] [--rounds 12] [--clients 4]
 //!                         [--queue 6] [--quota 2] [--batch 4] [--out FILE]
@@ -72,6 +73,7 @@ use qasom_task::{Activity, TaskNode, UserTask};
 fn main() -> ExitCode {
     let outcome = match std::env::args().nth(1).as_deref() {
         Some("report") => run_report_subcommand(),
+        Some("check") => run_check_subcommand(),
         Some("stress") => run_stress_subcommand(),
         Some("daemon-stress") => run_daemon_stress_subcommand(),
         Some("hotpath-stress") => run_hotpath_stress_subcommand(),
@@ -116,6 +118,57 @@ fn run_report_subcommand() -> Result<(), String> {
         return write_text(&paths, out.as_deref());
     }
     write_report(&report, out.as_deref())
+}
+
+/// `qasom-cli check [--seed N] [--preemptions N] [--out FILE]`: the
+/// deterministic schedule-exploring race checker (`qasom_analysis::check`)
+/// over the standard protocol-model suite, exported as pretty-printed
+/// `RunReport` JSON with the `check` section and `check.*` counters —
+/// byte-identical for identical arguments. Fails when any model
+/// deadlocks or violates its invariants.
+fn run_check_subcommand() -> Result<(), String> {
+    let mut cfg = qasom_analysis::check::SuiteConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let raw = value("--seed")?;
+                cfg.seed = raw.parse().map_err(|_| format!("bad seed {raw:?}"))?;
+            }
+            "--preemptions" => {
+                let raw = value("--preemptions")?;
+                cfg.preemption_bound = raw
+                    .parse()
+                    .map_err(|_| format!("bad preemption bound {raw:?}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!("usage: qasom-cli check [--seed N] [--preemptions N] [--out FILE]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try check --help)")),
+        }
+    }
+    let suite = qasom_analysis::check::run_suite(&cfg);
+    let recorder = MemoryRecorder::new();
+    suite.record(&recorder);
+    let mut report = RunReport::new(cfg.seed, "check");
+    report.check = Some(suite.to_section());
+    if let Some(snapshot) = recorder.snapshot() {
+        report.metrics = snapshot;
+    }
+    write_report(&report, out.as_deref())?;
+    if !suite.ok() {
+        return Err(format!(
+            "model checking failed: {} deadlock(s), {} violation(s) across {} schedules",
+            suite.deadlocks(),
+            suite.violations(),
+            suite.schedules()
+        ));
+    }
+    Ok(())
 }
 
 /// `qasom-cli stress [--seed N] [--sessions N] [--out FILE]`: a fixed,
