@@ -174,6 +174,7 @@ pub fn determinism_scope(rel: &str) -> bool {
     rel.starts_with("crates/netsim/src/")
         || rel.starts_with("crates/obs/src/")
         || rel.starts_with("crates/daemon/src/")
+        || rel.starts_with("crates/cluster/src/")
         || rel == "crates/selection/src/distributed.rs"
 }
 

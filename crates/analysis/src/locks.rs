@@ -67,8 +67,9 @@ pub struct LockClass {
 }
 
 /// The lock-order manifest: the declared acquisition order of every
-/// lock in the workspace. Acquiring upward (environment → interner →
-/// shard → event buffer → recorder) is legal; any inversion is QA101.
+/// lock in the workspace. Acquiring upward (environment → cluster peer
+/// table → interner → shard → event buffer → recorder) is legal; any
+/// inversion is QA101.
 pub const MANIFEST: &[LockClass] = &[
     LockClass {
         name: "environment",
@@ -77,20 +78,26 @@ pub const MANIFEST: &[LockClass] = &[
         receivers: &["inner", "self"],
     },
     LockClass {
-        name: "interner",
+        name: "cluster-peer-table",
         rank: 1,
+        files: &["crates/cluster/src/bridge.rs"],
+        receivers: &["peers"],
+    },
+    LockClass {
+        name: "interner",
+        rank: 2,
         files: &["crates/registry/src/discovery.rs"],
         receivers: &["interner"],
     },
     LockClass {
         name: "match-cache-shard",
-        rank: 2,
+        rank: 3,
         files: &["crates/registry/src/discovery.rs"],
         receivers: &["shards", "shard"],
     },
     LockClass {
         name: "event-buffer",
-        rank: 3,
+        rank: 4,
         files: &[
             "crates/core/src/environment.rs",
             "crates/core/src/events.rs",
@@ -99,7 +106,7 @@ pub const MANIFEST: &[LockClass] = &[
     },
     LockClass {
         name: "recorder",
-        rank: 4,
+        rank: 5,
         files: &["crates/obs/src/recorder.rs"],
         receivers: &["inner", "self"],
     },

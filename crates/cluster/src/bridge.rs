@@ -1,0 +1,247 @@
+//! Serving sessions against the sharded registry through the daemon's
+//! frame transport.
+//!
+//! The bridge closes the loop between the replication plane and the
+//! serving plane: a converged [`ShardSet`] is gathered into one serving
+//! [`Environment`], wrapped in a [`SharedEnvironment`], and sessions are
+//! driven through the daemon's loopback frame transport
+//! ([`LoopbackDaemon`]) — the same wire codec, admission control and
+//! batching `qasomd` uses on TCP. The bridge remembers each shard's
+//! replication position at assembly time in its peer table, so serving
+//! staleness against a moving origin head is an explicit, queryable
+//! bound instead of silent drift.
+//!
+//! Lock discipline: the peer table (`peers`) ranks between the
+//! environment lock and the discovery-internal locks — assembly and
+//! staleness queries may consult it while holding the environment, never
+//! the other way round.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+use qasom::{Environment, SharedEnvironment, UserRequest};
+use qasom_daemon::{BrokerConfig, ClientEvent, ClientOutcome, LoopbackDaemon};
+use qasom_netsim::runtime::SyntheticService;
+use qasom_qos::QosModel;
+use qasom_registry::ReplicaCursor;
+
+use crate::shard::ShardSet;
+
+/// Session totals of one bridged serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BridgeReport {
+    /// Sessions submitted over the frame transport.
+    pub submitted: u64,
+    /// Sessions that completed execution.
+    pub completed: u64,
+    /// Sessions shed by admission control.
+    pub shed: u64,
+    /// Sessions rejected by static analysis.
+    pub rejected: u64,
+    /// Sessions that failed in compose/execute.
+    pub failed: u64,
+}
+
+/// A serving front-end over a gathered shard set.
+pub struct ClusterBridge {
+    shared: SharedEnvironment,
+    /// Bucket → replication position at assembly time.
+    peers: RwLock<BTreeMap<usize, ReplicaCursor>>,
+    live_shards: usize,
+}
+
+impl ClusterBridge {
+    /// Gathers every live shard's services into one serving environment.
+    ///
+    /// The assembled registry holds each service exactly once (buckets
+    /// partition the directory), advertised with its replicated
+    /// description and served faithfully to its advertised QoS.
+    pub fn assemble(set: &ShardSet, seed: u64) -> Self {
+        let mut env = Environment::new(QosModel::standard(), (**set.ontology()).clone(), seed);
+        let mut peers = BTreeMap::new();
+        let mut live_shards = 0;
+        for shard in set.shards() {
+            if !shard.is_alive() {
+                continue;
+            }
+            live_shards += 1;
+            peers.insert(shard.bucket(), shard.cursor());
+            for (_, desc) in shard.registry().iter() {
+                let nominal = desc.qos().clone();
+                env.deploy(desc.clone(), SyntheticService::new(nominal));
+            }
+        }
+        ClusterBridge {
+            shared: SharedEnvironment::new(env),
+            peers: RwLock::new(peers),
+            live_shards,
+        }
+    }
+
+    /// The serving handle (the daemon side of the bridge).
+    pub fn shared(&self) -> &SharedEnvironment {
+        &self.shared
+    }
+
+    /// Shards that contributed services.
+    pub fn live_shards(&self) -> usize {
+        self.live_shards
+    }
+
+    /// How far the most-lagged assembled shard trails `head`, in events.
+    pub fn staleness(&self, head: ReplicaCursor) -> usize {
+        let peers = self.peers.read().unwrap_or_else(|e| e.into_inner());
+        peers
+            .values()
+            .map(|c| c.lag_behind(head))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The replication position recorded for `bucket` at assembly.
+    pub fn peer_cursor(&self, bucket: usize) -> Option<ReplicaCursor> {
+        let peers = self.peers.read().unwrap_or_else(|e| e.into_inner());
+        peers.get(&bucket).copied()
+    }
+
+    /// Serves `requests` through the daemon's loopback frame transport:
+    /// one connection, one `COMPOSE` frame per request, then scheduling
+    /// rounds until every reply arrived (or `max_rounds` passed).
+    pub fn serve_sessions(
+        &self,
+        requests: &[UserRequest],
+        config: BrokerConfig,
+        max_rounds: usize,
+    ) -> BridgeReport {
+        let mut daemon = LoopbackDaemon::new(self.shared.clone(), config);
+        let client = daemon.connect();
+        let mut report = BridgeReport::default();
+        if daemon.send_hello(client, "cluster-bridge").is_err() {
+            return report;
+        }
+        for (i, request) in requests.iter().enumerate() {
+            if daemon.send_compose(client, i as u64 + 1, request).is_ok() {
+                report.submitted += 1;
+            }
+        }
+        let mut replies = 0u64;
+        for _ in 0..max_rounds.max(1) {
+            daemon.pump();
+            let events = daemon.drain_events(client).unwrap_or_default();
+            for event in events {
+                match event {
+                    ClientEvent::HelloAck(_) => {}
+                    ClientEvent::Reply { outcome, .. } => {
+                        replies += 1;
+                        match outcome {
+                            ClientOutcome::Completed(_) => report.completed += 1,
+                            ClientOutcome::Busy { .. } => report.shed += 1,
+                            ClientOutcome::Rejected(_) => report.rejected += 1,
+                            ClientOutcome::Failed { .. } => report.failed += 1,
+                        }
+                    }
+                }
+            }
+            if replies >= report.submitted {
+                break;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use qasom_registry::{RegistrySync, ServiceDescription, ServiceRegistry};
+    use qasom_task::{Activity, TaskNode, UserTask};
+
+    fn world() -> (Arc<qasom_ontology::Ontology>, ServiceRegistry) {
+        let mut b = qasom_ontology::OntologyBuilder::new("cl");
+        let pay = b.concept("Pay");
+        b.subconcept("PayByCard", pay);
+        b.concept("Locate");
+        let onto = Arc::new(b.build().unwrap());
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&onto));
+        let model = QosModel::standard();
+        let rt = model.property("ResponseTime").unwrap();
+        origin.register(
+            ServiceDescription::new("visa", "cl#PayByCard")
+                .with_qos(rt, 40.0)
+                .with_provider("visa"),
+        );
+        origin.register(
+            ServiceDescription::new("gps", "cl#Locate")
+                .with_qos(rt, 25.0)
+                .with_provider("gps"),
+        );
+        (onto, origin)
+    }
+
+    fn request() -> UserRequest {
+        let task = UserTask::new(
+            "trip",
+            TaskNode::sequence(vec![
+                TaskNode::activity(Activity::new("locate", "cl#Locate")),
+                TaskNode::activity(Activity::new("pay", "cl#Pay")),
+            ]),
+        )
+        .unwrap();
+        UserRequest::new(task).weight("Delay", 1.0)
+    }
+
+    #[test]
+    fn sessions_are_served_against_the_gathered_shards() {
+        let (onto, origin) = world();
+        let mut set = ShardSet::new(2, Arc::clone(&onto));
+        set.sync_all(&origin);
+        let bridge = ClusterBridge::assemble(&set, 11);
+        assert_eq!(bridge.live_shards(), 2);
+        assert_eq!(bridge.staleness(origin.sync_cursor()), 0);
+        let requests = vec![request(), request()];
+        let report = bridge.serve_sessions(&requests, BrokerConfig::default(), 16);
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 2, "both sessions compose and execute");
+    }
+
+    #[test]
+    fn staleness_is_reported_against_a_moving_head() {
+        let (onto, mut origin) = world();
+        let mut set = ShardSet::new(2, Arc::clone(&onto));
+        set.sync_all(&origin);
+        let bridge = ClusterBridge::assemble(&set, 3);
+        // The origin moves on after assembly: the bridge knows its lag.
+        origin.register(ServiceDescription::new("late", "cl#Locate"));
+        origin.register(ServiceDescription::new("later", "cl#Pay"));
+        assert_eq!(bridge.staleness(origin.sync_cursor()), 2);
+        assert!(bridge.peer_cursor(0).is_some());
+        assert!(bridge.peer_cursor(2).is_none());
+    }
+
+    #[test]
+    fn a_lost_shard_still_serves_its_surviving_buckets() {
+        let (onto, origin) = world();
+        let mut set = ShardSet::new(2, Arc::clone(&onto));
+        set.sync_all(&origin);
+        let lost = set.bucket_of(&"cl#PayByCard".parse().unwrap());
+        set.fail_shard(lost);
+        let bridge = ClusterBridge::assemble(&set, 5);
+        assert_eq!(bridge.live_shards(), 1);
+        // A task needing only the surviving bucket completes; one that
+        // needs the lost bucket fails typed — never panics.
+        let locate_only = {
+            let task = UserTask::new(
+                "locate-only",
+                TaskNode::activity(Activity::new("locate", "cl#Locate")),
+            )
+            .unwrap();
+            UserRequest::new(task).weight("Delay", 1.0)
+        };
+        let report = bridge.serve_sessions(&[locate_only, request()], BrokerConfig::default(), 16);
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 1, "the lost bucket degrades, not panics");
+    }
+}

@@ -1,0 +1,489 @@
+//! The cluster run driver and its report.
+//!
+//! [`ClusterSim`] builds a deterministic world from a seed — a capability
+//! taxonomy, an initial service pool and a churn script — then runs the
+//! gossip replication plane of [`peer`](crate::peer) over the network
+//! simulator and closes with a scatter/gather audit: every capability is
+//! probed across the shard replicas and the merged candidates are
+//! compared against the single-registry oracle. The whole run is a pure
+//! function of `(config, seed)`, so reports are byte-reproducible.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qasom_netsim::{DeviceProfile, LinkConfig, NodeId, SimDuration, Simulation};
+use qasom_obs::report::{ClusterSection, NetsimSection};
+use qasom_obs::{keys, Recorder};
+use qasom_ontology::{Ontology, OntologyBuilder};
+use qasom_qos::QosModel;
+use qasom_registry::{
+    DiscoveredCandidate, Discovery, DiscoveryQuery, ServiceDescription, ServiceRegistry,
+};
+use qasom_selection::distributed::RetryPolicy;
+use qasom_task::Activity;
+
+use crate::peer::{ChurnOp, ClusterRole, OriginState, ShardPeerState};
+use crate::protocol::PeerMessage;
+use crate::shard::ShardReplica;
+
+/// Parameters of one clustered-registry run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of capability-bucket shards.
+    pub shards: usize,
+    /// Initial service pool size.
+    pub services: usize,
+    /// Number of capability concepts (each with one subconcept).
+    pub functions: usize,
+    /// Churn rounds the origin applies (one per gossip round).
+    pub churn_rounds: usize,
+    /// Registry operations per churn round.
+    pub churn_per_round: usize,
+    /// Gossip period, milliseconds.
+    pub gossip_period_ms: u64,
+    /// Hard cap on gossip rounds (bounds runs with dead shards).
+    pub max_gossip_rounds: usize,
+    /// Shard-peer pull retransmission policy.
+    pub retry: RetryPolicy,
+    /// Link model between all nodes.
+    pub link: LinkConfig,
+    /// Origin event-log retention (`None` = unbounded; small values
+    /// force snapshot fallbacks).
+    pub event_retention: Option<usize>,
+    /// Shard buckets to fail before the run starts.
+    pub fail_shards: Vec<usize>,
+    /// Simulator event cap.
+    pub max_sim_events: Option<u64>,
+    /// Modelled per-candidate evaluation cost for the scatter latency
+    /// figure, microseconds.
+    pub per_candidate_cost_us: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 4,
+            services: 32,
+            functions: 6,
+            churn_rounds: 8,
+            churn_per_round: 4,
+            gossip_period_ms: 10,
+            max_gossip_rounds: 256,
+            retry: RetryPolicy::default(),
+            link: LinkConfig::default(),
+            event_retention: None,
+            fail_shards: Vec::new(),
+            max_sim_events: Some(1_000_000),
+            per_candidate_cost_us: 50,
+        }
+    }
+}
+
+/// What one cluster run did, on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Shards the registry was partitioned into.
+    pub shards: usize,
+    /// Shards failed before the run.
+    pub shards_lost: usize,
+    /// Gossip rounds the origin completed.
+    pub gossip_rounds: u64,
+    /// Incremental deltas the origin shipped.
+    pub deltas_shipped: u64,
+    /// Events replicated onto peers (bucket-filtered).
+    pub events_replicated: u64,
+    /// Pulls answered with a snapshot.
+    pub snapshot_fallbacks: u64,
+    /// Pull retransmissions peers issued.
+    pub retries: u64,
+    /// Scatter/gather probes run by the closing audit.
+    pub scatter_queries: u64,
+    /// Candidates the single-registry oracle yields over the probes.
+    pub oracle_candidates: u64,
+    /// Candidates the scatter/gather merge yields over the probes.
+    pub gathered_candidates: u64,
+    /// Whether the merged candidates equal the oracle's, byte for byte
+    /// (always true when no shard was lost and the run converged).
+    pub oracle_match: bool,
+    /// Whether every live shard reached the origin head.
+    pub converged: bool,
+    /// Events the most-lagged live shard trails the head by.
+    pub max_staleness_events: usize,
+    /// Modelled scatter/gather latency per probe (parallel fan-out):
+    /// one round trip plus the widest shard's evaluation work.
+    pub scatter_latency_us: u64,
+    /// Protocol messages handed to links.
+    pub messages: u64,
+    /// Discrete events the simulation processed.
+    pub sim_events: u64,
+    /// Network totals.
+    pub net: NetsimSection,
+}
+
+impl ClusterReport {
+    /// Fraction of the oracle's candidates the gather produced.
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.oracle_candidates == 0 {
+            1.0
+        } else {
+            self.gathered_candidates as f64 / self.oracle_candidates as f64
+        }
+    }
+
+    /// Whether coverage is below the oracle (some shard was lost).
+    pub fn degraded(&self) -> bool {
+        self.shards_lost > 0
+    }
+
+    /// The serialisable face of the report.
+    pub fn to_section(&self) -> ClusterSection {
+        ClusterSection {
+            shards: self.shards as u64,
+            shards_lost: self.shards_lost as u64,
+            gossip_rounds: self.gossip_rounds,
+            deltas_shipped: self.deltas_shipped,
+            events_replicated: self.events_replicated,
+            snapshot_fallbacks: self.snapshot_fallbacks,
+            retries: self.retries,
+            scatter_queries: self.scatter_queries,
+            coverage_ratio: self.coverage_ratio(),
+            degraded: self.degraded(),
+            converged: self.converged,
+            max_staleness_events: self.max_staleness_events as u64,
+            net: self.net,
+        }
+    }
+
+    /// Flushes the run's counters to `recorder` after the fact, so
+    /// instrumentation can never perturb protocol counts.
+    pub fn record(&self, recorder: &dyn Recorder) {
+        recorder.incr(keys::CLUSTER_GOSSIP_ROUNDS, self.gossip_rounds);
+        recorder.incr(keys::CLUSTER_DELTAS_SHIPPED, self.deltas_shipped);
+        recorder.incr(keys::CLUSTER_EVENTS_REPLICATED, self.events_replicated);
+        recorder.incr(keys::CLUSTER_SNAPSHOT_FALLBACKS, self.snapshot_fallbacks);
+        recorder.incr(keys::CLUSTER_RETRIES, self.retries);
+        recorder.incr(keys::CLUSTER_SCATTER_QUERIES, self.scatter_queries);
+        recorder.incr(keys::CLUSTER_SHARDS_LOST, self.shards_lost as u64);
+        recorder.incr(keys::NETSIM_DELIVERED, self.net.delivered);
+        recorder.incr(keys::NETSIM_DROPPED, self.net.dropped);
+        recorder.incr(keys::NETSIM_TIMERS_CANCELLED, self.net.timers_cancelled);
+    }
+}
+
+/// Drives clustered-registry runs over the network simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+}
+
+impl ClusterSim {
+    /// A driver for `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterSim { config }
+    }
+
+    /// The taxonomy a run with `functions` capabilities uses: `cl#F{i}`
+    /// with one subconcept `cl#F{i}Sub` each.
+    pub fn build_ontology(functions: usize) -> Arc<Ontology> {
+        let mut b = OntologyBuilder::new("cl");
+        for i in 0..functions.max(1) {
+            let base = b.concept(&format!("F{i}"));
+            b.subconcept(&format!("F{i}Sub"), base);
+        }
+        match b.build() {
+            Ok(o) => Arc::new(o),
+            // The generated taxonomy has no cycles or duplicate IRIs.
+            Err(e) => panic!("generated taxonomy must build: {e}"),
+        }
+    }
+
+    /// One deterministic service advertisement.
+    fn service(
+        rng: &mut StdRng,
+        model: &QosModel,
+        name: String,
+        functions: usize,
+    ) -> ServiceDescription {
+        let f = rng.gen_range(0..functions.max(1));
+        let sub = rng.gen_range(0..2) == 1;
+        let iri = if sub {
+            format!("cl#F{f}Sub")
+        } else {
+            format!("cl#F{f}")
+        };
+        let mut desc = ServiceDescription::new(name, &iri);
+        if let Some(rt) = model.property("ResponseTime") {
+            desc = desc.with_qos(rt, 10.0 + f64::from(rng.gen_range(0..90u32)));
+        }
+        if let Some(av) = model.property("Availability") {
+            desc = desc.with_qos(av, 0.9 + f64::from(rng.gen_range(0..10u32)) / 100.0);
+        }
+        desc
+    }
+
+    /// Runs the replication plane and the closing scatter/gather audit,
+    /// deterministically from `seed`.
+    pub fn run(&self, seed: u64) -> ClusterReport {
+        let cfg = &self.config;
+        assert!(cfg.shards > 0, "a cluster needs at least one shard");
+        let ontology = Self::build_ontology(cfg.functions);
+        let model = QosModel::standard();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995_9e37_79b9);
+
+        // Initial pool.
+        let mut registry = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+        for j in 0..cfg.services {
+            registry.register(Self::service(
+                &mut rng,
+                &model,
+                format!("s{j}"),
+                cfg.functions,
+            ));
+        }
+        if let Some(keep) = cfg.event_retention {
+            registry.set_event_retention(keep);
+        }
+
+        // Churn script: drawn up-front from the same stream, applied by
+        // the origin inside the simulation.
+        let churn: Vec<Vec<ChurnOp>> = (0..cfg.churn_rounds)
+            .map(|r| {
+                (0..cfg.churn_per_round)
+                    .map(|j| {
+                        if rng.gen_range(0..2) == 0 {
+                            ChurnOp::Deploy(Self::service(
+                                &mut rng,
+                                &model,
+                                format!("churn-{r}-{j}"),
+                                cfg.functions,
+                            ))
+                        } else {
+                            ChurnOp::UndeployNth(rng.gen_range(0..1usize << 16))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut sim: Simulation<PeerMessage, ClusterRole> = Simulation::new(seed);
+        sim.set_default_link(cfg.link);
+        if let Some(cap) = cfg.max_sim_events {
+            sim.set_max_events(cap);
+        }
+        let origin = sim.add_node(
+            DeviceProfile::new(1.0),
+            ClusterRole::Origin(Box::new(OriginState::new(
+                registry,
+                churn,
+                SimDuration::from_millis(cfg.gossip_period_ms),
+                cfg.max_gossip_rounds,
+            ))),
+        );
+        let mut peers: Vec<NodeId> = Vec::with_capacity(cfg.shards);
+        for bucket in 0..cfg.shards {
+            let replica = ShardReplica::new(bucket, Arc::clone(&ontology));
+            peers.push(sim.add_node(
+                DeviceProfile::new(1.0),
+                ClusterRole::Shard(Box::new(ShardPeerState::new(
+                    replica, cfg.shards, origin, cfg.retry, seed,
+                ))),
+            ));
+        }
+        let mut shards_lost = 0;
+        for &bucket in &cfg.fail_shards {
+            if bucket < peers.len() {
+                sim.fail_node(peers[bucket]);
+                shards_lost += 1;
+            }
+        }
+
+        let sim_events = match sim.run_checked() {
+            Ok(processed) => processed,
+            Err(cap) => cap.processed,
+        };
+        let stats = sim.stats();
+        let sim_time_us = sim.now().as_micros();
+
+        // Pull the states back out of the simulation.
+        let ClusterRole::Origin(origin_state) = sim.node(origin) else {
+            unreachable!("node 0 is the origin");
+        };
+        let head = origin_state.head();
+        let mut replicas: Vec<(&ShardPeerState, bool)> = Vec::with_capacity(peers.len());
+        for &p in &peers {
+            let ClusterRole::Shard(shard) = sim.node(p) else {
+                unreachable!("peers are shards");
+            };
+            replicas.push((shard, sim.is_alive(p)));
+        }
+        let converged = replicas
+            .iter()
+            .filter(|(_, alive)| *alive)
+            .all(|(s, _)| s.replica().cursor() == head);
+        let max_staleness_events = replicas
+            .iter()
+            .filter(|(_, alive)| *alive)
+            .map(|(s, _)| s.replica().cursor().lag_behind(head))
+            .max()
+            .unwrap_or(0);
+        let retries: u64 = replicas.iter().map(|(s, _)| s.retries).sum();
+        let events_replicated: u64 = replicas.iter().map(|(s, _)| s.events_applied).sum();
+
+        // Closing audit: probe every capability through the shards and
+        // against the oracle.
+        let oracle = Discovery::new(&ontology, &model);
+        let mut oracle_candidates = 0u64;
+        let mut gathered_candidates = 0u64;
+        let mut oracle_match = true;
+        let mut scatter_latency_us = 0u64;
+        let mut scatter_queries = 0u64;
+        for f in 0..cfg.functions.max(1) {
+            let activity = Activity::new(format!("probe{f}"), &format!("cl#F{f}"));
+            let query = DiscoveryQuery::new(&activity);
+            let expected = oracle.discover(&origin_state.registry, &query);
+            let mut gathered: Vec<DiscoveredCandidate> = Vec::new();
+            let mut widest_shard = 0u64;
+            for (shard, alive) in &replicas {
+                if !alive {
+                    continue;
+                }
+                let part = shard.replica().discover_global(&model, &query);
+                widest_shard = widest_shard.max(part.len() as u64);
+                gathered.extend(part);
+            }
+            gathered.sort_by(|a, b| b.degree.cmp(&a.degree).then(a.service.cmp(&b.service)));
+            oracle_candidates += expected.len() as u64;
+            gathered_candidates += gathered.len() as u64;
+            if gathered != expected {
+                oracle_match = false;
+            }
+            scatter_queries += 1;
+            scatter_latency_us += 2 * (cfg.link.latency_ms() * 1_000.0) as u64
+                + widest_shard * cfg.per_candidate_cost_us;
+        }
+        let scatter_latency_us = scatter_latency_us / scatter_queries.max(1);
+
+        ClusterReport {
+            shards: cfg.shards,
+            shards_lost,
+            gossip_rounds: origin_state.gossip_rounds,
+            deltas_shipped: origin_state.deltas_shipped,
+            events_replicated,
+            snapshot_fallbacks: origin_state.snapshot_fallbacks,
+            retries,
+            scatter_queries,
+            oracle_candidates,
+            gathered_candidates,
+            oracle_match,
+            converged,
+            max_staleness_events,
+            scatter_latency_us,
+            messages: stats.sent,
+            sim_events,
+            net: NetsimSection {
+                sent: stats.sent,
+                delivered: stats.delivered,
+                dropped: stats.dropped,
+                timers_cancelled: stats.timers_cancelled,
+                sim_time_us,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_run_converges_and_matches_the_oracle() {
+        let report = ClusterSim::new(ClusterConfig::default()).run(1);
+        assert!(report.converged, "clean links converge");
+        assert!(report.oracle_match, "scatter/gather equals the oracle");
+        assert_eq!(report.max_staleness_events, 0);
+        assert_eq!(report.coverage_ratio(), 1.0);
+        assert!(!report.degraded());
+        assert!(report.deltas_shipped > 0);
+    }
+
+    #[test]
+    fn runs_are_a_pure_function_of_the_seed() {
+        let sim = ClusterSim::new(ClusterConfig::default());
+        let a = sim.run(42);
+        let b = sim.run(42);
+        assert_eq!(a, b);
+        let c = sim.run(43);
+        assert_ne!(a.net, c.net, "a different seed samples different links");
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_the_answer() {
+        let mut reports = Vec::new();
+        for shards in [1, 2, 4, 8] {
+            let cfg = ClusterConfig {
+                shards,
+                ..ClusterConfig::default()
+            };
+            reports.push(ClusterSim::new(cfg).run(7));
+        }
+        for r in &reports {
+            assert!(
+                r.converged && r.oracle_match,
+                "{} shards diverged",
+                r.shards
+            );
+        }
+        let first = reports[0].oracle_candidates;
+        assert!(reports.iter().all(|r| r.oracle_candidates == first));
+        assert!(reports.iter().all(|r| r.gathered_candidates == first));
+    }
+
+    #[test]
+    fn losing_a_shard_degrades_coverage_without_failing() {
+        let cfg = ClusterConfig {
+            fail_shards: vec![1],
+            ..ClusterConfig::default()
+        };
+        let report = ClusterSim::new(cfg).run(5);
+        assert!(report.degraded());
+        assert_eq!(report.shards_lost, 1);
+        assert!(
+            report.coverage_ratio() < 1.0,
+            "the lost bucket's candidates are missing"
+        );
+        assert!(!report.oracle_match);
+        assert!(report.converged, "surviving shards still reach the head");
+    }
+
+    #[test]
+    fn tiny_retention_forces_snapshot_fallbacks() {
+        let cfg = ClusterConfig {
+            event_retention: Some(2),
+            ..ClusterConfig::default()
+        };
+        let report = ClusterSim::new(cfg).run(9);
+        assert!(report.snapshot_fallbacks > 0);
+        assert!(report.converged && report.oracle_match);
+    }
+
+    #[test]
+    fn the_section_round_trips_the_counters() {
+        let report = ClusterSim::new(ClusterConfig::default()).run(3);
+        let section = report.to_section();
+        assert_eq!(section.shards, report.shards as u64);
+        assert_eq!(section.gossip_rounds, report.gossip_rounds);
+        assert_eq!(section.converged, report.converged);
+        let rec = qasom_obs::MemoryRecorder::new();
+        report.record(&rec);
+        let snap = match rec.snapshot() {
+            Some(s) => s,
+            None => panic!("memory recorder snapshots"),
+        };
+        assert_eq!(
+            snap.counter(keys::CLUSTER_GOSSIP_ROUNDS),
+            report.gossip_rounds
+        );
+    }
+}

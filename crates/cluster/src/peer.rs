@@ -1,0 +1,509 @@
+//! Netsim node behaviours for the origin and the shard peers.
+//!
+//! The cluster's replication plane runs over the deterministic network
+//! simulator: the origin node holds the authoritative registry and
+//! applies scripted churn between gossip rounds; each shard peer holds a
+//! [`ShardReplica`] and follows the pull protocol of
+//! [`protocol`](crate::protocol). Links lose and delay messages, peers
+//! retry with seeded backoff, and a failed shard node simply stops
+//! participating — the driver surfaces it as degraded coverage, never as
+//! an error.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qasom_netsim::{NodeBehaviour, NodeContext, NodeId, SimDuration};
+use qasom_registry::{
+    RegistryEvent, RegistrySync, ReplicaCursor, ServiceDescription, ServiceRegistry, SyncResponse,
+};
+use qasom_selection::distributed::RetryPolicy;
+
+use crate::protocol::PeerMessage;
+use crate::shard::ShardReplica;
+
+/// Timer key: the origin's periodic gossip round.
+pub(crate) const GOSSIP_TIMER: u64 = 0;
+/// Timer key: a shard peer's pull retransmission.
+pub(crate) const PULL_RETRY_TIMER: u64 = 1;
+
+/// One scripted churn operation the origin applies between gossip rounds.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Register a new advertisement.
+    Deploy(ServiceDescription),
+    /// Deregister the `n`-th live service (modulo the live count; a
+    /// no-op on an empty registry).
+    UndeployNth(usize),
+}
+
+/// The origin node: authoritative registry, churn script, gossip clock.
+pub struct OriginState {
+    pub(crate) registry: ServiceRegistry,
+    /// Churn rounds still to apply, in order (drained front to back).
+    churn: Vec<Vec<ChurnOp>>,
+    next_round: usize,
+    gossip_period: SimDuration,
+    max_rounds: usize,
+    /// Last cursor each peer acked.
+    pub(crate) acks: BTreeMap<NodeId, ReplicaCursor>,
+    pub(crate) gossip_rounds: u64,
+    pub(crate) deltas_shipped: u64,
+    pub(crate) events_shipped: u64,
+    pub(crate) snapshot_fallbacks: u64,
+}
+
+impl OriginState {
+    /// An origin over `registry` applying `churn` rounds, gossiping every
+    /// `gossip_period` for at most `max_rounds` rounds.
+    pub fn new(
+        registry: ServiceRegistry,
+        churn: Vec<Vec<ChurnOp>>,
+        gossip_period: SimDuration,
+        max_rounds: usize,
+    ) -> Self {
+        OriginState {
+            registry,
+            churn,
+            next_round: 0,
+            gossip_period,
+            max_rounds,
+            acks: BTreeMap::new(),
+            gossip_rounds: 0,
+            deltas_shipped: 0,
+            events_shipped: 0,
+            snapshot_fallbacks: 0,
+        }
+    }
+
+    /// The origin's event-log head.
+    pub fn head(&self) -> ReplicaCursor {
+        self.registry.sync_cursor()
+    }
+
+    /// Whether every peer that ever acked has reached the head.
+    fn all_acked_peers_converged(&self, peers: &[NodeId]) -> bool {
+        peers.iter().all(|p| self.acks.get(p) == Some(&self.head()))
+    }
+
+    fn apply_next_churn_round(&mut self) {
+        if let Some(round) = self.churn.get(self.next_round) {
+            for op in round.clone() {
+                match op {
+                    ChurnOp::Deploy(desc) => {
+                        self.registry.register(desc);
+                    }
+                    ChurnOp::UndeployNth(n) => {
+                        let live = self.registry.len();
+                        if live > 0 {
+                            let victim = self.registry.iter().nth(n % live).map(|(id, _)| id);
+                            if let Some(id) = victim {
+                                self.registry.deregister(id);
+                            }
+                        }
+                    }
+                }
+            }
+            self.next_round += 1;
+        }
+    }
+
+    fn gossip(&mut self, ctx: &mut NodeContext<'_, PeerMessage>) {
+        self.gossip_rounds += 1;
+        let head = self.head();
+        for i in 0..ctx.peers().len() {
+            let peer = ctx.peers()[i];
+            ctx.send(peer, PeerMessage::Head { cursor: head });
+        }
+    }
+
+    fn answer_pull(
+        &mut self,
+        ctx: &mut NodeContext<'_, PeerMessage>,
+        from: NodeId,
+        cursor: ReplicaCursor,
+    ) {
+        match self.registry.sync_from(cursor) {
+            SyncResponse::Delta(events) => {
+                let batch: Vec<(RegistryEvent, Option<ServiceDescription>)> = events
+                    .iter()
+                    .map(|&e| {
+                        let description = match e {
+                            RegistryEvent::Registered(id) => self.registry.get(id).cloned(),
+                            RegistryEvent::Deregistered(_) => None,
+                        };
+                        (e, description)
+                    })
+                    .collect();
+                self.deltas_shipped += 1;
+                self.events_shipped += batch.len() as u64;
+                ctx.send(
+                    from,
+                    PeerMessage::Delta {
+                        from: cursor,
+                        batch,
+                    },
+                );
+            }
+            SyncResponse::Snapshot(snap) => {
+                let live = snap
+                    .live
+                    .iter()
+                    .filter_map(|&id| self.registry.get(id).map(|d| (id, d.clone())))
+                    .collect();
+                self.snapshot_fallbacks += 1;
+                ctx.send(
+                    from,
+                    PeerMessage::Snapshot {
+                        cursor: ReplicaCursor::new(snap.cursor),
+                        live,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// A shard peer node: its replica plus the pull/retry state machine.
+pub struct ShardPeerState {
+    pub(crate) replica: ShardReplica,
+    n_shards: usize,
+    origin: NodeId,
+    retry: RetryPolicy,
+    retry_round: u32,
+    pull_pending: bool,
+    /// Jitter draws must not perturb the link-sampling stream, so each
+    /// peer carries its own seeded generator.
+    rng: StdRng,
+    pub(crate) retries: u64,
+    pub(crate) snapshot_installs: u64,
+    pub(crate) events_applied: u64,
+}
+
+impl ShardPeerState {
+    /// A peer for `replica`, pulling from `origin` with `retry` backoff.
+    pub fn new(
+        replica: ShardReplica,
+        n_shards: usize,
+        origin: NodeId,
+        retry: RetryPolicy,
+        seed: u64,
+    ) -> Self {
+        let bucket = replica.bucket() as u64;
+        ShardPeerState {
+            replica,
+            n_shards,
+            origin,
+            retry,
+            retry_round: 0,
+            pull_pending: false,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15 ^ (bucket << 32)),
+            retries: 0,
+            snapshot_installs: 0,
+            events_applied: 0,
+        }
+    }
+
+    /// The replica this peer maintains.
+    pub fn replica(&self) -> &ShardReplica {
+        &self.replica
+    }
+
+    fn send_pull(&mut self, ctx: &mut NodeContext<'_, PeerMessage>) {
+        ctx.send(
+            self.origin,
+            PeerMessage::Pull {
+                cursor: self.replica.cursor(),
+            },
+        );
+        self.pull_pending = true;
+        self.schedule_retry(ctx);
+    }
+
+    fn schedule_retry(&mut self, ctx: &mut NodeContext<'_, PeerMessage>) {
+        if self.retry_round >= self.retry.max_retries {
+            // Out of retries: the next gossiped head re-arms the pull.
+            self.pull_pending = false;
+            self.retry_round = 0;
+            return;
+        }
+        let jitter_us = if self.retry.jitter_ms == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.retry.jitter_ms * 1_000)
+        };
+        let delay =
+            SimDuration::from_micros(self.retry.backoff_ms(self.retry_round) * 1_000 + jitter_us);
+        ctx.set_timer(delay, PULL_RETRY_TIMER);
+    }
+
+    fn settle(&mut self, ctx: &mut NodeContext<'_, PeerMessage>) {
+        if self.pull_pending {
+            ctx.cancel_timer(PULL_RETRY_TIMER);
+            self.pull_pending = false;
+        }
+        self.retry_round = 0;
+        ctx.send(
+            self.origin,
+            PeerMessage::Ack {
+                cursor: self.replica.cursor(),
+            },
+        );
+    }
+}
+
+/// Node roles of the replication plane.
+pub enum ClusterRole {
+    /// The authoritative registry node.
+    Origin(Box<OriginState>),
+    /// One capability-bucket shard.
+    Shard(Box<ShardPeerState>),
+}
+
+impl NodeBehaviour<PeerMessage> for ClusterRole {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_, PeerMessage>) {
+        if let ClusterRole::Origin(state) = self {
+            // First gossip round fires after one period: peers exist by
+            // then, and the very first heads already carry the seeded
+            // pool's cursor.
+            ctx.set_timer(state.gossip_period, GOSSIP_TIMER);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_, PeerMessage>, timer: u64) {
+        match self {
+            ClusterRole::Origin(state) => {
+                if timer != GOSSIP_TIMER {
+                    return;
+                }
+                state.apply_next_churn_round();
+                state.gossip(ctx);
+                let churn_done = state.next_round >= state.churn.len();
+                let peers: Vec<NodeId> = ctx.peers().to_vec();
+                let converged = churn_done && state.all_acked_peers_converged(&peers);
+                // Keep gossiping until every reachable peer confirmed the
+                // head; the round cap bounds the run when some peer is
+                // down and will never confirm.
+                if !converged && (state.gossip_rounds as usize) < state.max_rounds {
+                    ctx.set_timer(state.gossip_period, GOSSIP_TIMER);
+                }
+            }
+            ClusterRole::Shard(state) => {
+                if timer == PULL_RETRY_TIMER && state.pull_pending {
+                    state.retry_round += 1;
+                    state.retries += 1;
+                    if state.retry_round < state.retry.max_retries {
+                        let cursor = state.replica.cursor();
+                        ctx.send(state.origin, PeerMessage::Pull { cursor });
+                        state.schedule_retry(ctx);
+                    } else {
+                        state.pull_pending = false;
+                        state.retry_round = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeContext<'_, PeerMessage>,
+        from: NodeId,
+        msg: PeerMessage,
+    ) {
+        match self {
+            ClusterRole::Origin(state) => match msg {
+                PeerMessage::Pull { cursor } => state.answer_pull(ctx, from, cursor),
+                PeerMessage::Ack { cursor } => {
+                    state.acks.insert(from, cursor);
+                }
+                // Peers never send the origin-side messages; ignore.
+                PeerMessage::Head { .. }
+                | PeerMessage::Delta { .. }
+                | PeerMessage::Snapshot { .. } => {}
+            },
+            ClusterRole::Shard(state) => match msg {
+                PeerMessage::Head { cursor } => {
+                    if cursor > state.replica.cursor() && !state.pull_pending {
+                        state.retry_round = 0;
+                        state.send_pull(ctx);
+                    }
+                }
+                PeerMessage::Delta {
+                    from: batch_from,
+                    batch,
+                } => {
+                    let n = state.n_shards;
+                    // A stale duplicate (our cursor moved past the batch)
+                    // is dropped; a later head re-syncs.
+                    if let Ok(applied) = state.replica.apply_delta(n, batch_from, &batch) {
+                        state.events_applied += applied as u64;
+                        state.settle(ctx);
+                    }
+                }
+                PeerMessage::Snapshot { cursor, live } => {
+                    state
+                        .replica
+                        .install_snapshot(state.n_shards, cursor, &live);
+                    state.snapshot_installs += 1;
+                    state.settle(ctx);
+                }
+                // Origin-bound messages; ignore.
+                PeerMessage::Pull { .. } | PeerMessage::Ack { .. } => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use qasom_netsim::{DeviceProfile, LinkConfig, Simulation};
+    use qasom_ontology::OntologyBuilder;
+    use qasom_registry::ServiceRegistry;
+
+    fn ontology() -> Arc<qasom_ontology::Ontology> {
+        let mut b = OntologyBuilder::new("cl");
+        let pay = b.concept("Pay");
+        b.subconcept("PayByCard", pay);
+        b.concept("Locate");
+        Arc::new(b.build().unwrap())
+    }
+
+    fn build_sim(
+        seed: u64,
+        shards: usize,
+        churn: Vec<Vec<ChurnOp>>,
+        link: LinkConfig,
+        retention: Option<usize>,
+    ) -> (Simulation<PeerMessage, ClusterRole>, NodeId, Vec<NodeId>) {
+        let onto = ontology();
+        let mut registry = ServiceRegistry::with_ontology(Arc::clone(&onto));
+        registry.register(ServiceDescription::new("visa", "cl#PayByCard"));
+        registry.register(ServiceDescription::new("gps", "cl#Locate"));
+        if let Some(keep) = retention {
+            registry.set_event_retention(keep);
+        }
+        let mut sim = Simulation::new(seed);
+        sim.set_default_link(link);
+        let origin_state = OriginState::new(registry, churn, SimDuration::from_millis(10), 64);
+        let origin = sim.add_node(
+            DeviceProfile::new(1.0),
+            ClusterRole::Origin(Box::new(origin_state)),
+        );
+        let mut peers = Vec::new();
+        for bucket in 0..shards {
+            let replica = ShardReplica::new(bucket, Arc::clone(&onto));
+            peers.push(sim.add_node(
+                DeviceProfile::new(1.0),
+                ClusterRole::Shard(Box::new(ShardPeerState::new(
+                    replica,
+                    shards,
+                    origin,
+                    RetryPolicy::default(),
+                    seed,
+                ))),
+            ));
+        }
+        (sim, origin, peers)
+    }
+
+    fn churn_script() -> Vec<Vec<ChurnOp>> {
+        vec![
+            vec![ChurnOp::Deploy(ServiceDescription::new(
+                "visa2",
+                "cl#PayByCard",
+            ))],
+            vec![ChurnOp::UndeployNth(0)],
+        ]
+    }
+
+    #[test]
+    fn peers_converge_to_the_origin_head_over_a_clean_link() {
+        let (mut sim, origin, peers) = build_sim(7, 2, churn_script(), LinkConfig::default(), None);
+        sim.run();
+        let ClusterRole::Origin(origin_state) = sim.node(origin) else {
+            unreachable!("node 0 is the origin");
+        };
+        let head = origin_state.head();
+        let total_live = origin_state.registry.len();
+        let mut replicated = 0;
+        for &p in &peers {
+            let ClusterRole::Shard(shard) = sim.node(p) else {
+                unreachable!("peers are shards");
+            };
+            assert_eq!(shard.replica.cursor(), head);
+            replicated += shard.replica.len();
+        }
+        assert_eq!(replicated, total_live);
+    }
+
+    #[test]
+    fn lossy_links_retry_and_still_converge() {
+        let lossy = LinkConfig::new(20.0, 5.0).with_loss(0.3);
+        let (mut sim, origin, peers) = build_sim(11, 2, churn_script(), lossy, None);
+        sim.run();
+        let ClusterRole::Origin(origin_state) = sim.node(origin) else {
+            unreachable!("node 0 is the origin");
+        };
+        let head = origin_state.head();
+        for &p in &peers {
+            let ClusterRole::Shard(shard) = sim.node(p) else {
+                unreachable!("peers are shards");
+            };
+            assert_eq!(shard.replica.cursor(), head, "gossip outlasts the loss");
+        }
+    }
+
+    #[test]
+    fn tight_retention_forces_snapshot_fallback() {
+        // Retention 0 discards every event immediately: the first pull
+        // must fall back to a snapshot.
+        let (mut sim, origin, peers) =
+            build_sim(3, 2, churn_script(), LinkConfig::default(), Some(0));
+        sim.run();
+        let ClusterRole::Origin(origin_state) = sim.node(origin) else {
+            unreachable!("node 0 is the origin");
+        };
+        assert!(origin_state.snapshot_fallbacks > 0);
+        let head = origin_state.head();
+        let total_live = origin_state.registry.len();
+        let mut replicated = 0;
+        let mut installs = 0;
+        for &p in &peers {
+            let ClusterRole::Shard(shard) = sim.node(p) else {
+                unreachable!("peers are shards");
+            };
+            assert_eq!(shard.replica.cursor(), head);
+            replicated += shard.replica.len();
+            installs += shard.snapshot_installs;
+        }
+        assert_eq!(replicated, total_live);
+        assert!(installs > 0);
+    }
+
+    #[test]
+    fn a_failed_shard_never_blocks_the_others() {
+        let (mut sim, origin, peers) = build_sim(5, 3, churn_script(), LinkConfig::default(), None);
+        sim.fail_node(peers[1]);
+        sim.run();
+        let ClusterRole::Origin(origin_state) = sim.node(origin) else {
+            unreachable!("node 0 is the origin");
+        };
+        let head = origin_state.head();
+        // Live peers converged; the dead one is simply absent from acks.
+        for p in [peers[0], peers[2]] {
+            let ClusterRole::Shard(shard) = sim.node(p) else {
+                unreachable!("peers are shards");
+            };
+            assert_eq!(shard.replica.cursor(), head);
+        }
+        assert!(!origin_state.acks.contains_key(&peers[1]));
+        // The dead peer drops out of the origin's peer view, so the live
+        // peers' convergence ends the gossip well before the round cap.
+        assert!(origin_state.gossip_rounds < 64);
+    }
+}

@@ -1,0 +1,78 @@
+//! The epoch-gossip wire protocol between the origin and shard peers.
+//!
+//! The protocol is pull-based and idempotent:
+//!
+//! 1. the origin periodically **gossips** its event-log head
+//!    ([`PeerMessage::Head`]) to every shard peer;
+//! 2. a peer behind the head **pulls** ([`PeerMessage::Pull`]) with its
+//!    own [`ReplicaCursor`];
+//! 3. the origin answers from the typed
+//!    [`RegistrySync`](qasom_registry::RegistrySync) surface: an
+//!    incremental [`PeerMessage::Delta`] when the cursor is inside the
+//!    retained event window, a full [`PeerMessage::Snapshot`] when the
+//!    cursor fell out of it ([`EventLogGap`](qasom_registry::EventLogGap)
+//!    fallback);
+//! 4. the peer **acks** ([`PeerMessage::Ack`]) its new position so the
+//!    origin can track convergence.
+//!
+//! Registry events carry service ids only, so the origin resolves the
+//! descriptions (at its head) into the delta; a `Registered` event whose
+//! service has already departed ships no description — the matching
+//! `Deregistered` event is necessarily part of the same suffix, so the
+//! peer's state at the head is unaffected.
+//!
+//! Every message may be lost: peers re-pull with capped exponential
+//! backoff ([`RetryPolicy`](qasom_selection::distributed::RetryPolicy))
+//! and every later `Head` re-arms the exchange, so a lost delta delays
+//! convergence but never corrupts it.
+
+use qasom_registry::{RegistryEvent, ReplicaCursor, ServiceDescription, ServiceId};
+
+/// A message of the shard-replication protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeerMessage {
+    /// Origin → peers: the origin's event-log head.
+    Head {
+        /// Position of the origin log head.
+        cursor: ReplicaCursor,
+    },
+    /// Peer → origin: send me everything after `cursor`.
+    Pull {
+        /// The peer's replication position.
+        cursor: ReplicaCursor,
+    },
+    /// Origin → peer: incremental events starting exactly at `from`,
+    /// each `Registered` paired with its description resolved at the
+    /// origin's head (`None` when the service has already departed).
+    Delta {
+        /// First event's position (the peer's pull cursor).
+        from: ReplicaCursor,
+        /// The events with head-resolved descriptions.
+        batch: Vec<(RegistryEvent, Option<ServiceDescription>)>,
+    },
+    /// Origin → peer: full-state fallback after an event-log gap.
+    Snapshot {
+        /// The origin head the snapshot captures.
+        cursor: ReplicaCursor,
+        /// Every live service with its description, id-ascending.
+        live: Vec<(ServiceId, ServiceDescription)>,
+    },
+    /// Peer → origin: replicated up to `cursor`.
+    Ack {
+        /// The peer's new replication position.
+        cursor: ReplicaCursor,
+    },
+}
+
+impl PeerMessage {
+    /// Short tag for logs and tests.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PeerMessage::Head { .. } => "head",
+            PeerMessage::Pull { .. } => "pull",
+            PeerMessage::Delta { .. } => "delta",
+            PeerMessage::Snapshot { .. } => "snapshot",
+            PeerMessage::Ack { .. } => "ack",
+        }
+    }
+}

@@ -72,8 +72,8 @@ pub struct ExecutableComposition {
     pub(crate) approach: AggregationApproach,
     pub(crate) warnings: Vec<Diagnostic>,
     /// Registry event-log cursor at compose time: delta re-selection
-    /// replays only the churn after this point.
-    pub(crate) registry_cursor: usize,
+    /// syncs only the churn after this point.
+    pub(crate) registry_cursor: qasom_registry::ReplicaCursor,
     /// The environment's perturbation stamp at compose time; a mismatch
     /// means non-churn state (infrastructure QoS, reputation, ontology)
     /// moved and cached levels cannot be trusted.

@@ -14,8 +14,8 @@ use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
 use qasom_registry::{
-    CacheStats, Discovery, DiscoveryQuery, MatchCache, RegistryEvent, ServiceDescription,
-    ServiceId, ServiceRegistry,
+    CacheStats, Discovery, DiscoveryQuery, MatchCache, RegistryEvent, RegistrySync,
+    ServiceDescription, ServiceId, ServiceRegistry, SyncResponse,
 };
 use qasom_selection::{Qassa, QassaConfig, SelectionProblem, ServiceCandidate};
 use qasom_task::{Activity, TaskClass, TaskClassRepository};
@@ -817,11 +817,13 @@ impl Environment {
         if composition.perturbations != self.perturbations {
             return None;
         }
-        // Guard 3: the registry compacted churn away before we replayed it.
-        let events = self
-            .registry
-            .events_since(composition.registry_cursor)
-            .ok()?;
+        // Guard 3: the registry compacted churn away before we replayed
+        // it — a snapshot response means incremental replay is
+        // impossible, so fall back to the full oracle.
+        let events = match self.registry.sync_from(composition.registry_cursor) {
+            SyncResponse::Delta(events) => events,
+            SyncResponse::Snapshot(_) => return None,
+        };
 
         let activities: Vec<&Activity> = task.activities().map(|a| a.activity()).collect();
         let mut affected = vec![false; activities.len()];
@@ -922,7 +924,7 @@ impl Environment {
         });
 
         Some(Ok(ExecutableComposition {
-            registry_cursor: self.registry.event_cursor(),
+            registry_cursor: self.registry.sync_cursor(),
             perturbations: self.perturbations,
             task,
             outcome,
@@ -996,7 +998,7 @@ impl Environment {
         // Stamp the registry cursor before discovery: churn between the
         // stamp and discovery is replayed (redundantly but soundly) by a
         // later delta re-selection instead of being missed.
-        let registry_cursor = self.registry.event_cursor();
+        let registry_cursor = self.registry.sync_cursor();
         let activities: Vec<&Activity> = task.activities().map(|a| a.activity()).collect();
 
         // Per-activity discovery is independent, so fan it out when the

@@ -6,7 +6,7 @@ use qasom_analysis::Diagnostic;
 use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::keys;
 use qasom_ontology::Ontology;
-use qasom_registry::{ServiceDescription, ServiceId};
+use qasom_registry::{RegistrySync, ReplicaCursor, ServiceDescription, ServiceId};
 
 use crate::{
     ComposeError, Environment, ExecutableComposition, ExecutionError, ExecutionReport, UserRequest,
@@ -162,6 +162,10 @@ impl RegistryDelta {
 pub struct ChurnReceipt {
     /// Registry epoch after the delta was applied.
     pub epoch: u64,
+    /// Event-log position after the delta was applied: the
+    /// [`RegistrySync`] cursor a replica (or a cluster peer) must reach
+    /// to have observed this churn.
+    pub cursor: ReplicaCursor,
     /// Ids of the services the delta deployed, in delta order.
     pub deployed: Vec<ServiceId>,
     /// Departures actually performed (named departures that matched no
@@ -295,6 +299,7 @@ impl SharedEnvironment {
             }
         }
         receipt.epoch = env.epoch();
+        receipt.cursor = env.registry().sync_cursor();
         receipt
     }
 
@@ -664,6 +669,9 @@ mod tests {
         assert_eq!(receipt.undeployed, 1);
         // One deploy + one departure = two registry events.
         assert_eq!(receipt.epoch, before + 2);
+        // The receipt's sync cursor names the same log position, typed.
+        assert_eq!(receipt.cursor.seq() as u64, receipt.epoch);
+        assert_eq!(shared.with(|e| e.registry().sync_cursor()), receipt.cursor);
         shared.with(|e| {
             assert!(e.registry().iter().any(|(_, d)| d.name() == "burst"));
             assert!(e.registry().iter().all(|(_, d)| d.name() != "s0"));

@@ -239,6 +239,59 @@ impl DistributedSection {
     }
 }
 
+/// Clustered-registry totals for one run: gossip replication traffic,
+/// scatter/gather coverage and the staleness bound.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterSection {
+    /// Shards the registry was partitioned into.
+    pub shards: u64,
+    /// Shards unreachable during the run.
+    pub shards_lost: u64,
+    /// Gossip rounds the origin completed.
+    pub gossip_rounds: u64,
+    /// Incremental event deltas shipped to peers.
+    pub deltas_shipped: u64,
+    /// Registry events replicated onto peers (bucket-filtered).
+    pub events_replicated: u64,
+    /// Pulls answered with a full snapshot (event-log gap fallback).
+    pub snapshot_fallbacks: u64,
+    /// Pull retransmissions peers issued.
+    pub retries: u64,
+    /// Scatter/gather queries fanned across the shards.
+    pub scatter_queries: u64,
+    /// Fraction of the oracle's candidates the gather produced (1.0 when
+    /// no shard was lost).
+    pub coverage_ratio: f64,
+    /// Whether any shard was unreachable (coverage below the oracle).
+    pub degraded: bool,
+    /// Whether every live shard reached the origin's head.
+    pub converged: bool,
+    /// Events the most-lagged live shard trails the head by.
+    pub max_staleness_events: u64,
+    /// Network totals for the replication plane.
+    pub net: NetsimSection,
+}
+
+impl ClusterSection {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("shards", self.shards)
+            .field("shards_lost", self.shards_lost)
+            .field("gossip_rounds", self.gossip_rounds)
+            .field("deltas_shipped", self.deltas_shipped)
+            .field("events_replicated", self.events_replicated)
+            .field("snapshot_fallbacks", self.snapshot_fallbacks)
+            .field("retries", self.retries)
+            .field("scatter_queries", self.scatter_queries)
+            .field("coverage_ratio", self.coverage_ratio)
+            .field("degraded", self.degraded)
+            .field("converged", self.converged)
+            .field("max_staleness_events", self.max_staleness_events)
+            .field("net", self.net.to_json())
+    }
+}
+
 /// Outcome of the composition step of a run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComposeSection {
@@ -510,6 +563,9 @@ pub struct RunReport {
     pub selection: Option<SelectionSection>,
     /// Distributed-protocol totals, when the run was distributed.
     pub distributed: Option<DistributedSection>,
+    /// Clustered-registry totals, when the run went through the sharded
+    /// registry.
+    pub cluster: Option<ClusterSection>,
     /// Serving-layer totals, when the run went through
     /// `SharedEnvironment`.
     pub serving: Option<ServingSection>,
@@ -535,6 +591,7 @@ impl RunReport {
             discovery: None,
             selection: None,
             distributed: None,
+            cluster: None,
             serving: None,
             daemon: None,
             hotpath: None,
@@ -573,6 +630,10 @@ impl RunReport {
             .field(
                 "distributed",
                 opt(self.distributed.as_ref().map(DistributedSection::to_json)),
+            )
+            .field(
+                "cluster",
+                opt(self.cluster.as_ref().map(ClusterSection::to_json)),
             )
             .field(
                 "serving",
@@ -693,6 +754,7 @@ mod tests {
         full.discovery = Some(DiscoverySection::default());
         full.selection = Some(SelectionSection::default());
         full.distributed = Some(DistributedSection::default());
+        full.cluster = Some(ClusterSection::default());
         full.serving = Some(ServingSection::default());
         full.daemon = Some(DaemonSection::default());
         full.hotpath = Some(HotpathSection::default());

@@ -10,6 +10,11 @@
 //!   hosting node;
 //! * [`ServiceRegistry`] — the service directory, supporting dynamic
 //!   registration and departure;
+//! * [`RegistrySync`] — the typed replication surface: a replica
+//!   presents its [`ReplicaCursor`] and gets back a [`SyncResponse`] —
+//!   an incremental event delta, or a snapshot when the cursor fell
+//!   behind the retained event window (delta re-selection, daemon churn
+//!   receipts and the cluster gossip peers all sync through it);
 //! * [`Discovery`] — QoS-aware service discovery: semantic functional
 //!   matching (through a domain [`Ontology`]) combined with I/O
 //!   compatibility and QoS-requirement filtering. One entry point,
@@ -53,12 +58,14 @@ mod discovery;
 pub mod qsd;
 mod registry;
 mod service;
+mod sync;
 
 pub use discovery::{
     CacheStats, DiscoveredCandidate, Discovery, DiscoveryQuery, MatchCache, MatchedVia,
 };
 pub use registry::{EventLogGap, RegistryEvent, RegistrySnapshot, ServiceId, ServiceRegistry};
 pub use service::{Operation, ServiceDescription};
+pub use sync::{RegistrySync, ReplicaCursor, SyncResponse};
 
 pub use qasom_qos::QosVector;
 

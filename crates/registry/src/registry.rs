@@ -143,8 +143,9 @@ pub enum RegistryEvent {
 
 /// An observer's cursor points before the oldest retained event: the
 /// intervening events were compacted away, so incremental catch-up is
-/// impossible and the observer must resync from a
-/// [`ServiceRegistry::snapshot`].
+/// impossible and the observer must resync from a [`RegistrySnapshot`]
+/// (which [`RegistrySync::sync_from`](crate::RegistrySync::sync_from)
+/// hands out automatically).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventLogGap {
     /// Sequence number of the oldest event still retained.
@@ -170,8 +171,9 @@ impl std::error::Error for EventLogGap {}
 /// of `live` reconstructs every later registry state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegistrySnapshot {
-    /// Event cursor the snapshot corresponds to (pass to
-    /// [`ServiceRegistry::events_since`] to continue incrementally).
+    /// Event cursor the snapshot corresponds to (continue incrementally
+    /// from here via
+    /// [`RegistrySync::sync_from`](crate::RegistrySync::sync_from)).
     pub cursor: usize,
     /// Ids of every live service, ascending.
     pub live: Vec<ServiceId>,
@@ -180,11 +182,12 @@ pub struct RegistrySnapshot {
 /// The service directory of a pervasive environment.
 ///
 /// Supports dynamic registration/departure and keeps an event log so
-/// observers can catch up on churn (`events_since`). The log can be
-/// bounded (`set_event_retention`) or compacted explicitly
-/// (`compact_events`); cursors stay monotone across compaction, and an
-/// observer whose cursor fell behind the retained window gets an
-/// [`EventLogGap`] and resyncs from a [`RegistrySnapshot`].
+/// observers can catch up on churn through the typed
+/// [`RegistrySync`](crate::RegistrySync) surface. The log can be bounded
+/// (`set_event_retention`) or compacted explicitly (`compact_events`);
+/// cursors stay monotone across compaction, and an observer whose
+/// cursor fell behind the retained window transparently gets a
+/// [`RegistrySnapshot`] to resync from.
 ///
 /// # Examples
 ///
@@ -374,10 +377,15 @@ impl ServiceRegistry {
         self.iter().filter(move |(_, d)| d.host() == Some(node))
     }
 
-    /// Total number of events emitted so far (a cursor for
-    /// [`ServiceRegistry::events_since`]). Monotone: compaction never
-    /// rewinds it.
+    /// Total number of events emitted so far — the head of the event
+    /// log, equal to [`RegistrySync::sync_cursor`](crate::RegistrySync::sync_cursor)'s
+    /// raw sequence number. Monotone: compaction never rewinds it.
     pub fn event_cursor(&self) -> usize {
+        self.event_head()
+    }
+
+    /// The raw head sequence number ([`crate::RegistrySync`] backing).
+    pub(crate) fn event_head(&self) -> usize {
         self.events_base + self.events.len()
     }
 
@@ -407,10 +415,32 @@ impl ServiceRegistry {
     }
 
     /// Events emitted at or after `cursor`, or an [`EventLogGap`] when
-    /// `cursor` predates the oldest retained event (the observer must
-    /// resync via [`ServiceRegistry::snapshot`]). A cursor at or past the
-    /// log head yields an empty slice.
+    /// `cursor` predates the oldest retained event. A cursor at or past
+    /// the log head yields an empty slice.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use RegistrySync::sync_from and match the typed SyncResponse — the gap/snapshot fallback is handled inside it"
+    )]
     pub fn events_since(&self, cursor: usize) -> Result<&[RegistryEvent], EventLogGap> {
+        self.retained_events_from(cursor)
+    }
+
+    /// A consistent resync point: the live services as of the current
+    /// event cursor.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use RegistrySync::sync_from — it returns SyncResponse::Snapshot exactly when a resync is needed"
+    )]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.resync_point()
+    }
+
+    /// [`crate::RegistrySync`] backing: retained events from `cursor`,
+    /// or the gap when the cursor fell behind the retained window.
+    pub(crate) fn retained_events_from(
+        &self,
+        cursor: usize,
+    ) -> Result<&[RegistryEvent], EventLogGap> {
         if cursor < self.events_base {
             return Err(EventLogGap {
                 oldest_retained: self.events_base,
@@ -421,12 +451,11 @@ impl ServiceRegistry {
         Ok(&self.events[from..])
     }
 
-    /// A consistent resync point: the live services as of the current
-    /// event cursor. An observer that hit an [`EventLogGap`] replaces its
-    /// world view with `live` and continues incrementally from `cursor`.
-    pub fn snapshot(&self) -> RegistrySnapshot {
+    /// [`crate::RegistrySync`] backing: the live services as of the
+    /// current event head.
+    pub(crate) fn resync_point(&self) -> RegistrySnapshot {
         RegistrySnapshot {
-            cursor: self.event_cursor(),
+            cursor: self.event_head(),
             live: self.iter().map(|(id, _)| id).collect(),
         }
     }
@@ -511,10 +540,10 @@ mod tests {
         let a = r.register(svc("a", "d#F"));
         r.deregister(a);
         assert_eq!(
-            r.events_since(cursor).unwrap(),
+            r.retained_events_from(cursor).unwrap(),
             &[RegistryEvent::Registered(a), RegistryEvent::Deregistered(a)]
         );
-        assert!(r.events_since(r.event_cursor()).unwrap().is_empty());
+        assert!(r.retained_events_from(r.event_cursor()).unwrap().is_empty());
     }
 
     #[test]
@@ -527,7 +556,7 @@ mod tests {
         // 10 events emitted, only the last 4 retained.
         assert_eq!(r.event_cursor(), 10);
         assert_eq!(r.oldest_retained_event(), 6);
-        assert_eq!(r.events_since(6).unwrap().len(), 4);
+        assert_eq!(r.retained_events_from(6).unwrap().len(), 4);
         // The cursor keeps counting past compaction.
         r.register(svc("late", "d#F"));
         assert_eq!(r.event_cursor(), 11);
@@ -543,18 +572,20 @@ mod tests {
         r.deregister(a);
         r.set_event_retention(1);
         // The observer's cursor fell behind the retained window…
-        let gap = r.events_since(stale).expect_err("events were compacted");
+        let gap = r
+            .retained_events_from(stale)
+            .expect_err("events were compacted");
         assert_eq!(gap.oldest_retained, 2);
         assert_eq!(gap.missed, 2);
         assert!(!gap.to_string().is_empty());
         // …so it resyncs: the snapshot's live set is the current world,
         // and its cursor continues incrementally without another gap.
-        let snap = r.snapshot();
+        let snap = r.resync_point();
         assert_eq!(snap.live, vec![b]);
         assert_eq!(snap.cursor, r.event_cursor());
         let c = r.register(svc("c", "d#F"));
         assert_eq!(
-            r.events_since(snap.cursor).unwrap(),
+            r.retained_events_from(snap.cursor).unwrap(),
             &[RegistryEvent::Registered(c)]
         );
     }
@@ -568,11 +599,11 @@ mod tests {
         let consumed = 4;
         assert_eq!(r.compact_events(consumed), 4);
         assert_eq!(r.oldest_retained_event(), 4);
-        assert_eq!(r.events_since(4).unwrap().len(), 2);
+        assert_eq!(r.retained_events_from(4).unwrap().len(), 2);
         // Compacting behind the current base or past the head is safe.
         assert_eq!(r.compact_events(0), 0);
         assert_eq!(r.compact_events(usize::MAX), 2);
-        assert!(r.events_since(r.event_cursor()).unwrap().is_empty());
+        assert!(r.retained_events_from(r.event_cursor()).unwrap().is_empty());
         assert_eq!(r.event_cursor(), 6);
     }
 
@@ -583,6 +614,79 @@ mod tests {
             let id = r.register(svc(&format!("s{i}"), "d#F"));
             r.deregister(id);
         }
-        assert_eq!(r.events_since(0).unwrap().len(), 200);
+        assert_eq!(r.retained_events_from(0).unwrap().len(), 200);
+    }
+
+    // ---- compaction boundary audit ---------------------------------
+    // The off-by-one class that bit `retry_after_ticks` in PR 7 lives
+    // exactly at these edges: compaction *at* the live cursor, a
+    // retention bound of zero, and reads one event either side of the
+    // compaction edge.
+
+    #[test]
+    fn compaction_exactly_at_the_live_cursor_keeps_the_head_readable() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..5 {
+            r.register(svc(&format!("s{i}"), "d#F"));
+        }
+        let head = r.event_cursor();
+        // Compacting at the head drops everything retained…
+        assert_eq!(r.compact_events(head), 5);
+        assert_eq!(r.oldest_retained_event(), head);
+        assert_eq!(r.event_cursor(), head);
+        // …a cursor at the head still reads an empty delta (no gap)…
+        assert_eq!(r.retained_events_from(head).unwrap(), &[]);
+        // …and the very next event is readable from that same cursor.
+        let a = r.register(svc("late", "d#F"));
+        assert_eq!(
+            r.retained_events_from(head).unwrap(),
+            &[RegistryEvent::Registered(a)]
+        );
+        // Compacting at the head twice is idempotent.
+        let head = r.event_cursor();
+        assert_eq!(r.compact_events(head), 1);
+        assert_eq!(r.compact_events(head), 0);
+    }
+
+    #[test]
+    fn zero_retention_compacts_every_event_immediately() {
+        let mut r = ServiceRegistry::new();
+        r.set_event_retention(0);
+        let before = r.event_cursor();
+        let a = r.register(svc("a", "d#F"));
+        r.deregister(a);
+        // The cursor still advances event by event…
+        assert_eq!(r.event_cursor(), before + 2);
+        assert_eq!(r.oldest_retained_event(), r.event_cursor());
+        // …a head cursor reads empty, anything older is a gap of the
+        // exact missed count.
+        assert_eq!(r.retained_events_from(r.event_cursor()).unwrap(), &[]);
+        let gap = r.retained_events_from(before).expect_err("all compacted");
+        assert_eq!(gap.oldest_retained, r.event_cursor());
+        assert_eq!(gap.missed, 2);
+        // Setting zero retention on a populated log empties it too.
+        let mut r2 = ServiceRegistry::new();
+        r2.register(svc("x", "d#F"));
+        r2.set_event_retention(0);
+        assert_eq!(r2.oldest_retained_event(), r2.event_cursor());
+    }
+
+    #[test]
+    fn events_at_the_compaction_edge_are_off_by_one_exact() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..6 {
+            r.register(svc(&format!("s{i}"), "d#F"));
+        }
+        r.compact_events(3);
+        let edge = r.oldest_retained_event();
+        assert_eq!(edge, 3);
+        // At the edge: the full retained window, no gap.
+        assert_eq!(r.retained_events_from(edge).unwrap().len(), 3);
+        // One before the edge: a gap missing exactly one event.
+        let gap = r.retained_events_from(edge - 1).expect_err("one short");
+        assert_eq!(gap.oldest_retained, edge);
+        assert_eq!(gap.missed, 1);
+        // One after the edge: one fewer event, still no gap.
+        assert_eq!(r.retained_events_from(edge + 1).unwrap().len(), 2);
     }
 }

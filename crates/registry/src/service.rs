@@ -23,7 +23,9 @@ impl Operation {
     pub fn new(name: impl Into<String>, function: &str) -> Self {
         Operation {
             name: name.into(),
-            function: function.parse().expect("malformed operation IRI"),
+            function: function
+                .parse()
+                .unwrap_or_else(|e| panic!("malformed operation IRI {function:?}: {e}")),
             qos: QosVector::new(),
         }
     }
@@ -93,7 +95,8 @@ impl ServiceDescription {
     /// Panics on a malformed function IRI; use
     /// [`ServiceDescription::try_new`] for fallible construction.
     pub fn new(name: impl Into<String>, function: &str) -> Self {
-        ServiceDescription::try_new(name, function).expect("malformed function IRI")
+        ServiceDescription::try_new(name, function)
+            .unwrap_or_else(|e| panic!("malformed function IRI {function:?}: {e}"))
     }
 
     /// Fallible counterpart of [`ServiceDescription::new`].
@@ -129,8 +132,11 @@ impl ServiceDescription {
     ///
     /// Panics on a malformed IRI.
     pub fn with_input(mut self, input: &str) -> Self {
-        self.inputs
-            .push(input.parse().expect("malformed input IRI"));
+        self.inputs.push(
+            input
+                .parse()
+                .unwrap_or_else(|e| panic!("malformed input IRI {input:?}: {e}")),
+        );
         self
     }
 
@@ -140,8 +146,11 @@ impl ServiceDescription {
     ///
     /// Panics on a malformed IRI.
     pub fn with_output(mut self, output: &str) -> Self {
-        self.outputs
-            .push(output.parse().expect("malformed output IRI"));
+        self.outputs.push(
+            output
+                .parse()
+                .unwrap_or_else(|e| panic!("malformed output IRI {output:?}: {e}")),
+        );
         self
     }
 

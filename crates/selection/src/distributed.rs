@@ -120,7 +120,9 @@ impl RetryPolicy {
     }
 
     /// The capped exponential delay of round `round`, without jitter.
-    fn backoff_ms(&self, round: u32) -> u64 {
+    /// Public so other protocol layers (e.g. the cluster gossip peers)
+    /// reuse the same backoff shape.
+    pub fn backoff_ms(&self, round: u32) -> u64 {
         let cap = self.max_delay_ms.max(self.base_delay_ms);
         self.base_delay_ms
             .saturating_mul(1u64 << round.min(20))

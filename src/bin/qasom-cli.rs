@@ -10,6 +10,8 @@
 //! qasom-cli daemon-stress [--seed 42] [--rounds 12] [--clients 4]
 //!                         [--queue 6] [--quota 2] [--batch 4] [--out FILE]
 //! qasom-cli hotpath-stress [--seed 42] [--services 64] [--rounds 12] [--out FILE]
+//! qasom-cli cluster-stress [--seed 42] [--services 10000,100000]
+//!                          [--shards 1,2,4,8] [--sessions 8] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -50,6 +52,15 @@
 //! fallback. The printed `RunReport` carries the `hotpath` section and
 //! `selection.delta.*` counters and is byte-identical for identical
 //! arguments — the determinism oracle CI `cmp`s across repeats.
+//!
+//! The `cluster-stress` subcommand sweeps the clustered registry
+//! (`qasom_cluster`) over shard counts at several service-pool scales:
+//! for each cell it runs the gossip replication plane over the network
+//! simulator, then assembles the converged shards into a serving
+//! environment and drives sessions through the daemon's loopback frame
+//! transport. The emitted JSON reports modelled discovery latency and
+//! session throughput per `(services, shards)` cell and is
+//! byte-identical for identical arguments.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -59,16 +70,19 @@ use qasom::{
     demo, Environment, EventLog, RegistryDelta, ServeOutcome, SessionRequest, SharedEnvironment,
     UserRequest,
 };
+use qasom_cluster::{ClusterBridge, ClusterConfig, ClusterSim, ShardSet};
 use qasom_daemon::stress::StressConfig;
-use qasom_daemon::AdmissionConfig;
+use qasom_daemon::{AdmissionConfig, BrokerConfig};
 use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::report::{ComposeSection, ExecutionSection, RunReport};
-use qasom_obs::{key_paths, MemoryRecorder, Recorder};
+use qasom_obs::{key_paths, JsonValue, MemoryRecorder, Recorder};
 use qasom_ontology::{ConceptId, Ontology, OntologyBuilder};
 use qasom_qos::{QosModel, QosVector, Unit};
 use qasom_registry::ServiceDescription;
 use qasom_task::xml::{self, XmlElement};
 use qasom_task::{Activity, TaskNode, UserTask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn main() -> ExitCode {
     let outcome = match std::env::args().nth(1).as_deref() {
@@ -77,6 +91,7 @@ fn main() -> ExitCode {
         Some("stress") => run_stress_subcommand(),
         Some("daemon-stress") => run_daemon_stress_subcommand(),
         Some("hotpath-stress") => run_hotpath_stress_subcommand(),
+        Some("cluster-stress") => run_cluster_stress_subcommand(),
         _ => run(),
     };
     match outcome {
@@ -112,7 +127,12 @@ fn run_report_subcommand() -> Result<(), String> {
             other => return Err(format!("unknown flag {other:?} (try report --help)")),
         }
     }
-    let report = demo::demo_run_report(seed);
+    let mut report = demo::demo_run_report(seed);
+    // The demo scenario serves one host; the cluster section comes from
+    // a companion clustered run at the same seed, so the report (and the
+    // schema fixture) covers the sharded registry too.
+    let cluster = ClusterSim::new(ClusterConfig::default()).run(seed);
+    report.cluster = Some(cluster.to_section());
     if schema {
         let paths = key_paths(&report.to_json()).join("\n");
         return write_text(&paths, out.as_deref());
@@ -364,6 +384,175 @@ fn hotpath_stress_run_report(
     Ok(env.run_report("hotpath-stress"))
 }
 
+/// `qasom-cli cluster-stress [--seed N] [--services L] [--shards L]
+/// [--sessions N] [--out FILE]`: the clustered-registry sweep. `L` is a
+/// comma list (`10000,100000`, `1,2,4,8`). Each `(services, shards)`
+/// cell runs the gossip plane over the simulator and then serves
+/// sessions against the assembled shards; the emitted JSON is
+/// byte-identical for identical arguments — the determinism oracle CI
+/// `cmp`s across repeats.
+fn run_cluster_stress_subcommand() -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut scales = vec![10_000usize, 100_000];
+    let mut shard_counts = vec![1usize, 2, 4, 8];
+    let mut sessions = 8usize;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--services" => scales = parse_num_list(&value("--services")?)?,
+            "--shards" => shard_counts = parse_num_list(&value("--shards")?)?,
+            "--sessions" => sessions = parse_num(&value("--sessions")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: qasom-cli cluster-stress [--seed N] [--services N,N...]\n\
+                     \x20      [--shards N,N...] [--sessions N] [--out FILE]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (try cluster-stress --help)"
+                ));
+            }
+        }
+    }
+    if scales.is_empty() || shard_counts.is_empty() {
+        return Err("at least one service scale and one shard count are required".into());
+    }
+    let doc = cluster_stress_json(seed, &scales, &shard_counts, sessions)?;
+    write_text(&doc.to_pretty(), out.as_deref())
+}
+
+/// One `(services, shards)` sweep cell → the bench figures document.
+///
+/// Discovery latency is the modelled scatter/gather figure from the
+/// simulated replication run (one fan-out round trip plus the widest
+/// shard's evaluation work). Session throughput is modelled from it:
+/// sessions serialise behind the discovery fan-out, so a narrower
+/// widest-shard raises throughput as shards are added.
+fn cluster_stress_json(
+    seed: u64,
+    scales: &[usize],
+    shard_counts: &[usize],
+    sessions: usize,
+) -> Result<JsonValue, String> {
+    const FUNCTIONS: usize = 6;
+    let model = QosModel::standard();
+    let mut figures: Vec<JsonValue> = Vec::new();
+    for &services in scales {
+        for &shards in shard_counts {
+            // Replication plane: gossip the pool across the shards over
+            // the network simulator and audit against the oracle.
+            let cfg = ClusterConfig {
+                shards,
+                services,
+                functions: FUNCTIONS,
+                churn_rounds: 4,
+                churn_per_round: 8,
+                ..ClusterConfig::default()
+            };
+            let report = ClusterSim::new(cfg).run(seed);
+            if !report.converged || !report.oracle_match {
+                return Err(format!(
+                    "cluster run diverged at {services} services / {shards} shards"
+                ));
+            }
+
+            // Serving plane: an identically-seeded deterministic shard
+            // set, assembled and driven through the loopback daemon.
+            let ontology = ClusterSim::build_ontology(FUNCTIONS);
+            let mut origin = qasom_registry::ServiceRegistry::with_ontology(Arc::clone(&ontology));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+            for j in 0..services {
+                let f = rng.gen_range(0..FUNCTIONS);
+                let sub = rng.gen_range(0..2) == 1;
+                let iri = if sub {
+                    format!("cl#F{f}Sub")
+                } else {
+                    format!("cl#F{f}")
+                };
+                let mut desc = ServiceDescription::new(format!("s{j}"), iri.as_str());
+                if let Some(rt) = model.property("ResponseTime") {
+                    desc = desc.with_qos(rt, 10.0 + f64::from(rng.gen_range(0..90u32)));
+                }
+                if let Some(av) = model.property("Availability") {
+                    desc = desc.with_qos(av, 0.9 + f64::from(rng.gen_range(0..10u32)) / 100.0);
+                }
+                origin.register(desc);
+            }
+            let mut set = ShardSet::new(shards, Arc::clone(&ontology));
+            set.sync_all(&origin);
+            let bridge = ClusterBridge::assemble(&set, seed);
+            let task = UserTask::new(
+                "cluster-probe",
+                TaskNode::sequence(vec![
+                    TaskNode::activity(Activity::new("first", "cl#F0")),
+                    TaskNode::activity(Activity::new("second", "cl#F1")),
+                ]),
+            )
+            .map_err(|e| e.to_string())?;
+            let request = UserRequest::new(task).weight("ResponseTime", 1.0);
+            let requests = vec![request; sessions];
+            let broker = BrokerConfig {
+                admission: AdmissionConfig {
+                    queue_capacity: sessions.max(8),
+                    client_quota: sessions.max(8),
+                    batch_max: 8,
+                },
+            };
+            let served = bridge.serve_sessions(&requests, broker, 64);
+
+            let latency_us = report.scatter_latency_us.max(1);
+            let throughput = if served.submitted == 0 {
+                0.0
+            } else {
+                served.completed as f64 * 1_000_000.0
+                    / (served.submitted as f64 * latency_us as f64)
+            };
+            figures.push(
+                JsonValue::object()
+                    .field("services", services)
+                    .field("shards", shards)
+                    .field("discovery_latency_us", report.scatter_latency_us)
+                    .field("session_throughput_per_s", throughput)
+                    .field("sessions_submitted", served.submitted)
+                    .field("sessions_completed", served.completed)
+                    .field("sessions_failed", served.failed)
+                    .field("gossip_rounds", report.gossip_rounds)
+                    .field("deltas_shipped", report.deltas_shipped)
+                    .field("events_replicated", report.events_replicated)
+                    .field("snapshot_fallbacks", report.snapshot_fallbacks)
+                    .field("retries", report.retries)
+                    .field("converged", report.converged)
+                    .field("oracle_match", report.oracle_match)
+                    .field("coverage_ratio", report.coverage_ratio())
+                    .field("max_staleness_events", report.max_staleness_events)
+                    .field("sim_time_us", report.net.sim_time_us),
+            );
+        }
+    }
+    Ok(JsonValue::object()
+        .field("bench", "cluster")
+        .field("seed", seed)
+        .field("sessions", sessions)
+        .field("figures", figures))
+}
+
+fn parse_num_list(raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("could not parse {s:?} in {raw:?} as a number"))
+        })
+        .collect()
+}
+
 fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("could not parse {raw:?} as a number"))
@@ -497,7 +686,9 @@ fn parse_args() -> Result<Args, String> {
                      \x20      qasom-cli stress [--seed N] [--sessions N] [--out FILE]\n\
                      \x20      qasom-cli daemon-stress [--seed N] [--rounds N] [--clients N]\n\
                      \x20          [--queue N] [--quota N] [--batch N] [--out FILE]\n\
-                     \x20      qasom-cli hotpath-stress [--seed N] [--services N] [--rounds N] [--out FILE]"
+                     \x20      qasom-cli hotpath-stress [--seed N] [--services N] [--rounds N] [--out FILE]\n\
+                     \x20      qasom-cli cluster-stress [--seed N] [--services N,N...]\n\
+                     \x20          [--shards N,N...] [--sessions N] [--out FILE]"
                 );
                 std::process::exit(0);
             }

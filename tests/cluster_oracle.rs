@@ -1,0 +1,233 @@
+//! Scatter/gather over capability-bucket shards is equivalent to the
+//! single-registry oracle.
+//!
+//! The deterministic plane drives seeded churn into an origin registry
+//! and, at every sync point, asserts that fanning a discovery query
+//! across 1, 2, 4 or 8 shard replicas and merging the answers yields
+//! *byte-identical* candidates — same ids, same degrees, same effective
+//! QoS, same order — as one `Discovery::discover` over the origin.
+//! Mid-gossip states (some shards synced, some lagging) must report a
+//! bounded staleness instead of wrong answers, and a lost shard must
+//! degrade coverage without ever panicking.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qasom_cluster::{ClusterConfig, ClusterSim, ShardSet};
+use qasom_qos::QosModel;
+use qasom_registry::{
+    Discovery, DiscoveryQuery, RegistrySync, ServiceDescription, ServiceRegistry,
+};
+use qasom_task::Activity;
+
+const FUNCTIONS: usize = 5;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn service(rng: &mut StdRng, model: &QosModel, name: String) -> ServiceDescription {
+    let f = rng.gen_range(0..FUNCTIONS);
+    let iri = if rng.gen_range(0..2) == 1 {
+        format!("cl#F{f}Sub")
+    } else {
+        format!("cl#F{f}")
+    };
+    let mut desc = ServiceDescription::new(name, &iri);
+    if let Some(rt) = model.property("ResponseTime") {
+        desc = desc.with_qos(rt, 10.0 + f64::from(rng.gen_range(0..90u32)));
+    }
+    desc
+}
+
+fn churn(
+    rng: &mut StdRng,
+    model: &QosModel,
+    origin: &mut ServiceRegistry,
+    step: usize,
+    ops: usize,
+) {
+    for j in 0..ops {
+        if origin.is_empty() || rng.gen_range(0..3) > 0 {
+            origin.register(service(rng, model, format!("c{step}-{j}")));
+        } else {
+            let live = origin.len();
+            let victim = origin.iter().nth(rng.gen_range(0..live)).map(|(id, _)| id);
+            if let Some(id) = victim {
+                origin.deregister(id);
+            }
+        }
+    }
+}
+
+/// One probe per capability, base and subconcept alternating, so both
+/// exact and plug-in (subsumption) matches are exercised.
+fn probes() -> Vec<Activity> {
+    (0..FUNCTIONS)
+        .map(|f| {
+            if f % 2 == 0 {
+                Activity::new(format!("p{f}"), &format!("cl#F{f}"))
+            } else {
+                Activity::new(format!("p{f}"), &format!("cl#F{f}Sub"))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn scatter_gather_is_byte_identical_to_the_oracle_over_64_seeds() {
+    let ontology = ClusterSim::build_ontology(FUNCTIONS);
+    let model = QosModel::standard();
+    let probes = probes();
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+        let mut sets: Vec<ShardSet> = SHARD_COUNTS
+            .iter()
+            .map(|&n| ShardSet::new(n, Arc::clone(&ontology)))
+            .collect();
+        for step in 0..6 {
+            churn(&mut rng, &model, &mut origin, step, 8);
+            let oracle = Discovery::new(&ontology, &model);
+            for set in &mut sets {
+                set.sync_all(&origin);
+                for activity in &probes {
+                    let query = DiscoveryQuery::new(activity);
+                    let expected = oracle.discover(&origin, &query);
+                    let gathered = set.scatter_gather(&model, &query);
+                    assert_eq!(
+                        gathered.candidates,
+                        expected,
+                        "seed {seed} step {step} shards {} probe {}",
+                        set.shard_count(),
+                        activity.name(),
+                    );
+                    assert_eq!(gathered.shards_lost, 0);
+                    assert_eq!(gathered.min_cursor, origin.sync_cursor());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_fallback_paths_reach_the_same_answer() {
+    // Aggressive retention forces every sync onto the snapshot path;
+    // the merged answer must not change.
+    let ontology = ClusterSim::build_ontology(FUNCTIONS);
+    let model = QosModel::standard();
+    let probes = probes();
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+        origin.set_event_retention(1);
+        let mut set = ShardSet::new(4, Arc::clone(&ontology));
+        for step in 0..4 {
+            churn(&mut rng, &model, &mut origin, step, 6);
+            set.sync_all(&origin);
+            let oracle = Discovery::new(&ontology, &model);
+            for activity in &probes {
+                let query = DiscoveryQuery::new(activity);
+                assert_eq!(
+                    set.scatter_gather(&model, &query).candidates,
+                    oracle.discover(&origin, &query),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_gossip_reads_report_bounded_staleness_not_wrong_answers() {
+    let ontology = ClusterSim::build_ontology(FUNCTIONS);
+    let model = QosModel::standard();
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157);
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+        let mut set = ShardSet::new(4, Arc::clone(&ontology));
+        churn(&mut rng, &model, &mut origin, 0, 10);
+        set.sync_all(&origin);
+        let synced_head = origin.sync_cursor();
+
+        // The origin moves on; only shards 0 and 1 catch up — a
+        // mid-gossip state.
+        churn(&mut rng, &model, &mut origin, 1, 5);
+        set.sync_shard(0, &origin);
+        set.sync_shard(1, &origin);
+        let head = origin.sync_cursor();
+        let lag = synced_head.lag_behind(head);
+        assert!(lag > 0 && lag <= 10, "churn produced 5..=10 events");
+
+        // Staleness is exactly the lagging shards' distance to the head,
+        // and the gather's min_cursor exposes the bound per query.
+        assert_eq!(set.max_staleness(head), lag);
+        let activity = Activity::new("p0", "cl#F0");
+        let gathered = set.scatter_gather(&model, &DiscoveryQuery::new(&activity));
+        assert_eq!(gathered.min_cursor, synced_head);
+        assert!(gathered.min_cursor.lag_behind(head) <= 10);
+
+        // Catching the stragglers up restores oracle equality.
+        set.sync_all(&origin);
+        assert_eq!(set.max_staleness(head), 0);
+        let oracle = Discovery::new(&ontology, &model);
+        let query = DiscoveryQuery::new(&activity);
+        assert_eq!(
+            set.scatter_gather(&model, &query).candidates,
+            oracle.discover(&origin, &query)
+        );
+    }
+}
+
+#[test]
+fn shard_loss_is_degraded_coverage_never_a_panic() {
+    let ontology = ClusterSim::build_ontology(FUNCTIONS);
+    let model = QosModel::standard();
+    let probes = probes();
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1055);
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&ontology));
+        let mut set = ShardSet::new(4, Arc::clone(&ontology));
+        churn(&mut rng, &model, &mut origin, 0, 20);
+        set.sync_all(&origin);
+        set.fail_shard((seed % 4) as usize);
+        let oracle = Discovery::new(&ontology, &model);
+        let mut heard = 0usize;
+        let mut expected_total = 0usize;
+        for activity in &probes {
+            let query = DiscoveryQuery::new(activity);
+            let expected = oracle.discover(&origin, &query);
+            let gathered = set.scatter_gather(&model, &query);
+            assert_eq!(gathered.shards_lost, 1);
+            assert!(gathered.degraded());
+            // Every candidate the gather produces is one the oracle
+            // knows (no invention, only omission).
+            for c in &gathered.candidates {
+                assert!(expected.contains(c), "seed {seed}: invented candidate");
+            }
+            heard += gathered.candidates.len();
+            expected_total += expected.len();
+        }
+        assert!(heard <= expected_total);
+    }
+}
+
+#[test]
+fn the_netsim_plane_agrees_with_the_oracle_across_shard_counts() {
+    // The full gossip protocol (loss-free links) over every shard count:
+    // the closing audit in the report must find byte-equality.
+    for &shards in &SHARD_COUNTS {
+        for seed in 0..4u64 {
+            let cfg = ClusterConfig {
+                shards,
+                services: 24,
+                churn_rounds: 4,
+                churn_per_round: 3,
+                ..ClusterConfig::default()
+            };
+            let report = ClusterSim::new(cfg).run(seed);
+            assert!(report.converged, "shards {shards} seed {seed}");
+            assert!(report.oracle_match, "shards {shards} seed {seed}");
+            assert_eq!(report.coverage_ratio(), 1.0);
+        }
+    }
+}
