@@ -213,6 +213,15 @@ fn main() {
             bench::fig_hotpath(),
         );
     }
+    if want("persist") {
+        show(
+            &mut report,
+            "persist",
+            "Persistence — warm boot: snapshot load / WAL replay vs re-registration",
+            "services",
+            bench::fig_persist(),
+        );
+    }
     if want("scale") {
         show(
             &mut report,

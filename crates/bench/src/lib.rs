@@ -998,6 +998,104 @@ pub fn fig_hotpath() -> Vec<Series> {
     vec![compose_p50, compose_p99, full, delta, speedup]
 }
 
+/// Persistence figure: warm-boot cost at 10k and 100k registered
+/// services (DESIGN.md §14). Three ways to repopulate a registry after
+/// a restart:
+///
+/// * **re-registration** — the no-persistence baseline: every provider
+///   re-registers from scratch (what `qasomd` without `--data-dir`
+///   does on every boot);
+/// * **WAL replay** — recovery from an un-checkpointed write-ahead log
+///   (one CRC-framed record per historical registration);
+/// * **snapshot load** — recovery from a checkpointed snapshot with an
+///   empty WAL (the state after a clean shutdown).
+pub fn fig_persist() -> Vec<Series> {
+    use qasom_registry::persist::{MemoryBackend, PersistConfig, PersistentRegistry};
+    use qasom_registry::{ServiceDescription, ServiceRegistry};
+
+    const CONCEPTS: usize = 8;
+    let mut rereg = Series::new("re-registration [ms]");
+    let mut replay = Series::new("WAL replay [ms]");
+    let mut snapshot = Series::new("snapshot load [ms]");
+    let mut b = OntologyBuilder::new("ps");
+    for c in 0..CONCEPTS {
+        b.concept(&format!("A{c}"));
+    }
+    let Ok(ontology) = b.build() else {
+        return vec![rereg, replay, snapshot];
+    };
+    let ontology = std::sync::Arc::new(ontology);
+    let model = QosModel::standard();
+    let Some(rt) = model.property("ResponseTime") else {
+        return vec![rereg, replay, snapshot];
+    };
+
+    for total in [10_000usize, 100_000] {
+        let descriptions: Vec<ServiceDescription> = (0..total)
+            .map(|i| {
+                ServiceDescription::new(format!("s{i}"), format!("ps#A{}", i % CONCEPTS).as_str())
+                    .with_qos(rt, 40.0 + ((i * 7_919) % 1_000) as f64)
+            })
+            .collect();
+        let x = total as f64;
+
+        rereg.points.push((
+            x,
+            time_ms(3, || {
+                let mut registry = ServiceRegistry::with_ontology(std::sync::Arc::clone(&ontology));
+                for desc in &descriptions {
+                    registry.register(desc.clone());
+                }
+                std::hint::black_box(registry.len());
+            }),
+        ));
+
+        let backend = MemoryBackend::new();
+        let Ok((mut journaled, _)) = PersistentRegistry::open(
+            backend.clone(),
+            PersistConfig {
+                checkpoint_every: 0,
+            },
+            Some(std::sync::Arc::clone(&ontology)),
+        ) else {
+            continue;
+        };
+        if descriptions
+            .iter()
+            .any(|desc| journaled.register(desc.clone()).is_err())
+        {
+            continue;
+        }
+        replay.points.push((
+            x,
+            time_ms(3, || {
+                let recovered = PersistentRegistry::open(
+                    backend.fork(),
+                    PersistConfig::default(),
+                    Some(std::sync::Arc::clone(&ontology)),
+                );
+                std::hint::black_box(recovered.is_ok());
+            }),
+        ));
+
+        if journaled.checkpoint().is_err() {
+            continue;
+        }
+        snapshot.points.push((
+            x,
+            time_ms(3, || {
+                let recovered = PersistentRegistry::open(
+                    backend.fork(),
+                    PersistConfig::default(),
+                    Some(std::sync::Arc::clone(&ontology)),
+                );
+                std::hint::black_box(recovered.is_ok());
+            }),
+        ));
+    }
+    vec![rereg, replay, snapshot]
+}
+
 /// Builds the daemon-throughput market (one concept, `providers`
 /// candidates, recorder attached) and the shared hot request.
 fn daemon_market(providers: usize) -> Option<(qasom::SharedEnvironment, qasom::UserRequest)> {

@@ -28,7 +28,12 @@
 //!   oracle-equivalence audit;
 //! * [`bridge`] — the serving front-end ([`ClusterBridge`]): a gathered
 //!   shard set assembled into a [`SharedEnvironment`](qasom::SharedEnvironment)
-//!   and served through the daemon's loopback frame transport.
+//!   and served through the daemon's loopback frame transport;
+//! * [`persist`] — durable replicas ([`PersistentReplica`]): applied
+//!   delta batches journaled to a local CRC-framed WAL with replica
+//!   snapshots (DESIGN.md §14), so a rebooted shard resumes at its
+//!   persisted cursor with an incremental delta instead of forcing the
+//!   origin into a snapshot transfer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,11 +41,13 @@
 pub mod bridge;
 pub mod manager;
 pub mod peer;
+pub mod persist;
 pub mod protocol;
 pub mod shard;
 
 pub use bridge::{BridgeReport, ClusterBridge};
 pub use manager::{ClusterConfig, ClusterReport, ClusterSim};
 pub use peer::{ChurnOp, ClusterRole, OriginState, ShardPeerState};
+pub use persist::{PersistentReplica, ReplicaApply, ReplicaPersistStats, ReplicaRecovery};
 pub use protocol::PeerMessage;
 pub use shard::{shard_of, GatherOutcome, ShardReplica, ShardSet, SyncKind};

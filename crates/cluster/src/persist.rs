@@ -1,0 +1,700 @@
+//! Durable shard replicas: a local WAL of applied delta batches plus
+//! replica snapshots, so a restarted shard resumes replication from its
+//! persisted cursor.
+//!
+//! Without local persistence a restarted shard peer rejoins at
+//! [`ReplicaCursor::ORIGIN`] and — under any realistic event retention —
+//! forces the origin into a full snapshot transfer
+//! ([`SyncKind::Snapshot`]). A [`PersistentReplica`] journals every
+//! *applied* delta batch through the same [`Persistence`] trait the
+//! registry journal uses (DESIGN.md §14), and on reboot recovers
+//! `snapshot + WAL tail` locally: the replica comes back at its old
+//! cursor and catches up with an incremental [`SyncKind::Delta`]
+//! instead.
+//!
+//! One WAL frame per batch, *batch-atomic*: the frame carries
+//! `{from, to, applied}` where `applied` is the subset of events this
+//! bucket accepted (rows outside the bucket only move the cursor, so
+//! even an empty batch is journaled to keep the cursor chain gapless).
+//! A torn tail is discarded whole — a half-applied batch can never be
+//! replayed, mirroring the stale-delta rejection of
+//! [`ShardReplica::apply_delta`].
+
+use std::sync::Arc;
+
+use qasom_ontology::Ontology;
+use qasom_qos::QosModel;
+use qasom_registry::persist::codec::{
+    get_description, put_description, put_u32, put_u64, ByteReader,
+};
+use qasom_registry::persist::wal::{encode_frame, split_frames};
+use qasom_registry::persist::{PersistConfig, PersistError, Persistence};
+use qasom_registry::{
+    DiscoveredCandidate, DiscoveryQuery, RegistryEvent, RegistrySync, ReplicaCursor,
+    ServiceDescription, ServiceId, ServiceRegistry, SyncResponse,
+};
+
+use crate::shard::{ShardReplica, SyncKind};
+
+/// Magic prefix of a replica snapshot blob (distinct from the registry
+/// journal's `QSNP` so the two stores cannot be confused).
+const REPLICA_SNAPSHOT_MAGIC: &[u8; 4] = b"QRSN";
+/// Replica snapshot / WAL record format version.
+const REPLICA_FORMAT_VERSION: u8 = 1;
+/// WAL payload tag: one applied delta batch.
+const TAG_BATCH: u8 = 1;
+
+/// Counters of one [`PersistentReplica`]'s journaling activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaPersistStats {
+    /// Batches appended to the local WAL.
+    pub appends: u64,
+    /// WAL bytes written (frames included).
+    pub wal_bytes: u64,
+    /// Replica snapshots checkpointed.
+    pub checkpoints: u64,
+}
+
+/// What [`PersistentReplica::open`] recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaRecovery {
+    /// Whether a replica snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Batches replayed from the WAL tail.
+    pub batches_replayed: u64,
+    /// Events (cursor distance) the replayed batches covered.
+    pub events_replayed: u64,
+    /// Stale batches skipped (crash between snapshot write and WAL
+    /// truncation).
+    pub batches_skipped: u64,
+    /// Whether a torn WAL tail was discarded.
+    pub torn_tail: bool,
+    /// The cursor the replica resumed at.
+    pub cursor: ReplicaCursor,
+}
+
+impl ReplicaRecovery {
+    /// Whether recovery found any durable state at all.
+    pub fn recovered_anything(&self) -> bool {
+        self.snapshot_loaded || self.batches_replayed > 0
+    }
+}
+
+/// Outcome of [`PersistentReplica::apply_delta`]: the journaled
+/// counterpart of [`ShardReplica::apply_delta`]'s `Result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaApply {
+    /// The batch was applied (this many events landed in the bucket)
+    /// and journaled.
+    Applied(usize),
+    /// The batch did not start at the replica's cursor; nothing was
+    /// applied or journaled. Re-pull from the carried cursor.
+    Stale(ReplicaCursor),
+}
+
+/// A [`ShardReplica`] whose replication progress is durable.
+///
+/// Every mutation of the replica goes through this wrapper so the local
+/// WAL and the in-memory state can never diverge: a batch is journaled
+/// in the same call that applies it, and a snapshot install is
+/// immediately checkpointed (full state replaces the WAL).
+pub struct PersistentReplica {
+    replica: ShardReplica,
+    n_shards: usize,
+    backend: Box<dyn Persistence + Send + Sync>,
+    config: PersistConfig,
+    stats: ReplicaPersistStats,
+    since_checkpoint: usize,
+}
+
+impl std::fmt::Debug for PersistentReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentReplica")
+            .field("bucket", &self.replica.bucket())
+            .field("cursor", &self.replica.cursor())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PersistentReplica {
+    /// Recovers bucket `bucket` of an `n_shards`-way cluster from
+    /// `backend` (replica snapshot + WAL tail) and returns the replica
+    /// with its journal.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] from the backend; [`PersistError::Corrupt`]
+    /// when the store belongs to a different bucket or shard count,
+    /// or a CRC-valid record fails to decode or breaks the cursor
+    /// chain. A torn tail is not an error: it is discarded whole,
+    /// trimmed from the stored WAL and reported.
+    pub fn open(
+        bucket: usize,
+        n_shards: usize,
+        ontology: Arc<Ontology>,
+        backend: impl Persistence + Send + Sync + 'static,
+        config: PersistConfig,
+    ) -> Result<(Self, ReplicaRecovery), PersistError> {
+        let mut backend: Box<dyn Persistence + Send + Sync> = Box::new(backend);
+        let mut report = ReplicaRecovery::default();
+        let mut replica = ShardReplica::new(bucket, ontology);
+
+        if let Some(blob) = backend.snapshot_bytes()? {
+            let (cursor, live) = decode_replica_snapshot(&blob, bucket, n_shards)?;
+            replica.install_snapshot(n_shards, cursor, &live);
+            report.snapshot_loaded = true;
+        }
+
+        let wal_bytes = backend.wal_bytes()?;
+        let (frames, torn) = split_frames(&wal_bytes);
+        if let Some(tear) = torn {
+            report.torn_tail = true;
+            // Trim the stored WAL to the valid prefix so later appends
+            // continue on a clean frame boundary.
+            backend.truncate_wal()?;
+            backend.append_wal(&wal_bytes[..tear.offset])?;
+        }
+
+        let mut applied_any = false;
+        for payload in frames {
+            let batch = decode_batch(payload)?;
+            let expected = replica.cursor();
+            if batch.to.seq() <= expected.seq() {
+                if applied_any {
+                    return Err(PersistError::Corrupt(format!(
+                        "replica WAL cursor went backwards: batch to {} after {}",
+                        batch.to, expected
+                    )));
+                }
+                // Stale: the snapshot already covers this batch (the
+                // crash hit between snapshot write and WAL truncation).
+                report.batches_skipped += 1;
+                continue;
+            }
+            if batch.from != expected {
+                return Err(PersistError::Corrupt(format!(
+                    "replica WAL gap: expected batch from {expected}, found {}",
+                    batch.from
+                )));
+            }
+            report.events_replayed += batch.from.lag_behind(batch.to) as u64;
+            replica.replay_applied(batch.to, &batch.applied);
+            report.batches_replayed += 1;
+            applied_any = true;
+        }
+        report.cursor = replica.cursor();
+
+        Ok((
+            PersistentReplica {
+                replica,
+                n_shards,
+                backend,
+                config,
+                stats: ReplicaPersistStats::default(),
+                since_checkpoint: report.batches_replayed as usize,
+            },
+            report,
+        ))
+    }
+
+    /// The replica this journal protects.
+    pub fn replica(&self) -> &ShardReplica {
+        &self.replica
+    }
+
+    /// The replica's position in the origin event log.
+    pub fn cursor(&self) -> ReplicaCursor {
+        self.replica.cursor()
+    }
+
+    /// Journaling counters.
+    pub fn stats(&self) -> ReplicaPersistStats {
+        self.stats
+    }
+
+    /// Releases the replica (e.g. to hand it to a network peer). The
+    /// journal is dropped; further mutations are no longer durable.
+    pub fn into_replica(self) -> ShardReplica {
+        self.replica
+    }
+
+    /// Applies **and journals** an event delta batch, then checkpoints
+    /// if enough batches accumulated ([`PersistConfig`]).
+    ///
+    /// A stale batch (`from` behind the cursor) is refused exactly like
+    /// [`ShardReplica::apply_delta`] and leaves the store untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the backend write fails; the batch was
+    /// applied in memory but not journaled, so the caller should treat
+    /// the store as lost (stop journaling or fall back to snapshots).
+    pub fn apply_delta(
+        &mut self,
+        from: ReplicaCursor,
+        batch: &[(RegistryEvent, Option<ServiceDescription>)],
+    ) -> Result<ReplicaApply, PersistError> {
+        if from != self.replica.cursor() {
+            return Ok(ReplicaApply::Stale(self.replica.cursor()));
+        }
+        // Precompute the *applied* subset with the exact filter of
+        // [`ShardReplica::apply_delta`], so replay never re-filters.
+        let bucket = self.replica.bucket();
+        let ontology = Arc::clone(self.replica.taxonomy());
+        let mut live: std::collections::BTreeSet<ServiceId> =
+            self.replica.live_globals().into_iter().collect();
+        let mut rows: Vec<(ServiceId, Option<ServiceDescription>)> = Vec::new();
+        for (event, description) in batch {
+            match event {
+                RegistryEvent::Registered(global) => {
+                    if let Some(desc) = description {
+                        if crate::shard::shard_of(desc.function(), &ontology, self.n_shards)
+                            == bucket
+                        {
+                            rows.push((*global, Some(desc.clone())));
+                            live.insert(*global);
+                        }
+                    }
+                }
+                RegistryEvent::Deregistered(global) => {
+                    if live.remove(global) {
+                        rows.push((*global, None));
+                    }
+                }
+            }
+        }
+        let applied = match self.replica.apply_delta(self.n_shards, from, batch) {
+            Ok(applied) => applied,
+            Err(cursor) => return Ok(ReplicaApply::Stale(cursor)),
+        };
+        debug_assert_eq!(applied, rows.len(), "journal mirrors the replica's filter");
+        let to = self.replica.cursor();
+        self.journal_batch(from, to, &rows)?;
+        if self.config.checkpoint_every > 0 && self.since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(ReplicaApply::Applied(applied))
+    }
+
+    /// Installs a full snapshot **and checkpoints it**: the snapshot is
+    /// the complete durable state, so the WAL restarts empty.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when persisting the checkpoint fails.
+    pub fn install_snapshot(
+        &mut self,
+        cursor: ReplicaCursor,
+        live: &[(ServiceId, ServiceDescription)],
+    ) -> Result<(), PersistError> {
+        self.replica.install_snapshot(self.n_shards, cursor, live);
+        self.checkpoint()
+    }
+
+    /// Writes a replica snapshot of the current state and truncates the
+    /// local WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the backend write fails.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let blob = encode_replica_snapshot(
+            self.replica.bucket(),
+            self.n_shards,
+            self.replica.cursor(),
+            &self.replica.live_rows(),
+        );
+        self.backend.write_snapshot(&blob)?;
+        self.backend.truncate_wal()?;
+        self.stats.checkpoints += 1;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// One journaled sync round against a local `origin` registry:
+    /// delta replay when the replica's cursor is retained, snapshot
+    /// install otherwise — [`ShardSet::sync_shard`]
+    /// (crate::ShardSet::sync_shard) with durability.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when journaling fails.
+    pub fn catch_up(&mut self, origin: &ServiceRegistry) -> Result<SyncKind, PersistError> {
+        match origin.sync_from(self.replica.cursor()) {
+            SyncResponse::Delta([]) => Ok(SyncKind::CaughtUp),
+            SyncResponse::Delta(events) => {
+                let from = self.replica.cursor();
+                let batch: Vec<(RegistryEvent, Option<ServiceDescription>)> = events
+                    .iter()
+                    .map(|&e| {
+                        let description = match e {
+                            RegistryEvent::Registered(id) => origin.get(id).cloned(),
+                            RegistryEvent::Deregistered(_) => None,
+                        };
+                        (e, description)
+                    })
+                    .collect();
+                let n = batch.len();
+                match self.apply_delta(from, &batch)? {
+                    ReplicaApply::Applied(_) => Ok(SyncKind::Delta(n)),
+                    // `from` was read from our own cursor, so the batch
+                    // can never be stale here.
+                    ReplicaApply::Stale(cursor) => Err(PersistError::Corrupt(format!(
+                        "replica cursor {cursor} diverged from its own pull"
+                    ))),
+                }
+            }
+            SyncResponse::Snapshot(snap) => {
+                let cursor = ReplicaCursor::new(snap.cursor);
+                let live: Vec<(ServiceId, ServiceDescription)> = snap
+                    .live
+                    .iter()
+                    .filter_map(|&id| origin.get(id).map(|d| (id, d.clone())))
+                    .collect();
+                self.install_snapshot(cursor, &live)?;
+                Ok(SyncKind::Snapshot)
+            }
+        }
+    }
+
+    /// Answers a discovery query from this replica alone (global ids).
+    pub fn discover_global(
+        &self,
+        model: &QosModel,
+        query: &DiscoveryQuery<'_>,
+    ) -> Vec<DiscoveredCandidate> {
+        self.replica.discover_global(model, query)
+    }
+
+    fn journal_batch(
+        &mut self,
+        from: ReplicaCursor,
+        to: ReplicaCursor,
+        rows: &[(ServiceId, Option<ServiceDescription>)],
+    ) -> Result<(), PersistError> {
+        let mut payload = Vec::new();
+        payload.push(TAG_BATCH);
+        put_u64(&mut payload, from.seq() as u64);
+        put_u64(&mut payload, to.seq() as u64);
+        put_u32(&mut payload, rows.len() as u32);
+        for (global, description) in rows {
+            put_u32(&mut payload, global.raw());
+            match description {
+                Some(desc) => {
+                    payload.push(1);
+                    put_description(&mut payload, desc);
+                }
+                None => payload.push(0),
+            }
+        }
+        let frame = encode_frame(&payload);
+        self.backend.append_wal(&frame)?;
+        self.stats.appends += 1;
+        self.stats.wal_bytes += frame.len() as u64;
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+}
+
+struct DecodedBatch {
+    from: ReplicaCursor,
+    to: ReplicaCursor,
+    applied: Vec<(ServiceId, Option<ServiceDescription>)>,
+}
+
+fn decode_batch(payload: &[u8]) -> Result<DecodedBatch, PersistError> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.get_u8()?;
+    if tag != TAG_BATCH {
+        return Err(PersistError::Corrupt(format!(
+            "unknown replica WAL record tag {tag}"
+        )));
+    }
+    let from = ReplicaCursor::new(r.get_u64()? as usize);
+    let to = ReplicaCursor::new(r.get_u64()? as usize);
+    if to.seq() < from.seq() {
+        return Err(PersistError::Corrupt(format!(
+            "replica WAL batch runs backwards: {from} to {to}"
+        )));
+    }
+    let count = r.get_u32()? as usize;
+    let mut applied = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let global = ServiceId::from_raw(r.get_u32()?);
+        let row = match r.get_u8()? {
+            0 => (global, None),
+            1 => (global, Some(get_description(&mut r)?)),
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown replica WAL row tag {other}"
+                )));
+            }
+        };
+        applied.push(row);
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after replica WAL batch",
+            r.remaining()
+        )));
+    }
+    Ok(DecodedBatch { from, to, applied })
+}
+
+fn encode_replica_snapshot(
+    bucket: usize,
+    n_shards: usize,
+    cursor: ReplicaCursor,
+    live: &[(ServiceId, ServiceDescription)],
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, cursor.seq() as u64);
+    put_u32(&mut payload, bucket as u32);
+    put_u32(&mut payload, n_shards as u32);
+    put_u32(&mut payload, live.len() as u32);
+    for (global, desc) in live {
+        put_u32(&mut payload, global.raw());
+        put_description(&mut payload, desc);
+    }
+    let mut blob = Vec::with_capacity(payload.len() + 16);
+    blob.extend_from_slice(REPLICA_SNAPSHOT_MAGIC);
+    blob.push(REPLICA_FORMAT_VERSION);
+    blob.extend_from_slice(&encode_frame(&payload));
+    blob
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_replica_snapshot(
+    blob: &[u8],
+    bucket: usize,
+    n_shards: usize,
+) -> Result<(ReplicaCursor, Vec<(ServiceId, ServiceDescription)>), PersistError> {
+    let rest = blob
+        .strip_prefix(REPLICA_SNAPSHOT_MAGIC.as_slice())
+        .ok_or_else(|| PersistError::Corrupt("replica snapshot magic missing".into()))?;
+    let rest = rest
+        .strip_prefix(&[REPLICA_FORMAT_VERSION])
+        .ok_or_else(|| PersistError::Corrupt("unsupported replica snapshot version".into()))?;
+    // Snapshots are valid whole-or-not-at-all: the single frame's CRC
+    // covers the full payload.
+    let (frames, torn) = split_frames(rest);
+    if frames.len() != 1 || torn.is_some() {
+        return Err(PersistError::Corrupt(
+            "replica snapshot payload is not one intact frame".into(),
+        ));
+    }
+    let mut r = ByteReader::new(frames[0]);
+    let cursor = ReplicaCursor::new(r.get_u64()? as usize);
+    let stored_bucket = r.get_u32()? as usize;
+    let stored_shards = r.get_u32()? as usize;
+    if stored_bucket != bucket || stored_shards != n_shards {
+        return Err(PersistError::Corrupt(format!(
+            "replica store belongs to bucket {stored_bucket}/{stored_shards}, \
+             opened as {bucket}/{n_shards}"
+        )));
+    }
+    let count = r.get_u32()? as usize;
+    let mut live = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let global = ServiceId::from_raw(r.get_u32()?);
+        live.push((global, get_description(&mut r)?));
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after replica snapshot",
+            r.remaining()
+        )));
+    }
+    Ok((cursor, live))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qasom_ontology::OntologyBuilder;
+    use qasom_registry::persist::MemoryBackend;
+    use qasom_task::Activity;
+
+    fn ontology() -> Arc<Ontology> {
+        let mut b = OntologyBuilder::new("cl");
+        let pay = b.concept("Pay");
+        b.subconcept("PayByCard", pay);
+        b.concept("Locate");
+        Arc::new(b.build().unwrap())
+    }
+
+    fn open(
+        bucket: usize,
+        n: usize,
+        backend: MemoryBackend,
+        every: usize,
+    ) -> (PersistentReplica, ReplicaRecovery) {
+        PersistentReplica::open(
+            bucket,
+            n,
+            ontology(),
+            backend,
+            PersistConfig {
+                checkpoint_every: every,
+            },
+        )
+        .unwrap()
+    }
+
+    fn seeded_origin() -> ServiceRegistry {
+        let mut origin = ServiceRegistry::with_ontology(ontology());
+        origin.register(ServiceDescription::new("visa", "cl#PayByCard"));
+        origin.register(ServiceDescription::new("gps", "cl#Locate"));
+        origin
+    }
+
+    #[test]
+    fn fresh_open_recovers_nothing() {
+        let (replica, report) = open(0, 1, MemoryBackend::new(), 0);
+        assert!(!report.recovered_anything());
+        assert_eq!(replica.cursor(), ReplicaCursor::ORIGIN);
+        assert!(replica.replica().is_empty());
+    }
+
+    #[test]
+    fn crash_and_reopen_resumes_at_the_persisted_cursor() {
+        let backend = MemoryBackend::new();
+        let mut origin = seeded_origin();
+        let (mut replica, _) = open(0, 1, backend.clone(), 0);
+        assert!(matches!(
+            replica.catch_up(&origin).unwrap(),
+            SyncKind::Delta(2)
+        ));
+        let victim = origin.iter().next().map(|(id, _)| id).unwrap();
+        origin.deregister(victim);
+        origin.register(ServiceDescription::new("visa2", "cl#PayByCard"));
+        assert!(matches!(
+            replica.catch_up(&origin).unwrap(),
+            SyncKind::Delta(2)
+        ));
+
+        // Crash: recover from the fork, compare against the survivor.
+        let (recovered, report) = open(0, 1, backend.fork(), 0);
+        assert!(report.recovered_anything());
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.batches_replayed, 2);
+        assert_eq!(report.events_replayed, 4);
+        assert_eq!(recovered.cursor(), replica.cursor());
+        assert_eq!(recovered.replica().len(), replica.replica().len());
+        let model = QosModel::standard();
+        let activity = Activity::new("pay", "cl#Pay");
+        let q = DiscoveryQuery::new(&activity);
+        assert_eq!(
+            recovered.discover_global(&model, &q),
+            replica.discover_global(&model, &q)
+        );
+    }
+
+    #[test]
+    fn recovered_replica_catches_up_with_a_delta_where_a_fresh_one_needs_a_snapshot() {
+        let backend = MemoryBackend::new();
+        let mut origin = seeded_origin();
+        let (mut replica, _) = open(0, 1, backend.clone(), 0);
+        replica.catch_up(&origin).unwrap();
+
+        // More churn, then tighten retention: ORIGIN (a fresh replica's
+        // cursor) falls out of the retained window, our cursor does not.
+        origin.register(ServiceDescription::new("visa2", "cl#PayByCard"));
+        origin.set_event_retention(1);
+
+        let (mut recovered, _) = open(0, 1, backend.fork(), 0);
+        assert!(matches!(
+            recovered.catch_up(&origin).unwrap(),
+            SyncKind::Delta(1)
+        ));
+        let (mut fresh, _) = open(0, 1, MemoryBackend::new(), 0);
+        assert!(matches!(
+            fresh.catch_up(&origin).unwrap(),
+            SyncKind::Snapshot
+        ));
+        assert_eq!(recovered.cursor(), fresh.cursor());
+        assert_eq!(recovered.replica().len(), fresh.replica().len());
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_reopens_snapshot_only() {
+        let backend = MemoryBackend::new();
+        let origin = seeded_origin();
+        // checkpoint_every = 1: every batch checkpoints.
+        let (mut replica, _) = open(0, 1, backend.clone(), 1);
+        replica.catch_up(&origin).unwrap();
+        assert_eq!(replica.stats().checkpoints, 1);
+        assert_eq!(backend.wal_len(), 0, "checkpoint truncated the WAL");
+
+        let (recovered, report) = open(0, 1, backend.fork(), 1);
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.batches_replayed, 0);
+        assert_eq!(recovered.cursor(), replica.cursor());
+        assert_eq!(recovered.replica().len(), replica.replica().len());
+    }
+
+    #[test]
+    fn torn_wal_tail_is_discarded_whole_never_half_applied() {
+        let backend = MemoryBackend::new();
+        let mut origin = seeded_origin();
+        let (mut replica, _) = open(0, 1, backend.clone(), 0);
+        replica.catch_up(&origin).unwrap();
+        origin.register(ServiceDescription::new("visa2", "cl#PayByCard"));
+        replica.catch_up(&origin).unwrap();
+
+        // Tear the last frame: the whole second batch must vanish.
+        let crash = backend.fork();
+        let mut wal = crash.wal_bytes().unwrap();
+        let keep = wal.len() - 3;
+        wal.truncate(keep);
+        crash.set_wal(wal);
+        // `clone` shares the storage, so the recovery's tail trim lands
+        // in `crash` and the reopen below sees the repaired store.
+        let (recovered, report) = open(0, 1, crash.clone(), 0);
+        assert!(report.torn_tail);
+        assert_eq!(report.batches_replayed, 1);
+        assert_eq!(recovered.cursor(), ReplicaCursor::new(2));
+        assert_eq!(recovered.replica().len(), 2);
+        // The trimmed store reopens cleanly with no tear.
+        let (again, report2) = open(0, 1, crash, 0);
+        assert!(!report2.torn_tail);
+        assert_eq!(again.cursor(), recovered.cursor());
+    }
+
+    #[test]
+    fn a_store_for_another_bucket_is_refused() {
+        let backend = MemoryBackend::new();
+        let origin = seeded_origin();
+        let (mut replica, _) = open(0, 2, backend.clone(), 1);
+        replica.catch_up(&origin).unwrap();
+        let err =
+            PersistentReplica::open(1, 2, ontology(), backend.fork(), PersistConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_batches_keep_the_cursor_chain_gapless() {
+        // A bucket that owns none of the origin's services journals
+        // empty batches — and must still recover at the right cursor,
+        // or a reboot would re-pull (and double-apply) old events.
+        let backend = MemoryBackend::new();
+        let onto = ontology();
+        let mut origin = ServiceRegistry::with_ontology(Arc::clone(&onto));
+        origin.register(ServiceDescription::new("visa", "cl#PayByCard"));
+        let quiet = 1 - crate::shard::shard_of(&"cl#PayByCard".parse().unwrap(), &onto, 2);
+        let (mut replica, _) = open(quiet, 2, backend.clone(), 0);
+        assert!(matches!(
+            replica.catch_up(&origin).unwrap(),
+            SyncKind::Delta(1)
+        ));
+        assert!(replica.replica().is_empty(), "the event is out of bucket");
+        let (recovered, report) = open(quiet, 2, backend.fork(), 0);
+        assert_eq!(recovered.cursor(), origin.sync_cursor());
+        assert_eq!(report.batches_replayed, 1);
+        assert_eq!(report.events_replayed, 1);
+        assert!(recovered.replica().is_empty());
+    }
+}

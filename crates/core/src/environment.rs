@@ -7,12 +7,13 @@ use qasom_adaptation::{MonitorConfig, QosMonitor};
 use qasom_analysis::{Analyzer, ApproachKind, RequestSpec};
 use qasom_netsim::runtime::{ServiceRuntime, SyntheticService};
 use qasom_obs::report::{
-    CheckSection, DaemonSection, DiscoverySection, HotpathSection, RunReport, SelectionSection,
-    ServingSection,
+    CheckSection, DaemonSection, DiscoverySection, HotpathSection, PersistenceSection, RunReport,
+    SelectionSection, ServingSection,
 };
 use qasom_obs::{keys, Recorder};
 use qasom_ontology::Ontology;
 use qasom_qos::{EndToEnd, QosModel, QosVector};
+use qasom_registry::persist::{PersistStats, RegistryJournal};
 use qasom_registry::{
     CacheStats, Discovery, DiscoveryQuery, MatchCache, RegistryEvent, RegistrySync,
     ServiceDescription, ServiceId, ServiceRegistry, SyncResponse,
@@ -188,6 +189,11 @@ pub struct Environment {
     // subsequent churn: `deploy`/`undeploy` mutate through
     // `Arc::make_mut`, cloning only while a snapshot is outstanding.
     registry: Arc<ServiceRegistry>,
+    // When attached, every registration/departure is journaled to the
+    // WAL before control returns to the caller; a journal I/O failure
+    // is counted and detaches the journal (the instance degrades to
+    // in-memory rather than diverging from its own store).
+    journal: Option<RegistryJournal>,
     match_cache: MatchCache,
     runtime: ServiceRuntime<ServiceId>,
     tasks: TaskClassRepository,
@@ -234,6 +240,7 @@ impl Environment {
             // The registry is bound to the domain ontology so it maintains
             // the inverted capability index discovery probes.
             registry: Arc::new(ServiceRegistry::with_ontology(Arc::clone(&ontology))),
+            journal: None,
             ontology,
             match_cache: MatchCache::new(),
             runtime: ServiceRuntime::new(seed),
@@ -397,6 +404,15 @@ impl Environment {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         });
+        report.persistence = Some(PersistenceSection {
+            wal_appends: snapshot.counter(keys::PERSIST_WAL_APPENDS),
+            wal_bytes: snapshot.counter(keys::PERSIST_WAL_BYTES),
+            checkpoints: snapshot.counter(keys::PERSIST_CHECKPOINTS),
+            replayed_events: snapshot.counter(keys::PERSIST_REPLAY_EVENTS),
+            torn_tails: snapshot.counter(keys::PERSIST_TORN_TAIL),
+            snapshot_loads: snapshot.counter(keys::PERSIST_SNAPSHOT_LOADS),
+            errors: snapshot.counter(keys::PERSIST_ERRORS),
+        });
         report.serving = Some(ServingSection {
             sessions: snapshot.counter(keys::SERVING_SESSIONS),
             read_locks: snapshot.counter(keys::SERVING_READ_LOCKS),
@@ -469,21 +485,136 @@ impl Environment {
     }
 
     /// Publishes a service: registers the description and deploys its
-    /// synthetic behaviour.
+    /// synthetic behaviour. With a journal attached the registration is
+    /// WAL-journaled (and may trigger a checkpoint) before returning.
     pub fn deploy(
         &mut self,
         description: ServiceDescription,
         behaviour: SyntheticService,
     ) -> ServiceId {
-        let id = Arc::make_mut(&mut self.registry).register(description);
+        let registry = Arc::make_mut(&mut self.registry);
+        let id = registry.register(description);
+        if let Some(journal) = &mut self.journal {
+            let before = journal.stats();
+            let outcome = match registry.get(id) {
+                Some(desc) => journal.record_registered(id, desc),
+                None => Ok(()),
+            }
+            .and_then(|()| journal.maybe_checkpoint(registry).map(|_| ()));
+            let after = journal.stats();
+            self.settle_journal(before, after, outcome);
+        }
         self.runtime.deploy(id, behaviour);
         id
     }
 
-    /// Removes a service (provider departure / churn).
+    /// Removes a service (provider departure / churn). Journaled like
+    /// [`Environment::deploy`] when the service was live.
     pub fn undeploy(&mut self, id: ServiceId) {
-        Arc::make_mut(&mut self.registry).deregister(id);
+        let registry = Arc::make_mut(&mut self.registry);
+        let removed = registry.deregister(id).is_some();
+        if removed {
+            if let Some(journal) = &mut self.journal {
+                let before = journal.stats();
+                let outcome = journal
+                    .record_deregistered(id)
+                    .and_then(|()| journal.maybe_checkpoint(registry).map(|_| ()));
+                let after = journal.stats();
+                self.settle_journal(before, after, outcome);
+            }
+        }
         self.runtime.undeploy(&id);
+    }
+
+    /// Mirrors journal counter movement into the recorder and detaches
+    /// the journal on its first I/O failure (in-memory state and store
+    /// would otherwise diverge silently).
+    fn settle_journal(
+        &mut self,
+        before: PersistStats,
+        after: PersistStats,
+        outcome: Result<(), qasom_registry::persist::PersistError>,
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.incr(keys::PERSIST_WAL_APPENDS, after.appends - before.appends);
+            rec.incr(keys::PERSIST_WAL_BYTES, after.wal_bytes - before.wal_bytes);
+            rec.incr(
+                keys::PERSIST_CHECKPOINTS,
+                after.checkpoints - before.checkpoints,
+            );
+            rec.incr(
+                keys::PERSIST_REPLAY_EVENTS,
+                after.replayed_events - before.replayed_events,
+            );
+            rec.incr(
+                keys::PERSIST_TORN_TAIL,
+                after.torn_tails - before.torn_tails,
+            );
+            rec.incr(
+                keys::PERSIST_SNAPSHOT_LOADS,
+                after.snapshot_loads - before.snapshot_loads,
+            );
+        }
+        if outcome.is_err() {
+            if let Some(rec) = &self.recorder {
+                rec.incr(keys::PERSIST_ERRORS, 1);
+            }
+            self.journal = None;
+        }
+    }
+
+    /// Replaces the registry wholesale with one recovered from a
+    /// persistence backend. The recovered instance is re-bound to this
+    /// environment's own ontology `Arc` — ontology stamps are
+    /// per-instance, so keeping the stamp the recovery path bound would
+    /// silently disqualify the capability index and the match cache.
+    /// Counts as a perturbation: cached composition levels are stale.
+    pub fn adopt_registry(&mut self, mut registry: ServiceRegistry) {
+        registry.bind_ontology(Arc::clone(&self.ontology));
+        self.perturbations += 1;
+        self.registry = Arc::new(registry);
+    }
+
+    /// Attaches the journal continuing the WAL the adopted registry was
+    /// recovered from; recovery-time counter movement (replays, torn
+    /// tails, snapshot loads) is mirrored into the recorder here.
+    pub fn attach_journal(&mut self, journal: RegistryJournal) {
+        let after = journal.stats();
+        self.journal = Some(journal);
+        self.settle_journal(PersistStats::default(), after, Ok(()));
+    }
+
+    /// Whether a journal is currently attached.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Counter snapshot of the attached journal, if any.
+    pub fn journal_stats(&self) -> Option<PersistStats> {
+        self.journal.as_ref().map(RegistryJournal::stats)
+    }
+
+    /// Takes an explicit persistence checkpoint (snapshot + WAL
+    /// truncation + event-log compaction); returns whether a journal
+    /// was attached to checkpoint through.
+    pub fn checkpoint_registry(&mut self) -> bool {
+        let Some(mut journal) = self.journal.take() else {
+            return false;
+        };
+        let before = journal.stats();
+        let outcome = journal.checkpoint(Arc::make_mut(&mut self.registry));
+        let after = journal.stats();
+        self.journal = Some(journal);
+        self.settle_journal(before, after, outcome);
+        true
+    }
+
+    /// Re-attaches a synthetic behaviour to an already-registered
+    /// service: the warm-restart path, where the registry rows were
+    /// recovered from the WAL but runtime behaviours live only in
+    /// memory and must be re-created by the host.
+    pub fn attach_behaviour(&mut self, id: ServiceId, behaviour: SyntheticService) {
+        self.runtime.deploy(id, behaviour);
     }
 
     /// Direct access to a deployed synthetic service (fault injection in

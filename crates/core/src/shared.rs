@@ -314,6 +314,22 @@ impl SharedEnvironment {
         env.reload_ontology(ontology)
     }
 
+    /// Takes a registry persistence checkpoint under the write lock
+    /// (snapshot + WAL truncation, see DESIGN.md §14) and reports
+    /// whether one was taken (`false` when no journal is attached).
+    ///
+    /// This is the typed shutdown/flush entry point for serving
+    /// front-ends — the daemon is not allowed arbitrary `with_mut`
+    /// closures (lint `daemon-with-mut`), and a checkpoint is a bounded,
+    /// accounted write like churn or an ontology reload.
+    pub fn checkpoint_registry(&self) -> bool {
+        let mut env = self.write();
+        if let Some(rec) = env.recorder() {
+            rec.incr(keys::SERVING_WRITE_LOCKS, 1);
+        }
+        env.checkpoint_registry()
+    }
+
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Environment> {
         self.inner
             .read()
@@ -613,11 +629,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_serve_shim_still_serves() {
+    fn legacy_request_serves_through_the_typed_session_api() {
+        // Replaces the old shim test: a bare UserRequest wrapped in a
+        // SessionRequest must complete just like `serve` used to.
         let shared = shared();
-        let report = shared.serve(&request()).unwrap();
-        assert!(report.success);
+        match shared
+            .serve_session(&SessionRequest::new(request()))
+            .unwrap()
+        {
+            ServeOutcome::Completed(report) => assert!(report.success),
+            other => panic!("expected a completed session, got {other:?}"),
+        }
     }
 
     #[test]

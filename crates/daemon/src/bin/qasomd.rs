@@ -5,12 +5,19 @@
 //! (pipe `/dev/null` to run until killed). See `DESIGN.md` §10 for the
 //! protocol and the admission model.
 //!
+//! With `--data-dir` the registry is durable: registrations are
+//! journaled to a CRC-framed WAL under the directory, snapshots are
+//! checkpointed, and a restart pointed at the same directory *warm
+//! boots* — the directory is recovered from snapshot + WAL tail
+//! instead of re-registering the provider market (DESIGN.md §14).
+//!
 //! ```text
 //! qasomd [--addr HOST:PORT] [--seed N] [--providers N]
-//!        [--queue N] [--quota N] [--batch N]
+//!        [--queue N] [--quota N] [--batch N] [--data-dir DIR]
 //! ```
 
 use std::io::BufRead;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -20,6 +27,7 @@ use qasom_netsim::runtime::SyntheticService;
 use qasom_obs::{MemoryRecorder, Recorder};
 use qasom_ontology::OntologyBuilder;
 use qasom_qos::QosModel;
+use qasom_registry::persist::{FileBackend, PersistConfig, RegistryJournal};
 use qasom_registry::ServiceDescription;
 
 struct Options {
@@ -27,6 +35,7 @@ struct Options {
     seed: u64,
     providers: usize,
     admission: AdmissionConfig,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -36,6 +45,7 @@ impl Default for Options {
             seed: 42,
             providers: 8,
             admission: AdmissionConfig::default(),
+            data_dir: None,
         }
     }
 }
@@ -52,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
             "--queue" => options.admission.queue_capacity = parse(&value("--queue")?)?,
             "--quota" => options.admission.client_quota = parse(&value("--quota")?)?,
             "--batch" => options.admission.batch_max = parse(&value("--batch")?)?,
+            "--data-dir" => options.data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -66,26 +77,79 @@ fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
 
 fn usage() -> String {
     "usage: qasomd [--addr HOST:PORT] [--seed N] [--providers N] \
-     [--queue N] [--quota N] [--batch N]"
+     [--queue N] [--quota N] [--batch N] [--data-dir DIR]"
         .to_owned()
 }
 
-fn market(seed: u64, providers: usize) -> SharedEnvironment {
+fn market(
+    seed: u64,
+    providers: usize,
+    data_dir: Option<&Path>,
+) -> Result<SharedEnvironment, String> {
     let mut builder = OntologyBuilder::new("d");
     builder.concept("A");
     let ontology = builder.build().expect("static demo ontology builds");
     let mut env = Environment::new(QosModel::standard(), ontology, seed);
     env.set_recorder(Arc::new(MemoryRecorder::new()) as Arc<dyn Recorder>);
-    let rt = env
-        .model()
-        .property("ResponseTime")
-        .expect("the standard model defines ResponseTime");
-    for i in 0..providers.max(1) {
-        let desc = ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
-        let nominal = desc.qos().clone();
-        env.deploy(desc, SyntheticService::new(nominal));
+
+    let mut recovered = false;
+    if let Some(dir) = data_dir {
+        let backend = FileBackend::open(dir)
+            .map_err(|e| format!("cannot open data dir {}: {e}", dir.display()))?;
+        // The adopted registry is re-bound to the environment's own
+        // ontology, so recovery itself runs unbound.
+        let (registry, journal, report) =
+            RegistryJournal::open(backend, PersistConfig::default(), None)
+                .map_err(|e| format!("cannot recover registry from {}: {e}", dir.display()))?;
+        if report.recovered_anything() {
+            env.adopt_registry(registry);
+            env.attach_journal(journal);
+            // Registry rows survived the restart; runtime behaviours
+            // live only in memory and are re-created from the
+            // advertised QoS (the market is synthetic and faithful).
+            let live: Vec<_> = env
+                .registry()
+                .iter()
+                .map(|(id, desc)| (id, desc.qos().clone()))
+                .collect();
+            let count = live.len();
+            for (id, nominal) in live {
+                env.attach_behaviour(id, SyntheticService::new(nominal));
+            }
+            eprintln!(
+                "qasomd: warm restart from {}: {count} live services at epoch {} \
+                 (snapshot cursor {}, {} WAL events replayed{})",
+                dir.display(),
+                env.epoch(),
+                report.snapshot_cursor,
+                report.wal_events_applied,
+                if report.torn_tail {
+                    ", torn tail discarded"
+                } else {
+                    ""
+                },
+            );
+            recovered = true;
+        } else {
+            // Cold boot: attach the journal first so the provider
+            // market below is journaled from the first registration.
+            env.attach_journal(journal);
+        }
     }
-    SharedEnvironment::new(env)
+
+    if !recovered {
+        let rt = env
+            .model()
+            .property("ResponseTime")
+            .expect("the standard model defines ResponseTime");
+        for i in 0..providers.max(1) {
+            let desc =
+                ServiceDescription::new(format!("s{i}"), "d#A").with_qos(rt, 40.0 + i as f64);
+            let nominal = desc.qos().clone();
+            env.deploy(desc, SyntheticService::new(nominal));
+        }
+    }
+    Ok(SharedEnvironment::new(env))
 }
 
 fn main() -> ExitCode {
@@ -97,7 +161,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let shared = market(options.seed, options.providers);
+    let shared = match market(options.seed, options.providers, options.data_dir.as_deref()) {
+        Ok(shared) => shared,
+        Err(message) => {
+            eprintln!("qasomd: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let handle = match qasom_daemon::spawn(
         &options.addr,
         shared.clone(),
@@ -120,6 +190,9 @@ fn main() -> ExitCode {
         options.admission.client_quota,
         options.admission.batch_max
     );
+    if let Some(dir) = &options.data_dir {
+        eprintln!("qasomd: journaling registry to {}", dir.display());
+    }
     eprintln!("qasomd: close stdin to stop");
 
     // Block until stdin closes — no polling, no clocks.
@@ -131,6 +204,8 @@ fn main() -> ExitCode {
     }
 
     handle.stop();
+    // A final checkpoint makes the next boot snapshot-only (empty WAL).
+    shared.checkpoint_registry();
     let report = shared.with(|e| e.run_report("qasomd"));
     println!("{}", report.to_pretty_string());
     ExitCode::SUCCESS

@@ -139,6 +139,21 @@ pub const CLUSTER_SCATTER_QUERIES: &str = "cluster.scatter_queries";
 /// Shards unreachable during the run (degraded coverage).
 pub const CLUSTER_SHARDS_LOST: &str = "cluster.shards_lost";
 
+/// WAL records the registry journal appended.
+pub const PERSIST_WAL_APPENDS: &str = "persistence.wal.appends";
+/// WAL bytes written (frame headers included).
+pub const PERSIST_WAL_BYTES: &str = "persistence.wal.bytes";
+/// Snapshot checkpoints taken (WAL truncated each time).
+pub const PERSIST_CHECKPOINTS: &str = "persistence.checkpoints";
+/// Events replayed from the WAL tail on boot.
+pub const PERSIST_REPLAY_EVENTS: &str = "persistence.replay.events";
+/// Torn WAL tails detected and discarded on boot (never replayed).
+pub const PERSIST_TORN_TAIL: &str = "persistence.wal.torn_tail";
+/// Snapshots loaded on boot.
+pub const PERSIST_SNAPSHOT_LOADS: &str = "persistence.snapshot.loads";
+/// Journal I/O failures (journaling stops at the first one).
+pub const PERSIST_ERRORS: &str = "persistence.errors";
+
 /// Span covering one QASSA selection (logical clock: activities done).
 pub const SPAN_SELECT: &str = "qassa.select";
 /// Span covering a distributed run's local phase (simulated µs).

@@ -292,6 +292,40 @@ impl ClusterSection {
     }
 }
 
+/// Registry persistence totals for one run: WAL traffic, checkpoints
+/// and what boot recovery found.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PersistenceSection {
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// WAL bytes written (frame headers included).
+    pub wal_bytes: u64,
+    /// Snapshot checkpoints taken.
+    pub checkpoints: u64,
+    /// Events replayed from the WAL tail on boot.
+    pub replayed_events: u64,
+    /// Torn WAL tails detected and discarded on boot.
+    pub torn_tails: u64,
+    /// Snapshots loaded on boot.
+    pub snapshot_loads: u64,
+    /// Journal I/O failures (journaling stops at the first one).
+    pub errors: u64,
+}
+
+impl PersistenceSection {
+    /// Serialises with a stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("wal_appends", self.wal_appends)
+            .field("wal_bytes", self.wal_bytes)
+            .field("checkpoints", self.checkpoints)
+            .field("replayed_events", self.replayed_events)
+            .field("torn_tails", self.torn_tails)
+            .field("snapshot_loads", self.snapshot_loads)
+            .field("errors", self.errors)
+    }
+}
+
 /// Outcome of the composition step of a run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComposeSection {
@@ -566,6 +600,8 @@ pub struct RunReport {
     /// Clustered-registry totals, when the run went through the sharded
     /// registry.
     pub cluster: Option<ClusterSection>,
+    /// Registry-persistence totals, when the run journaled to a WAL.
+    pub persistence: Option<PersistenceSection>,
     /// Serving-layer totals, when the run went through
     /// `SharedEnvironment`.
     pub serving: Option<ServingSection>,
@@ -592,6 +628,7 @@ impl RunReport {
             selection: None,
             distributed: None,
             cluster: None,
+            persistence: None,
             serving: None,
             daemon: None,
             hotpath: None,
@@ -634,6 +671,10 @@ impl RunReport {
             .field(
                 "cluster",
                 opt(self.cluster.as_ref().map(ClusterSection::to_json)),
+            )
+            .field(
+                "persistence",
+                opt(self.persistence.as_ref().map(PersistenceSection::to_json)),
             )
             .field(
                 "serving",
@@ -755,6 +796,7 @@ mod tests {
         full.selection = Some(SelectionSection::default());
         full.distributed = Some(DistributedSection::default());
         full.cluster = Some(ClusterSection::default());
+        full.persistence = Some(PersistenceSection::default());
         full.serving = Some(ServingSection::default());
         full.daemon = Some(DaemonSection::default());
         full.hotpath = Some(HotpathSection::default());

@@ -17,7 +17,15 @@ impl PropertyId {
         self.0 as usize
     }
 
-    pub(crate) fn from_index(i: usize) -> Self {
+    /// Reconstructs an id from its table index. The inverse of
+    /// [`PropertyId::index`]; persistence codecs use it to decode stored
+    /// QoS vectors. The caller is responsible for pairing it with the
+    /// model that produced the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` exceeds the id width.
+    pub fn from_index(i: usize) -> Self {
         // Properties register one at a time; a catalogue cannot
         // realistically approach the id width, but keep the bound loud.
         assert!(u32::try_from(i).is_ok(), "more than u32::MAX properties");

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod discovery;
+pub mod persist;
 pub mod qsd;
 mod registry;
 mod service;

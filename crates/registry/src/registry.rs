@@ -123,6 +123,17 @@ impl ServiceId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw id, for persistence codecs.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw form (persistence codecs only: ids
+    /// are meaningful within the registry that allocated them).
+    pub fn from_raw(raw: u32) -> Self {
+        ServiceId(raw)
+    }
 }
 
 impl fmt::Display for ServiceId {
@@ -233,6 +244,36 @@ impl ServiceRegistry {
         registry
     }
 
+    /// Rebuilds a registry from persisted state: the full service table
+    /// (tombstones included, so replayed registrations allocate the
+    /// exact ids the original run did) positioned at event sequence
+    /// `events_base` with an empty retained log. The capability index is
+    /// rebuilt from the live slots when an ontology is supplied.
+    pub(crate) fn restore(
+        slots: Vec<Option<ServiceDescription>>,
+        events_base: usize,
+        ontology: Option<Arc<Ontology>>,
+    ) -> Self {
+        let alive = slots.iter().flatten().count();
+        let mut registry = ServiceRegistry {
+            services: slots,
+            events: Vec::new(),
+            events_base,
+            event_retention: None,
+            alive,
+            ontology,
+            index: CapabilityIndex::default(),
+        };
+        registry.rebuild_index();
+        registry
+    }
+
+    /// The raw service table — live descriptions and tombstones — for
+    /// the persistence snapshot codec.
+    pub(crate) fn slots(&self) -> &[Option<ServiceDescription>] {
+        &self.services
+    }
+
     /// Binds a domain ontology and (re)builds the inverted capability
     /// index over it.
     ///
@@ -268,6 +309,14 @@ impl ServiceRegistry {
                 self.index.insert(&ontology, ServiceId(i as u32), desc);
             }
         }
+    }
+
+    /// Whether this registry's capability index is identical to
+    /// `other`'s — the cross-instance oracle of the persistence
+    /// kill-and-replay tests (a recovered registry must rebuild the
+    /// exact index, not merely an equivalent one).
+    pub fn index_eq(&self, other: &ServiceRegistry) -> bool {
+        self.index == other.index
     }
 
     /// Whether the incrementally maintained capability index is equal to

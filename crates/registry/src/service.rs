@@ -30,6 +30,15 @@ impl Operation {
         }
     }
 
+    /// Reassembles an operation from decoded parts (persistence codec).
+    pub(crate) fn from_parts(name: String, function: Iri, qos: QosVector) -> Self {
+        Operation {
+            name,
+            function,
+            qos,
+        }
+    }
+
     /// Attaches a QoS value (canonical unit) to the operation.
     pub fn with_qos(mut self, property: PropertyId, value: f64) -> Self {
         self.qos.set(property, value);
@@ -118,6 +127,30 @@ impl ServiceDescription {
             operations: Vec::new(),
             host: None,
         })
+    }
+
+    /// Reassembles a description from decoded parts (persistence codec).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        provider: String,
+        function: Iri,
+        inputs: Vec<Iri>,
+        outputs: Vec<Iri>,
+        qos: QosVector,
+        operations: Vec<Operation>,
+        host: Option<u64>,
+    ) -> Self {
+        ServiceDescription {
+            name,
+            provider,
+            function,
+            inputs,
+            outputs,
+            qos,
+            operations,
+            host,
+        }
     }
 
     /// Sets the provider name.

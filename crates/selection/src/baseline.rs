@@ -224,7 +224,8 @@ impl<'a> Baselines<'a> {
         let assignment: Vec<ServiceCandidate> = problem
             .candidates()
             .iter()
-            .map(|cands| {
+            .enumerate()
+            .map(|(activity, cands)| {
                 let normalizer = Normalizer::fit(self.model, cands.iter().map(|c| c.qos()));
                 cands
                     .iter()
@@ -235,10 +236,12 @@ impl<'a> Baselines<'a> {
                             &prefs,
                         ))
                     })
-                    .expect("validated non-empty")
-                    .clone()
+                    .cloned()
+                    .ok_or(BaselineError::Selection(SelectionError::NoCandidates {
+                        activity,
+                    }))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         Ok(self.outcome_of(problem, &qassa, assignment))
     }
 
@@ -312,7 +315,8 @@ impl<'a> Baselines<'a> {
         let assignment: Vec<ServiceCandidate> = problem
             .candidates()
             .iter()
-            .map(|cands| {
+            .enumerate()
+            .map(|(activity, cands)| {
                 let normalizer = Normalizer::fit(self.model, cands.iter().map(|c| c.qos()));
                 let best_of = |pool: &mut dyn Iterator<Item = &ServiceCandidate>| {
                     pool.max_by(|a, b| {
@@ -329,9 +333,11 @@ impl<'a> Baselines<'a> {
                     .filter(|c| local_bounds.iter().all(|b| b.satisfied_by(c.qos())));
                 best_of(&mut locally_ok)
                     .or_else(|| best_of(&mut cands.iter()))
-                    .expect("validated non-empty")
+                    .ok_or(BaselineError::Selection(SelectionError::NoCandidates {
+                        activity,
+                    }))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         Ok(self.outcome_of(problem, &qassa, assignment))
     }
 
@@ -420,7 +426,13 @@ impl<'a> Baselines<'a> {
             population = next;
         }
         population.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let best = population.into_iter().next().expect("non-empty population");
+        // `config.population.max(2)` above keeps the population
+        // non-empty; the typed escape replaces a panic all the same.
+        let Some(best) = population.into_iter().next() else {
+            return Err(BaselineError::Selection(SelectionError::NoCandidates {
+                activity: 0,
+            }));
+        };
         let assignment: Vec<ServiceCandidate> = best
             .1
             .iter()

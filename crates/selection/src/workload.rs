@@ -188,7 +188,11 @@ impl WorkloadSpec {
         for a in 0..self.activities {
             taxonomy.concept(&format!("Activity{a}"));
         }
-        let ontology = Arc::new(taxonomy.build().expect("generated taxonomy is well-formed"));
+        let ontology = Arc::new(
+            taxonomy
+                .build()
+                .unwrap_or_else(|e| panic!("generated taxonomy is well-formed: {e}")),
+        );
 
         let mut registry = ServiceRegistry::with_ontology(Arc::clone(&ontology));
         let candidates: Vec<Vec<ServiceCandidate>> = (0..self.activities)
@@ -264,7 +268,9 @@ impl WorkloadSpec {
                 let bound = aggregator
                     .aggregate(task, &uniform, &[p.property])
                     .get(p.property)
-                    .expect("uniform assignment always aggregates");
+                    .unwrap_or_else(|| {
+                        panic!("uniform assignment always aggregates the constrained property")
+                    });
                 Constraint::new(p.property, tendency, bound)
             })
             .collect()
@@ -325,7 +331,8 @@ fn build_task(shape: TaskShape, n: usize) -> UserTask {
             }
         }
     };
-    UserTask::new("workload", root).expect("generated tasks are well-formed")
+    UserTask::new("workload", root)
+        .unwrap_or_else(|e| panic!("generated tasks are well-formed: {e}"))
 }
 
 /// A materialised workload: owns the task, candidate sets, constraints and

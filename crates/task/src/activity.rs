@@ -38,7 +38,8 @@ impl Activity {
     /// Panics if `function` is not a well-formed `ns#local` IRI; use
     /// [`Activity::try_new`] for fallible construction.
     pub fn new(name: impl Into<String>, function: &str) -> Self {
-        Activity::try_new(name, function).expect("malformed function IRI")
+        Activity::try_new(name, function)
+            .unwrap_or_else(|e| panic!("malformed function IRI {function:?}: {e}"))
     }
 
     /// Fallible counterpart of [`Activity::new`].
@@ -72,22 +73,48 @@ impl Activity {
     ///
     /// # Panics
     ///
-    /// Panics on a malformed IRI.
-    pub fn with_input(mut self, input: &str) -> Self {
-        self.inputs
-            .push(input.parse().expect("malformed input IRI"));
-        self
+    /// Panics on a malformed IRI; use [`Activity::try_with_input`] for
+    /// fallible construction from untrusted input.
+    pub fn with_input(self, input: &str) -> Self {
+        self.try_with_input(input)
+            .unwrap_or_else(|e| panic!("malformed input IRI {input:?}: {e}"))
+    }
+
+    /// Fallible counterpart of [`Activity::with_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the IRI parse error when `input` is malformed.
+    pub fn try_with_input(
+        mut self,
+        input: &str,
+    ) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        self.inputs.push(input.parse()?);
+        Ok(self)
     }
 
     /// Adds a produced data concept.
     ///
     /// # Panics
     ///
-    /// Panics on a malformed IRI.
-    pub fn with_output(mut self, output: &str) -> Self {
-        self.outputs
-            .push(output.parse().expect("malformed output IRI"));
-        self
+    /// Panics on a malformed IRI; use [`Activity::try_with_output`] for
+    /// fallible construction from untrusted input.
+    pub fn with_output(self, output: &str) -> Self {
+        self.try_with_output(output)
+            .unwrap_or_else(|e| panic!("malformed output IRI {output:?}: {e}"))
+    }
+
+    /// Fallible counterpart of [`Activity::with_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the IRI parse error when `output` is malformed.
+    pub fn try_with_output(
+        mut self,
+        output: &str,
+    ) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        self.outputs.push(output.parse()?);
+        Ok(self)
     }
 
     /// The activity's unique name within its task.
@@ -134,6 +161,20 @@ mod tests {
     #[test]
     fn try_new_rejects_bad_iri() {
         assert!(Activity::try_new("x", "no-namespace").is_err());
+    }
+
+    #[test]
+    fn try_with_io_rejects_bad_iris_without_panicking() {
+        let a = Activity::new("x", "shop#Browse");
+        assert!(a.clone().try_with_input("no-namespace").is_err());
+        assert!(a.clone().try_with_output("no-namespace").is_err());
+        // The good path still chains.
+        let a = a
+            .try_with_input("shop#ItemList")
+            .and_then(|a| a.try_with_output("shop#Catalogue"))
+            .unwrap();
+        assert_eq!(a.inputs().len(), 1);
+        assert_eq!(a.outputs().len(), 1);
     }
 
     #[test]

@@ -201,14 +201,15 @@ fn parse_invoke(el: &XmlElement) -> Result<TaskNode, BpelError> {
     for (attr, adder) in [("inputs", true), ("outputs", false)] {
         if let Some(list) = el.attr(attr) {
             for item in list.split_whitespace() {
-                if item.parse::<Iri>().is_err() {
-                    return Err(BpelError::Structure(format!("bad {attr} IRI {item:?}")));
-                }
-                activity = if adder {
-                    activity.with_input(item)
+                // Typed flow end to end: a malformed IRI in untrusted
+                // task XML surfaces as a parse error, never a panic.
+                let added = if adder {
+                    activity.try_with_input(item)
                 } else {
-                    activity.with_output(item)
+                    activity.try_with_output(item)
                 };
+                activity =
+                    added.map_err(|_| BpelError::Structure(format!("bad {attr} IRI {item:?}")))?;
             }
         }
     }
@@ -406,6 +407,20 @@ mod tests {
             err,
             BpelError::Task(TaskError::DuplicateActivity(_))
         ));
+    }
+
+    #[test]
+    fn malformed_io_iris_surface_as_typed_errors_not_panics() {
+        // Regression: untrusted task XML with bad data-concept IRIs must
+        // come back as a parse error, never a panic.
+        for doc in [
+            r#"<process name="t"><invoke name="a" function="x#A" inputs="broken"/></process>"#,
+            r#"<process name="t"><invoke name="a" function="x#A" outputs="broken"/></process>"#,
+            r#"<process name="t"><invoke name="a" function="broken"/></process>"#,
+        ] {
+            let err = parse(doc).unwrap_err();
+            assert!(matches!(err, BpelError::Structure(_)), "{err}");
+        }
     }
 
     #[test]

@@ -226,7 +226,7 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+    fn expect_byte(&mut self, c: u8) -> Result<(), XmlError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -254,7 +254,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
-        self.expect(b'<')?;
+        self.expect_byte(b'<')?;
         let name = self.parse_name()?;
         let mut element = XmlElement::new(name);
 
@@ -263,7 +263,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'/') => {
                     self.pos += 1;
-                    self.expect(b'>')?;
+                    self.expect_byte(b'>')?;
                     return Ok(element);
                 }
                 Some(b'>') => {
@@ -273,7 +273,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let attr = self.parse_name()?;
                     self.skip_ws();
-                    self.expect(b'=')?;
+                    self.expect_byte(b'=')?;
                     self.skip_ws();
                     let value = self.parse_attr_value()?;
                     element.attributes.push((attr, value));
@@ -297,7 +297,7 @@ impl<'a> Parser<'a> {
                     )));
                 }
                 self.skip_ws();
-                self.expect(b'>')?;
+                self.expect_byte(b'>')?;
                 element.text = text.trim().to_owned();
                 return Ok(element);
             } else if self.peek() == Some(b'<') {

@@ -12,6 +12,8 @@
 //! qasom-cli hotpath-stress [--seed 42] [--services 64] [--rounds 12] [--out FILE]
 //! qasom-cli cluster-stress [--seed 42] [--services 10000,100000]
 //!                          [--shards 1,2,4,8] [--sessions 8] [--out FILE]
+//! qasom-cli persist-stress [--seed 42] [--services 200] [--rounds 24]
+//!                          [--checkpoint-every 16] [--out FILE]
 //! ```
 //!
 //! * `--services`  QSD document (see `qasom_registry::qsd`).
@@ -53,6 +55,15 @@
 //! `selection.delta.*` counters and is byte-identical for identical
 //! arguments — the determinism oracle CI `cmp`s across repeats.
 //!
+//! The `persist-stress` subcommand is the kill-and-replay determinism
+//! harness for the registry persistence layer (DESIGN.md §14): seeded
+//! churn runs over a journaled in-memory backend, and at every round
+//! the durable bytes are forked (the crash image) and recovered — the
+//! recovered registry must be byte-identical to the never-crashed
+//! oracle (state encoding, capability index, epoch, WAL cursor), and a
+//! deliberately torn fork must recover cleanly and deterministically.
+//! The emitted JSON is byte-identical for identical arguments.
+//!
 //! The `cluster-stress` subcommand sweeps the clustered registry
 //! (`qasom_cluster`) over shard counts at several service-pool scales:
 //! for each cell it runs the gossip replication plane over the network
@@ -92,6 +103,7 @@ fn main() -> ExitCode {
         Some("daemon-stress") => run_daemon_stress_subcommand(),
         Some("hotpath-stress") => run_hotpath_stress_subcommand(),
         Some("cluster-stress") => run_cluster_stress_subcommand(),
+        Some("persist-stress") => run_persist_stress_subcommand(),
         _ => run(),
     };
     match outcome {
@@ -540,6 +552,185 @@ fn cluster_stress_json(
         .field("seed", seed)
         .field("sessions", sessions)
         .field("figures", figures))
+}
+
+/// `qasom-cli persist-stress [--seed N] [--services N] [--rounds N]
+/// [--checkpoint-every N] [--out FILE]`: the kill-and-replay
+/// determinism harness. Seeded churn over a journaled registry; after
+/// every round the durable bytes are forked as a crash image and
+/// recovered, and the recovered registry is compared byte-for-byte
+/// against the never-crashed oracle. Fails on the first divergence.
+fn run_persist_stress_subcommand() -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut services = 200usize;
+    let mut rounds = 24usize;
+    let mut checkpoint_every = 16usize;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--services" => services = parse_num(&value("--services")?)?,
+            "--rounds" => rounds = parse_num(&value("--rounds")?)?,
+            "--checkpoint-every" => checkpoint_every = parse_num(&value("--checkpoint-every")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: qasom-cli persist-stress [--seed N] [--services N] [--rounds N]\n\
+                     \x20      [--checkpoint-every N] [--out FILE]"
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (try persist-stress --help)"
+                ));
+            }
+        }
+    }
+    let doc = persist_stress_json(seed, services, rounds, checkpoint_every)?;
+    write_text(&doc.to_pretty(), out.as_deref())
+}
+
+/// The seeded kill-and-replay scenario behind `qasom-cli persist-stress`.
+fn persist_stress_json(
+    seed: u64,
+    services: usize,
+    rounds: usize,
+    checkpoint_every: usize,
+) -> Result<JsonValue, String> {
+    use qasom_registry::persist::{encode_state, MemoryBackend, PersistConfig, PersistentRegistry};
+
+    const FUNCTIONS: usize = 4;
+    let mut builder = OntologyBuilder::new("ps");
+    for f in 0..FUNCTIONS {
+        let base = builder.concept(&format!("F{f}"));
+        builder.subconcept(&format!("F{f}Sub"), base);
+    }
+    let ontology = Arc::new(builder.build().map_err(|e| e.to_string())?);
+    let model = QosModel::standard();
+    let config = PersistConfig { checkpoint_every };
+
+    let backend = MemoryBackend::new();
+    let (mut oracle, boot) =
+        PersistentRegistry::open(backend.clone(), config, Some(Arc::clone(&ontology)))
+            .map_err(|e| e.to_string())?;
+    if boot.recovered_anything() {
+        return Err("fresh in-memory backend reported recovered state".into());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a57_1e55);
+    let mut next_name = 0usize;
+    let mut deploy = |oracle: &mut PersistentRegistry, rng: &mut StdRng| -> Result<(), String> {
+        let f = rng.gen_range(0..FUNCTIONS);
+        let iri = if rng.gen_range(0..2) == 1 {
+            format!("ps#F{f}Sub")
+        } else {
+            format!("ps#F{f}")
+        };
+        let mut desc = ServiceDescription::new(format!("s{next_name}"), iri.as_str());
+        next_name += 1;
+        if let Some(rt) = model.property("ResponseTime") {
+            desc = desc.with_qos(rt, 10.0 + f64::from(rng.gen_range(0..90u32)));
+        }
+        if let Some(av) = model.property("Availability") {
+            desc = desc.with_qos(av, 0.9 + f64::from(rng.gen_range(0..10u32)) / 100.0);
+        }
+        oracle.register(desc).map_err(|e| e.to_string())?;
+        Ok(())
+    };
+
+    for _ in 0..services {
+        deploy(&mut oracle, &mut rng)?;
+    }
+
+    // Kill-and-replay at a crash image: the recovered registry must be
+    // byte-identical to the never-crashed oracle.
+    let verify = |oracle: &PersistentRegistry, image: MemoryBackend| -> Result<(), String> {
+        let (recovered, _) = PersistentRegistry::open(image, config, Some(Arc::clone(&ontology)))
+            .map_err(|e| format!("recovery failed: {e}"))?;
+        if encode_state(recovered.registry()) != encode_state(oracle.registry()) {
+            return Err("recovered state bytes diverge from the oracle".into());
+        }
+        if !recovered.registry().index_eq(oracle.registry()) {
+            return Err("recovered capability index diverges from the oracle".into());
+        }
+        if !recovered.registry().index_matches_rebuild() {
+            return Err("recovered capability index fails the rebuild oracle".into());
+        }
+        if recovered.registry().event_cursor() != oracle.registry().event_cursor() {
+            return Err("recovered epoch diverges from the oracle".into());
+        }
+        if recovered.journal().wal_cursor() != oracle.journal().wal_cursor() {
+            return Err("recovered WAL cursor diverges from the oracle".into());
+        }
+        Ok(())
+    };
+
+    let mut crash_points = 0u64;
+    let mut torn_drills = 0u64;
+    verify(&oracle, backend.fork())?;
+    crash_points += 1;
+
+    for round in 0..rounds {
+        // Churn: a few arrivals, sometimes a departure of a random live
+        // service.
+        for _ in 0..1 + round % 3 {
+            deploy(&mut oracle, &mut rng)?;
+        }
+        if oracle.registry().len() > 4 && rng.gen_range(0..2) == 1 {
+            let live: Vec<_> = oracle.registry().iter().map(|(id, _)| id).collect();
+            let id = live[rng.gen_range(0..live.len())];
+            oracle.deregister(id).map_err(|e| e.to_string())?;
+        }
+
+        verify(&oracle, backend.fork())?;
+        crash_points += 1;
+
+        // Torn-tail drill: tear the crash image's WAL tail and require
+        // a clean, deterministic recovery (no panic, no partial
+        // replay — two recoveries of the same torn image agree).
+        let torn = backend.fork();
+        if torn.wal_len() > 0 {
+            use qasom_registry::persist::Persistence;
+            let mut wal = torn.wal_bytes().map_err(|e| e.to_string())?;
+            let last = wal.len() - 1;
+            wal[last] ^= 0xA5;
+            torn.set_wal(wal);
+            let (first, report) =
+                PersistentRegistry::open(torn.fork(), config, Some(Arc::clone(&ontology)))
+                    .map_err(|e| format!("torn-tail recovery failed: {e}"))?;
+            if !report.torn_tail {
+                return Err("torn tail was not detected".into());
+            }
+            let (second, _) = PersistentRegistry::open(torn, config, Some(Arc::clone(&ontology)))
+                .map_err(|e| format!("torn-tail re-recovery failed: {e}"))?;
+            if encode_state(first.registry()) != encode_state(second.registry()) {
+                return Err("torn-tail recovery is not deterministic".into());
+            }
+            if !first.registry().index_matches_rebuild() {
+                return Err("torn-tail recovery broke the capability index".into());
+            }
+            torn_drills += 1;
+        }
+    }
+
+    let stats = oracle.journal().stats();
+    Ok(JsonValue::object()
+        .field("bench", "persist")
+        .field("seed", seed)
+        .field("services", services)
+        .field("rounds", rounds)
+        .field("checkpoint_every", checkpoint_every)
+        .field("crash_points_verified", crash_points)
+        .field("torn_tail_drills", torn_drills)
+        .field("final_epoch", oracle.registry().event_cursor())
+        .field("live_services", oracle.registry().len())
+        .field("wal_appends", stats.appends)
+        .field("wal_bytes", stats.wal_bytes)
+        .field("checkpoints", stats.checkpoints)
+        .field("oracle_match", true))
 }
 
 fn parse_num_list(raw: &str) -> Result<Vec<usize>, String> {
